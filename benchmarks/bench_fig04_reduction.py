@@ -1,0 +1,23 @@
+"""Fig. 4 — reduction in dynamic instruction count.
+
+Paper's finding: synthetics run ~30x fewer instructions on average, with
+per-benchmark reduction factors between ~1 and ~250 (short workloads
+reduce less because R clamps at 1).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig04_reduction import run_fig04
+
+
+def test_fig04(benchmark, runner, pairs):
+    result = run_once(benchmark, run_fig04, runner, pairs)
+    print()
+    print(result.format_table())
+    # Shape assertions (not absolute numbers).
+    assert result.average_reduction > 4, "synthetics must be much shorter"
+    for row in result.rows:
+        assert row["reduction"] > 1.0, row
+        assert row["synthetic_instructions"] < row["original_instructions"]
+    # R spans a range, as in the paper (1..250 there).
+    factors = [row["reduction_factor_R"] for row in result.rows]
+    assert max(factors) > 2 * min(factors)

@@ -1,0 +1,25 @@
+"""Fig. 5 — normalized dynamic instruction count across -O0..-O3.
+
+Paper's finding: both originals and synthetics drop by roughly a third
+from -O0 to any higher optimization level, and the synthetic tracks the
+original.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig05_optlevels import run_fig05
+
+
+def test_fig05(benchmark, runner, pairs):
+    result = run_once(benchmark, run_fig05, runner, pairs)
+    print()
+    print(result.format_table())
+    # Both sides normalized to 1.0 at O0.
+    assert result.original[0] == 1.0
+    assert result.synthetic[0] == 1.0
+    # Both drop substantially at O1+ (paper: ~1/3).
+    for level in (1, 2, 3):
+        assert result.original[level] < 0.85, result.original
+        assert result.synthetic[level] < 0.95, result.synthetic
+    # The synthetic tracks the original within 0.2 normalized units.
+    for level in (1, 2, 3):
+        assert abs(result.original[level] - result.synthetic[level]) < 0.2

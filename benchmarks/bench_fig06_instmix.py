@@ -1,0 +1,24 @@
+"""Fig. 6 — instruction mix (loads/stores/branches/others) at -O0/-O2.
+
+Paper's finding: synthetics track the originals' mixes, and both show
+the load fraction dropping (arithmetic fraction rising) at -O2 because
+copy propagation removes reloads.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig06_instmix import run_fig06
+
+
+def test_fig06(benchmark, runner, pairs):
+    result = run_once(benchmark, run_fig06, runner, pairs)
+    print()
+    print(result.format_table())
+    # Average mixes track within 0.12 per category at both levels.
+    for level in (0, 2):
+        for key in ("loads", "stores", "branches", "others"):
+            org = result.average("ORG", level, key)
+            syn = result.average("SYN", level, key)
+            assert abs(org - syn) < 0.12, (level, key, org, syn)
+    # The paper's O0 -> O2 load-fraction drop, on both sides.
+    assert result.average("ORG", 2, "loads") < result.average("ORG", 0, "loads")
+    assert result.average("SYN", 2, "loads") < result.average("SYN", 0, "loads")

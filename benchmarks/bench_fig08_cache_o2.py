@@ -1,0 +1,22 @@
+"""Fig. 8 — data cache hit rates across 1..32 KB at -O2.
+
+Same sweep as Fig. 7 on the -O2 binaries: optimization removes many
+always-hit scalar accesses, so overall hit rates drop slightly while the
+size trend stays; the synthetic must keep tracking.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig07_cache import run_cache_figure
+
+
+def test_fig08(benchmark, runner, pairs):
+    result = run_once(benchmark, run_cache_figure, runner, pairs, 2)
+    print()
+    print(result.format_table())
+    for workload, input_name in pairs:
+        org = result.series(workload, input_name, "ORG")
+        syn = result.series(workload, input_name, "SYN")
+        assert abs(org[8 * 1024] - syn[8 * 1024]) < 0.15, (workload, org, syn)
+        # Bigger caches never hurt much (monotone-ish curves).
+        assert org[32 * 1024] >= org[1024] - 0.02
+        assert syn[32 * 1024] >= syn[1024] - 0.02

@@ -1,0 +1,23 @@
+"""Fig. 9 — hybrid branch-predictor accuracy, original vs synthetic.
+
+Paper's finding: accuracies live in the 84-100% band and the synthetic
+mirrors which benchmarks are predictor-sensitive (adpcm is the outlier).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig09_branch import run_fig09
+
+
+def test_fig09(benchmark, runner, pairs):
+    result = run_once(benchmark, run_fig09, runner, pairs)
+    print()
+    print(result.format_table())
+    for row in result.rows:
+        assert row["accuracy"] > 0.70, row
+    # Synthetic tracks original within 9 points on average at -O0.
+    gaps = []
+    for workload, input_name in pairs:
+        org = result.accuracy(workload, input_name, "ORG", 0)
+        syn = result.accuracy(workload, input_name, "SYN", 0)
+        gaps.append(abs(org - syn))
+    assert sum(gaps) / len(gaps) < 0.09, gaps

@@ -1,0 +1,20 @@
+"""§V-E — plagiarism detectors find no similarity original <-> clone.
+
+Paper's finding: Moss and JPlag both report no similarity between any
+original workload and its synthetic clone, while (sanity check) an
+original compared against itself scores ~100%.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.obfuscation import run_obfuscation
+
+
+def test_obfuscation(benchmark, runner, pairs):
+    result = run_once(benchmark, run_obfuscation, runner, pairs)
+    print()
+    print(result.format_table())
+    assert not result.any_flagged, "a clone leaked similarity"
+    for row in result.rows:
+        assert row["self_moss"] == 1.0  # the detectors do detect copies
+        assert row["moss"] < 0.25
+        assert row["jplag"] < 0.25

@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one of the paper's tables/figures end to end
+(compile originals, profile, synthesize clones, compile and measure both
+sides) and asserts the paper's qualitative findings.  A session-scoped
+:class:`ExperimentRunner` memoizes compilations and traces so later
+figures reuse the earlier ones' work, exactly like the paper's one-pass
+profiling methodology.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+regenerated tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS
+
+
+@pytest.fixture(scope="session")
+def runner() -> ExperimentRunner:
+    return ExperimentRunner()
+
+
+@pytest.fixture(scope="session")
+def pairs():
+    return QUICK_PAIRS
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run *func* exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,61 @@
+"""repro — benchmark synthesis for architecture and compiler exploration.
+
+A complete reproduction of Van Ertvelde & Eeckhout (IISWC 2010): a
+profile-driven generator of synthetic C benchmarks, together with every
+substrate the paper's evaluation needs — a mini-C compiler with
+-O0..-O3 pipelines, three virtual ISAs, functional and timing simulators,
+cache and branch-predictor models, a MiBench-like workload suite and
+Moss/JPlag-style plagiarism detectors.
+
+Quickstart::
+
+    from repro import profile_workload, synthesize, compile_program, run_binary
+
+    profile, trace = profile_workload(c_source)       # paper's Fig. 1 left
+    clone = synthesize(profile, target_instructions=20_000)
+    binary = compile_program(clone.source, "x86_64", opt_level=2).binary
+    result = run_binary(binary)                       # proxy measurement
+"""
+
+from repro.cc.driver import CompileResult, compile_program
+from repro.obfuscation.report import SimilarityReport, compare_sources
+from repro.profiling.profile import (
+    StatisticalProfile,
+    profile_trace,
+    profile_workload,
+)
+from repro.sim.functional import SimTrap, Simulator, run_binary
+from repro.sim.machines import MACHINES, Machine
+from repro.sim.trace import ExecutionTrace
+from repro.synthesis.baseline import synthesize_linear
+from repro.synthesis.synthesizer import (
+    SyntheticBenchmark,
+    synthesize,
+    synthesize_consolidated,
+)
+from repro.workloads import WORKLOADS, all_pairs, workload_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompileResult",
+    "ExecutionTrace",
+    "MACHINES",
+    "Machine",
+    "SimTrap",
+    "SimilarityReport",
+    "Simulator",
+    "StatisticalProfile",
+    "SyntheticBenchmark",
+    "WORKLOADS",
+    "all_pairs",
+    "compare_sources",
+    "compile_program",
+    "profile_trace",
+    "profile_workload",
+    "run_binary",
+    "synthesize",
+    "synthesize_consolidated",
+    "synthesize_linear",
+    "workload_names",
+]

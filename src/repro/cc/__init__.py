@@ -1,0 +1,5 @@
+"""Compiler driver: mini-C source to linked binary."""
+
+from repro.cc.driver import CompileResult, compile_program, compile_to_ir
+
+__all__ = ["CompileResult", "compile_program", "compile_to_ir"]

@@ -1,0 +1,33 @@
+"""Experiment harness regenerating every table and figure (§V).
+
+One module per figure; each ``run_*`` function returns a result object
+with ``rows`` (machine-readable) and ``format_table()`` (the same series
+the paper plots).  The shared :class:`ExperimentRunner` memoizes
+compilations, traces and profiles so the figures reuse work.
+"""
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, FULL_PAIRS
+from repro.experiments.fig04_reduction import run_fig04
+from repro.experiments.fig05_optlevels import run_fig05
+from repro.experiments.fig06_instmix import run_fig06
+from repro.experiments.fig07_cache import run_cache_figure
+from repro.experiments.fig09_branch import run_fig09
+from repro.experiments.fig10_cpi import run_fig10
+from repro.experiments.fig11_machines import run_fig11
+from repro.experiments.obfuscation import run_obfuscation
+from repro.experiments.ablation import run_ablation
+
+__all__ = [
+    "ExperimentRunner",
+    "FULL_PAIRS",
+    "QUICK_PAIRS",
+    "run_ablation",
+    "run_cache_figure",
+    "run_fig04",
+    "run_fig05",
+    "run_fig06",
+    "run_fig09",
+    "run_fig10",
+    "run_fig11",
+    "run_obfuscation",
+]

@@ -1,0 +1,5 @@
+"""Entry point: regenerate the full evaluation report on stdout."""
+
+from repro.experiments.report import main
+
+main()

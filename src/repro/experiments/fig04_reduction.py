@@ -1,0 +1,63 @@
+"""Fig. 4 — reduction in dynamic instruction count.
+
+Per (workload, input): dynamic instructions of the original divided by
+the synthetic clone's, both compiled at -O0 on x86.  The paper reports
+reduction factors from ~1 to ~250 with an average around 30x (the target
+synthetic size is fixed, so long workloads reduce more).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, format_table
+
+
+@dataclass
+class Fig04Result:
+    rows: list[dict] = field(default_factory=list)
+
+    @property
+    def average_reduction(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row["reduction"] for row in self.rows) / len(self.rows)
+
+    def format_table(self) -> str:
+        table_rows = [
+            [
+                f"{row['workload']}/{row['input']}",
+                row["original_instructions"],
+                row["synthetic_instructions"],
+                row["reduction"],
+                row["reduction_factor_R"],
+            ]
+            for row in self.rows
+        ]
+        table_rows.append(
+            ["AVERAGE", "", "", self.average_reduction, ""]
+        )
+        return format_table(
+            ["benchmark", "orig dyn.instr", "syn dyn.instr", "reduction", "R"],
+            table_rows,
+            title="Fig. 4: dynamic instruction count, original relative to synthetic",
+        )
+
+
+def run_fig04(runner: ExperimentRunner, pairs=QUICK_PAIRS) -> Fig04Result:
+    result = Fig04Result()
+    for workload, input_name in pairs:
+        original = runner.original_trace(workload, input_name, "x86", 0)
+        synthetic = runner.synthetic_trace(workload, input_name, "x86", 0)
+        clone = runner.clone(workload, input_name)
+        result.rows.append(
+            {
+                "workload": workload,
+                "input": input_name,
+                "original_instructions": original.instructions,
+                "synthetic_instructions": synthetic.instructions,
+                "reduction": original.instructions / max(1, synthetic.instructions),
+                "reduction_factor_R": clone.reduction_factor,
+            }
+        )
+    return result

@@ -1,0 +1,52 @@
+"""Fig. 5 — normalized dynamic instruction count across -O0..-O3.
+
+Suite-average dynamic instruction count at each optimization level,
+normalized to -O0, for originals and synthetics.  The paper's headline:
+both drop by roughly a third from -O0 to any higher level, and the
+synthetic tracks the original.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, format_table
+
+OPT_LEVELS = (0, 1, 2, 3)
+
+
+@dataclass
+class Fig05Result:
+    original: dict[int, float] = field(default_factory=dict)
+    synthetic: dict[int, float] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        rows = [
+            [f"O{level}", self.original[level], self.synthetic[level]]
+            for level in OPT_LEVELS
+        ]
+        return format_table(
+            ["level", "original", "synthetic"],
+            rows,
+            title="Fig. 5: normalized dynamic instruction count (suite average)",
+        )
+
+
+def run_fig05(
+    runner: ExperimentRunner, pairs=QUICK_PAIRS, isa: str = "x86"
+) -> Fig05Result:
+    result = Fig05Result()
+    ratios_org: dict[int, list[float]] = {level: [] for level in OPT_LEVELS}
+    ratios_syn: dict[int, list[float]] = {level: [] for level in OPT_LEVELS}
+    for workload, input_name in pairs:
+        base_org = runner.original_trace(workload, input_name, isa, 0).instructions
+        base_syn = runner.synthetic_trace(workload, input_name, isa, 0).instructions
+        for level in OPT_LEVELS:
+            org = runner.original_trace(workload, input_name, isa, level).instructions
+            syn = runner.synthetic_trace(workload, input_name, isa, level).instructions
+            ratios_org[level].append(org / base_org)
+            ratios_syn[level].append(syn / max(1, base_syn))
+    for level in OPT_LEVELS:
+        result.original[level] = sum(ratios_org[level]) / len(ratios_org[level])
+        result.synthetic[level] = sum(ratios_syn[level]) / len(ratios_syn[level])
+    return result

@@ -1,0 +1,90 @@
+"""Fig. 6 — instruction mix at -O0 and -O2.
+
+Per benchmark: loads / stores / branches / others fractions, original
+(ORG) vs synthetic (SYN).  The paper's headline trend: the load fraction
+drops and the arithmetic fraction rises at -O2 (copy propagation removes
+reloads), in both the originals and the clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, format_table
+
+MIX_KEYS = ("loads", "stores", "branches", "others")
+
+
+@dataclass
+class Fig06Result:
+    rows: list[dict] = field(default_factory=list)
+
+    def average(self, side: str, level: int, key: str) -> float:
+        values = [
+            row["mix"][key]
+            for row in self.rows
+            if row["side"] == side and row["level"] == level
+        ]
+        return sum(values) / len(values) if values else 0.0
+
+    def format_table(self) -> str:
+        table_rows = []
+        for row in self.rows:
+            table_rows.append(
+                [
+                    f"{row['workload']}/{row['input']}",
+                    f"O{row['level']}",
+                    row["side"],
+                    row["mix"]["loads"],
+                    row["mix"]["stores"],
+                    row["mix"]["branches"],
+                    row["mix"]["others"],
+                ]
+            )
+        for level in (0, 2):
+            for side in ("ORG", "SYN"):
+                table_rows.append(
+                    [
+                        "AVERAGE",
+                        f"O{level}",
+                        side,
+                        self.average(side, level, "loads"),
+                        self.average(side, level, "stores"),
+                        self.average(side, level, "branches"),
+                        self.average(side, level, "others"),
+                    ]
+                )
+        return format_table(
+            ["benchmark", "level", "side", "loads", "stores", "branches", "others"],
+            table_rows,
+            title="Fig. 6: instruction mix at -O0 and -O2",
+        )
+
+
+def run_fig06(
+    runner: ExperimentRunner, pairs=QUICK_PAIRS, levels=(0, 2), isa: str = "x86"
+) -> Fig06Result:
+    result = Fig06Result()
+    for workload, input_name in pairs:
+        for level in levels:
+            org = runner.original_trace(workload, input_name, isa, level)
+            syn = runner.synthetic_trace(workload, input_name, isa, level)
+            result.rows.append(
+                {
+                    "workload": workload,
+                    "input": input_name,
+                    "level": level,
+                    "side": "ORG",
+                    "mix": org.instruction_mix().paper_mix(),
+                }
+            )
+            result.rows.append(
+                {
+                    "workload": workload,
+                    "input": input_name,
+                    "level": level,
+                    "side": "SYN",
+                    "mix": syn.instruction_mix().paper_mix(),
+                }
+            )
+    return result

@@ -1,0 +1,84 @@
+"""Fig. 10 — CPI on a 2-wide out-of-order core across cache sizes.
+
+Per benchmark: CPI with 8/16/32 KB data caches on the 2-wide OoO model
+(the paper's PTLSim setup), original vs synthetic.  The paper's markers:
+fft has the highest CPI (floating point), sha the lowest, and cache-size
+sensitivity (dijkstra, qsort) carries over to the clones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, format_table
+from repro.sim.cache import CacheConfig
+from repro.sim.ooo import OutOfOrderModel, TimingConfig
+
+CACHE_SIZES_KB = (8, 16, 32)
+
+
+def _config(cache_kb: int) -> TimingConfig:
+    return TimingConfig(
+        width=2,
+        rob_size=64,
+        l1=CacheConfig(cache_kb * 1024, 32, 4),
+        l2=CacheConfig(512 * 1024, 32, 8),
+    )
+
+
+@dataclass
+class Fig10Result:
+    rows: list[dict] = field(default_factory=list)
+
+    def cpi(self, workload: str, input_name: str, side: str, cache_kb: int) -> float:
+        for row in self.rows:
+            if (
+                row["workload"] == workload
+                and row["input"] == input_name
+                and row["side"] == side
+            ):
+                return row["cpi"][cache_kb]
+        raise KeyError((workload, input_name, side))
+
+    def format_table(self) -> str:
+        headers = ["benchmark", "side"] + [f"{kb}KB" for kb in CACHE_SIZES_KB]
+        table_rows = [
+            [f"{row['workload']}/{row['input']}", row["side"]]
+            + [row["cpi"][kb] for kb in CACHE_SIZES_KB]
+            for row in self.rows
+        ]
+        return format_table(
+            headers,
+            table_rows,
+            title="Fig. 10: CPI, 2-wide out-of-order, varying D-cache size",
+        )
+
+
+def run_fig10(
+    runner: ExperimentRunner,
+    pairs=QUICK_PAIRS,
+    isa: str = "x86",
+    opt_level: int = 0,
+    cache_sizes_kb=CACHE_SIZES_KB,
+) -> Fig10Result:
+    result = Fig10Result()
+    for workload, input_name in pairs:
+        for side in ("ORG", "SYN"):
+            trace = (
+                runner.original_trace(workload, input_name, isa, opt_level)
+                if side == "ORG"
+                else runner.synthetic_trace(workload, input_name, isa, opt_level)
+            )
+            cpis: dict[int, float] = {}
+            for cache_kb in cache_sizes_kb:
+                model = OutOfOrderModel(_config(cache_kb))
+                cpis[cache_kb] = model.simulate(trace).cpi
+            result.rows.append(
+                {
+                    "workload": workload,
+                    "input": input_name,
+                    "side": side,
+                    "cpi": cpis,
+                }
+            )
+    return result

@@ -1,0 +1,116 @@
+"""Shared experiment pipeline with memoization.
+
+The pipeline mirrors the paper's flow (Fig. 1): compile the original at
+-O0 on the reference ISA, profile it, synthesize the clone, then compile
+and measure both sides under whatever (ISA, optimization level) the
+figure calls for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cc.driver import compile_program
+from repro.profiling.profile import StatisticalProfile, profile_trace
+from repro.sim.functional import run_binary
+from repro.sim.trace import ExecutionTrace
+from repro.synthesis.synthesizer import SyntheticBenchmark, synthesize
+from repro.workloads import WORKLOADS, all_pairs
+
+# Synthetic size target (see DESIGN.md §5: the paper's 10M scaled ~1e3).
+SYNTHETIC_TARGET = 20_000
+
+# Fast subset used by default in the pytest-benchmark harness.
+QUICK_PAIRS: tuple[tuple[str, str], ...] = (
+    ("adpcm", "small"),
+    ("bitcount", "small"),
+    ("crc32", "small"),
+    ("dijkstra", "small"),
+    ("fft", "small"),
+    ("qsort", "small"),
+    ("sha", "small"),
+    ("stringsearch", "small"),
+)
+
+FULL_PAIRS: tuple[tuple[str, str], ...] = tuple(all_pairs())
+
+
+@dataclass
+class ExperimentRunner:
+    """Memoized compile/run/profile/synthesize pipeline."""
+
+    target_instructions: int = SYNTHETIC_TARGET
+    _sources: dict = field(default_factory=dict)
+    _traces: dict = field(default_factory=dict)
+    _profiles: dict = field(default_factory=dict)
+    _clones: dict = field(default_factory=dict)
+
+    # -- originals ---------------------------------------------------------
+
+    def source(self, workload: str, input_name: str) -> str:
+        key = (workload, input_name)
+        if key not in self._sources:
+            self._sources[key] = WORKLOADS[workload].source_for(input_name)
+        return self._sources[key]
+
+    def original_trace(
+        self, workload: str, input_name: str, isa: str = "x86", opt_level: int = 0
+    ) -> ExecutionTrace:
+        key = ("org", workload, input_name, isa, opt_level)
+        if key not in self._traces:
+            result = compile_program(self.source(workload, input_name), isa, opt_level)
+            self._traces[key] = run_binary(result.binary)
+        return self._traces[key]
+
+    # -- profiles & clones -------------------------------------------------
+
+    def profile(self, workload: str, input_name: str) -> StatisticalProfile:
+        key = (workload, input_name)
+        if key not in self._profiles:
+            trace = self.original_trace(workload, input_name, "x86", 0)
+            self._profiles[key] = profile_trace(
+                trace.binary, trace, source_name=f"{workload}/{input_name}"
+            )
+        return self._profiles[key]
+
+    def clone(self, workload: str, input_name: str) -> SyntheticBenchmark:
+        key = (workload, input_name)
+        if key not in self._clones:
+            self._clones[key] = synthesize(
+                self.profile(workload, input_name),
+                target_instructions=self.target_instructions,
+            )
+        return self._clones[key]
+
+    def synthetic_trace(
+        self, workload: str, input_name: str, isa: str = "x86", opt_level: int = 0
+    ) -> ExecutionTrace:
+        key = ("syn", workload, input_name, isa, opt_level)
+        if key not in self._traces:
+            clone = self.clone(workload, input_name)
+            result = compile_program(clone.source, isa, opt_level)
+            self._traces[key] = run_binary(result.binary)
+        return self._traces[key]
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Plain-text table renderer shared by the figures."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

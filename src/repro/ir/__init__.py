@@ -1,0 +1,70 @@
+"""Three-address intermediate representation.
+
+The compiler lowers the mini-C AST into a conventional CFG-of-basic-blocks
+IR with unlimited virtual registers (temps).  Optimization passes in
+:mod:`repro.opt` transform it; :mod:`repro.isa` lowers it to virtual
+machine code.  Two lowering modes mirror GCC's behaviour:
+
+* **O0 mode** — every local scalar lives in a stack slot; each use emits a
+  load and each definition a store.  This is what makes Table II's
+  ``load-arith-store`` patterns appear in O0 binaries.
+* **promoted mode (O1+)** — locals are kept in virtual registers.
+"""
+
+from repro.ir.cfg import (
+    BasicBlock,
+    ControlFlowGraph,
+    Loop,
+    compute_dominators,
+    find_natural_loops,
+    reverse_postorder,
+)
+from repro.ir.instructions import (
+    Address,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    IRFunction,
+    IRProgram,
+    Instr,
+    Jump,
+    Load,
+    Print,
+    Ret,
+    StackSlot,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.ir.builder import IRBuilder, lower_program
+from repro.ir.verify import verify_function, verify_program
+
+__all__ = [
+    "Address",
+    "BasicBlock",
+    "BinOp",
+    "Branch",
+    "Call",
+    "Const",
+    "ControlFlowGraph",
+    "IRBuilder",
+    "IRFunction",
+    "IRProgram",
+    "Instr",
+    "Jump",
+    "Load",
+    "Loop",
+    "Print",
+    "Ret",
+    "StackSlot",
+    "Store",
+    "Temp",
+    "UnOp",
+    "compute_dominators",
+    "find_natural_loops",
+    "lower_program",
+    "reverse_postorder",
+    "verify_function",
+    "verify_program",
+]

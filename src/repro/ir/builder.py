@@ -1,0 +1,776 @@
+"""Lowering from the mini-C AST to three-address IR.
+
+Two modes, selected by ``promote_scalars``:
+
+* ``False`` (the -O0 pipeline): scalar locals and parameters live in stack
+  slots; every use loads, every assignment stores.  This reproduces GCC
+  -O0's code shape, which is what the paper profiles and what Table II's
+  pattern recognizer expects (``movl t+512, %eax`` / ``addl`` /
+  ``movl %eax, t+504`` sequences).
+* ``True`` (-O1 and above): scalar locals and parameters are virtual
+  registers; only globals, arrays and address-taken storage touch memory.
+
+Short-circuit ``&&``/``||`` and the ternary operator lower to control flow
+(fresh basic blocks), so the branch-behaviour profile of the program is
+realistic — a key input to the SFGL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SemanticError
+from repro.lang.semantics import MATH_BUILTINS, SemanticAnalyzer
+from repro.lang.types import Type
+from repro.ir.instructions import (
+    Address,
+    BasicBlockRef,
+    BinOp,
+    Branch,
+    Call,
+    GlobalVar,
+    IRFunction,
+    IRProgram,
+    Jump,
+    Load,
+    LoadAddress,
+    LoadConst,
+    Operand,
+    Print,
+    Ret,
+    StackSlot,
+    Store,
+    Temp,
+    UnOp,
+    Const,
+)
+
+_WORD_MASK = 0xFFFFFFFF
+
+
+def _to_unsigned(value: int) -> int:
+    return value & _WORD_MASK
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def _kind_of(ctype: Type) -> str:
+    """Map a semantic type to an IR value kind ('i' or 'f')."""
+    return "f" if ctype.is_float() else "i"
+
+
+@dataclass
+class _VarBinding:
+    """Where a source variable lives during lowering."""
+
+    category: str  # 'temp' | 'slot' | 'gscalar' | 'garray' | 'larray' | 'pslot_array' | 'ptemp_array'
+    kind: str  # 'i' or 'f' (element kind for arrays)
+    temp: Temp | None = None
+    slot: StackSlot | None = None
+    symbol: str | None = None
+
+
+class _FunctionLowering:
+    """Lowers one function body."""
+
+    def __init__(self, builder: "IRBuilder", func_ast: ast.FuncDecl):
+        self.builder = builder
+        self.func_ast = func_ast
+        return_kind = "v" if func_ast.return_type.is_void() else _kind_of(func_ast.return_type)
+        self.func = IRFunction(name=func_ast.name, return_kind=return_kind)
+        self.scopes: list[dict[str, _VarBinding]] = []
+        self.break_labels: list[str] = []
+        self.continue_labels: list[str] = []
+        self._label_counter = 0
+        self._slot_counter = 0
+        self.current: BasicBlockRef | None = None
+
+    # -- plumbing -------------------------------------------------------
+
+    def new_label(self, hint: str = "L") -> str:
+        self._label_counter += 1
+        return f"{hint}{self._label_counter}"
+
+    def new_slot(self, hint: str, size: int = 1) -> StackSlot:
+        self._slot_counter += 1
+        slot = StackSlot(f"{hint}.{self._slot_counter}", size)
+        self.func.stack_slots.append(slot)
+        return slot
+
+    def start_block(self, label: str) -> BasicBlockRef:
+        block = BasicBlockRef(label)
+        self.func.blocks.append(block)
+        self.current = block
+        return block
+
+    def emit(self, instr) -> None:
+        self.current.instrs.append(instr)
+
+    def terminated(self) -> bool:
+        return self.current.terminator is not None
+
+    def lookup(self, name: str) -> _VarBinding:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        binding = self.builder.global_bindings.get(name)
+        if binding is None:
+            raise SemanticError(f"unbound variable {name!r} during lowering")
+        return binding
+
+    # -- top level -------------------------------------------------------
+
+    def lower(self) -> IRFunction:
+        promote = self.builder.promote_scalars
+        self.scopes.append({})
+        self.start_block("entry")
+        for param in self.func_ast.params:
+            kind = _kind_of(param.base_type)
+            if param.is_array:
+                arg_temp = self.func.new_temp("i")
+                self.func.params.append((param.name, "i", True))
+                self.func.param_temps.append(arg_temp)
+                if promote:
+                    binding = _VarBinding("ptemp_array", kind, temp=arg_temp)
+                else:
+                    slot = self.new_slot(param.name)
+                    self.emit(Store(arg_temp, Address(slot)))
+                    binding = _VarBinding("pslot_array", kind, slot=slot)
+            else:
+                arg_temp = self.func.new_temp(kind)
+                self.func.params.append((param.name, kind, False))
+                self.func.param_temps.append(arg_temp)
+                if promote:
+                    binding = _VarBinding("temp", kind, temp=arg_temp)
+                else:
+                    slot = self.new_slot(param.name)
+                    self.emit(Store(arg_temp, Address(slot)))
+                    binding = _VarBinding("slot", kind, slot=slot)
+            self.scopes[-1][param.name] = binding
+        self.lower_block(self.func_ast.body)
+        if not self.terminated():
+            if self.func.return_kind == "v":
+                self.emit(Ret())
+            else:
+                zero = 0.0 if self.func.return_kind == "f" else 0
+                self.emit(Ret(Const(zero)))
+        self.scopes.pop()
+        self._prune_dead_blocks()
+        return self.func
+
+    def _prune_dead_blocks(self) -> None:
+        """Drop blocks unreachable from entry (created by break/return)."""
+        reachable: set[str] = set()
+        by_label = {blk.label: blk for blk in self.func.blocks}
+        stack = [self.func.blocks[0].label]
+        while stack:
+            label = stack.pop()
+            if label in reachable:
+                continue
+            reachable.add(label)
+            stack.extend(by_label[label].successor_labels())
+        self.func.blocks = [blk for blk in self.func.blocks if blk.label in reachable]
+
+    # -- statements --------------------------------------------------------
+
+    def lower_block(self, block: ast.Block) -> None:
+        self.scopes.append({})
+        for stmt in block.stmts:
+            if self.terminated():
+                break  # unreachable code after return/break
+            self.lower_stmt(stmt)
+        self.scopes.pop()
+
+    def lower_stmt(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Decl):
+            self.lower_decl(stmt)
+        elif isinstance(stmt, ast.ExprStmt):
+            self.lower_expr(stmt.expr)
+        elif isinstance(stmt, ast.Block):
+            self.lower_block(stmt)
+        elif isinstance(stmt, ast.If):
+            self.lower_if(stmt)
+        elif isinstance(stmt, ast.While):
+            self.lower_while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self.lower_do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self.lower_for(stmt)
+        elif isinstance(stmt, ast.Break):
+            self.emit(Jump(self.break_labels[-1]))
+        elif isinstance(stmt, ast.Continue):
+            self.emit(Jump(self.continue_labels[-1]))
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit(Ret())
+            else:
+                value = self.lower_expr(stmt.value)
+                value = self.coerce(value, self.func.return_kind)
+                self.emit(Ret(value))
+        else:
+            raise SemanticError(f"cannot lower statement {stmt!r}")
+
+    def lower_decl(self, decl: ast.Decl) -> None:
+        kind = _kind_of(decl.base_type)
+        promote = self.builder.promote_scalars
+        if decl.is_array:
+            slot = self.new_slot(decl.name, decl.array_length)
+            binding = _VarBinding("larray", kind, slot=slot)
+            self.scopes[-1][decl.name] = binding
+            if isinstance(decl.init, list):
+                for i, item in enumerate(decl.init):
+                    value = self.coerce(self.lower_expr(item), kind)
+                    self.emit(Store(value, Address(slot, Const(i))))
+            return
+        if promote:
+            temp = self.func.new_temp(kind)
+            binding = _VarBinding("temp", kind, temp=temp)
+            self.scopes[-1][decl.name] = binding
+            init = decl.init if decl.init is not None else ast.IntLit(value=0)
+            value = self.coerce(self.lower_expr(init), kind)
+            self.emit(UnOp("fmov" if kind == "f" else "mov", temp, value))
+        else:
+            slot = self.new_slot(decl.name)
+            binding = _VarBinding("slot", kind, slot=slot)
+            self.scopes[-1][decl.name] = binding
+            if decl.init is not None:
+                value = self.coerce(self.lower_expr(decl.init), kind)
+                self.emit(Store(value, Address(slot)))
+
+    def lower_if(self, stmt: ast.If) -> None:
+        then_label = self.new_label("then")
+        end_label = self.new_label("endif")
+        other_label = self.new_label("else") if stmt.other is not None else end_label
+        self.lower_condition(stmt.cond, then_label, other_label)
+        self.start_block(then_label)
+        self.lower_stmt(stmt.then)
+        if not self.terminated():
+            self.emit(Jump(end_label))
+        if stmt.other is not None:
+            self.start_block(other_label)
+            self.lower_stmt(stmt.other)
+            if not self.terminated():
+                self.emit(Jump(end_label))
+        self.start_block(end_label)
+
+    def lower_while(self, stmt: ast.While) -> None:
+        head = self.new_label("while")
+        body = self.new_label("body")
+        end = self.new_label("endwhile")
+        self.emit(Jump(head))
+        self.start_block(head)
+        self.lower_condition(stmt.cond, body, end)
+        self.start_block(body)
+        self.break_labels.append(end)
+        self.continue_labels.append(head)
+        self.lower_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        if not self.terminated():
+            self.emit(Jump(head))
+        self.start_block(end)
+
+    def lower_do_while(self, stmt: ast.DoWhile) -> None:
+        body = self.new_label("dobody")
+        cond = self.new_label("docond")
+        end = self.new_label("enddo")
+        self.emit(Jump(body))
+        self.start_block(body)
+        self.break_labels.append(end)
+        self.continue_labels.append(cond)
+        self.lower_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        if not self.terminated():
+            self.emit(Jump(cond))
+        self.start_block(cond)
+        self.lower_condition(stmt.cond, body, end)
+        self.start_block(end)
+
+    def lower_for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.lower_stmt(stmt.init)
+        head = self.new_label("for")
+        body = self.new_label("body")
+        step = self.new_label("step")
+        end = self.new_label("endfor")
+        self.emit(Jump(head))
+        self.start_block(head)
+        if stmt.cond is not None:
+            self.lower_condition(stmt.cond, body, end)
+        else:
+            self.emit(Jump(body))
+        self.start_block(body)
+        self.break_labels.append(end)
+        self.continue_labels.append(step)
+        self.lower_stmt(stmt.body)
+        self.break_labels.pop()
+        self.continue_labels.pop()
+        if not self.terminated():
+            self.emit(Jump(step))
+        self.start_block(step)
+        if stmt.step is not None:
+            self.lower_expr(stmt.step)
+        self.emit(Jump(head))
+        self.start_block(end)
+        self.scopes.pop()
+
+    def lower_condition(self, cond: ast.Expr, true_label: str, false_label: str) -> None:
+        """Lower a boolean context, exploiting short-circuit structure."""
+        if isinstance(cond, ast.BinOp) and cond.op == "&&":
+            mid = self.new_label("and")
+            self.lower_condition(cond.left, mid, false_label)
+            self.start_block(mid)
+            self.lower_condition(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.BinOp) and cond.op == "||":
+            mid = self.new_label("or")
+            self.lower_condition(cond.left, true_label, mid)
+            self.start_block(mid)
+            self.lower_condition(cond.right, true_label, false_label)
+            return
+        if isinstance(cond, ast.UnaryOp) and cond.op == "!":
+            self.lower_condition(cond.operand, false_label, true_label)
+            return
+        value = self.lower_expr(cond)
+        self.emit(Branch(value, true_label, false_label))
+
+    # -- expressions --------------------------------------------------------
+
+    def lower_expr(self, expr: ast.Expr) -> Operand:
+        if isinstance(expr, ast.IntLit):
+            return Const(_to_unsigned(expr.value))
+        if isinstance(expr, ast.CharLit):
+            return Const(_to_unsigned(expr.value))
+        if isinstance(expr, ast.FloatLit):
+            return Const(float(expr.value))
+        if isinstance(expr, ast.Ident):
+            return self.read_var(expr.name)
+        if isinstance(expr, ast.ArrayRef):
+            addr, kind = self.array_address(expr)
+            dst = self.func.new_temp(kind)
+            self.emit(Load(dst, addr))
+            return dst
+        if isinstance(expr, ast.BinOp):
+            return self.lower_binop(expr)
+        if isinstance(expr, ast.UnaryOp):
+            return self.lower_unop(expr)
+        if isinstance(expr, ast.Cast):
+            return self.lower_cast(expr)
+        if isinstance(expr, ast.Call):
+            return self.lower_call(expr)
+        if isinstance(expr, ast.Assign):
+            return self.lower_assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self.lower_incdec(expr)
+        if isinstance(expr, ast.Ternary):
+            return self.lower_ternary(expr)
+        raise SemanticError(f"cannot lower expression {expr!r}")
+
+    def read_var(self, name: str) -> Operand:
+        binding = self.lookup(name)
+        if binding.category == "temp":
+            return binding.temp
+        if binding.category == "slot":
+            dst = self.func.new_temp(binding.kind)
+            self.emit(Load(dst, Address(binding.slot)))
+            return dst
+        if binding.category == "gscalar":
+            dst = self.func.new_temp(binding.kind)
+            self.emit(Load(dst, Address(binding.symbol)))
+            return dst
+        if binding.category in ("garray", "larray", "pslot_array", "ptemp_array"):
+            # Whole-array reference: yields the base word address (for calls).
+            return self.array_base(binding)
+        raise SemanticError(f"cannot read {name!r} ({binding.category})")
+
+    def array_base(self, binding: _VarBinding) -> Temp:
+        """Materialize an array's base word address into a temp."""
+        if binding.category == "garray":
+            dst = self.func.new_temp("i")
+            self.emit(LoadAddress(dst, binding.symbol))
+            return dst
+        if binding.category == "larray":
+            dst = self.func.new_temp("i")
+            self.emit(LoadAddress(dst, binding.slot))
+            return dst
+        if binding.category == "ptemp_array":
+            return binding.temp
+        if binding.category == "pslot_array":
+            dst = self.func.new_temp("i")
+            self.emit(Load(dst, Address(binding.slot)))
+            return dst
+        raise SemanticError(f"not an array binding: {binding.category}")
+
+    def array_address(self, ref: ast.ArrayRef) -> tuple[Address, str]:
+        """Compute the :class:`Address` for ``base[index]``."""
+        binding = self.lookup(ref.base)
+        index = self.lower_expr(ref.index)
+        if binding.category == "garray":
+            return Address(binding.symbol, index), binding.kind
+        if binding.category == "larray":
+            return Address(binding.slot, index), binding.kind
+        if binding.category in ("ptemp_array", "pslot_array"):
+            base = self.array_base(binding)
+            return Address(base, index), binding.kind
+        raise SemanticError(f"{ref.base!r} is not an array")
+
+    def lower_binop(self, expr: ast.BinOp) -> Operand:
+        op = expr.op
+        if op in ("&&", "||"):
+            return self.lower_logical(expr)
+        left_type = expr.left.ctype
+        right_type = expr.right.ctype
+        is_float = left_type.is_float() or right_type.is_float()
+        lhs = self.lower_expr(expr.left)
+        rhs = self.lower_expr(expr.right)
+        if is_float:
+            lhs = self.coerce(lhs, "f", unsigned=left_type.is_unsigned())
+            rhs = self.coerce(rhs, "f", unsigned=right_type.is_unsigned())
+            opcode = _FLOAT_OPS.get(op)
+            if opcode is None:
+                raise SemanticError(f"operator {op!r} not valid on floats", expr.line)
+            result_kind = "i" if "cmp" in opcode else "f"
+            dst = self.func.new_temp(result_kind)
+            self.emit(BinOp(opcode, dst, lhs, rhs))
+            return dst
+        either_unsigned = left_type.is_unsigned() or right_type.is_unsigned()
+        opcode = _int_opcode(op, either_unsigned, left_type.is_unsigned())
+        dst = self.func.new_temp("i")
+        self.emit(BinOp(opcode, dst, lhs, rhs))
+        return dst
+
+    def lower_logical(self, expr: ast.BinOp) -> Operand:
+        """&&/|| in value position: lower through control flow to 0/1."""
+        result = self.func.new_temp("i")
+        true_label = self.new_label("ltrue")
+        false_label = self.new_label("lfalse")
+        end_label = self.new_label("lend")
+        self.lower_condition(expr, true_label, false_label)
+        self.start_block(true_label)
+        self.emit(UnOp("mov", result, Const(1)))
+        self.emit(Jump(end_label))
+        self.start_block(false_label)
+        self.emit(UnOp("mov", result, Const(0)))
+        self.emit(Jump(end_label))
+        self.start_block(end_label)
+        return result
+
+    def lower_unop(self, expr: ast.UnaryOp) -> Operand:
+        operand = self.lower_expr(expr.operand)
+        is_float = expr.operand.ctype.is_float()
+        if expr.op == "-":
+            dst = self.func.new_temp("f" if is_float else "i")
+            self.emit(UnOp("fneg" if is_float else "neg", dst, operand))
+            return dst
+        if expr.op == "~":
+            dst = self.func.new_temp("i")
+            self.emit(UnOp("not", dst, operand))
+            return dst
+        if expr.op == "!":
+            dst = self.func.new_temp("i")
+            if is_float:
+                zero = self.func.new_temp("i")
+                self.emit(BinOp("fcmpeq", zero, operand, Const(0.0)))
+                return zero
+            self.emit(UnOp("lognot", dst, operand))
+            return dst
+        raise SemanticError(f"unknown unary {expr.op!r}", expr.line)
+
+    def lower_cast(self, expr: ast.Cast) -> Operand:
+        operand = self.lower_expr(expr.operand)
+        src_type = expr.operand.ctype
+        dst_kind = _kind_of(expr.target)
+        if dst_kind == "f":
+            return self.coerce(operand, "f", unsigned=src_type.is_unsigned())
+        if src_type.is_float():
+            dst = self.func.new_temp("i")
+            self.emit(UnOp("ftoi", dst, operand))
+            return dst
+        return operand  # int <-> unsigned is a bit-level no-op
+
+    def lower_call(self, expr: ast.Call) -> Operand:
+        if expr.name == "printf":
+            fmt = expr.args[0]
+            args = [self.lower_expr(arg) for arg in expr.args[1:]]
+            self.emit(Print(fmt.value, args))
+            return Const(0)
+        if expr.name in MATH_BUILTINS:
+            arg_expr = expr.args[0]
+            arg = self.coerce(
+                self.lower_expr(arg_expr), "f", unsigned=arg_expr.ctype.is_unsigned()
+            )
+            dst = self.func.new_temp("f")
+            self.emit(UnOp(expr.name, dst, arg))
+            return dst
+        if expr.name == "abs":
+            arg = self.lower_expr(expr.args[0])
+            dst = self.func.new_temp("i")
+            self.emit(UnOp("absi", dst, arg))
+            return dst
+        sig = self.builder.analyzer.functions[expr.name]
+        args: list[Operand] = []
+        for arg_ast, param_type in zip(expr.args, sig.param_types):
+            value = self.lower_expr(arg_ast)
+            if not param_type.is_array():
+                value = self.coerce(
+                    value, _kind_of(param_type), unsigned=arg_ast.ctype.is_unsigned()
+                )
+            args.append(value)
+        if sig.return_type.is_void():
+            self.emit(Call(expr.name, args, None))
+            return Const(0)
+        dst = self.func.new_temp(_kind_of(sig.return_type))
+        self.emit(Call(expr.name, args, dst))
+        return dst
+
+    def lower_assign(self, expr: ast.Assign) -> Operand:
+        target = expr.target
+        target_type = target.ctype
+        target_kind = _kind_of(target_type)
+        if expr.op == "=":
+            value = self.coerce(
+                self.lower_expr(expr.value), target_kind,
+                unsigned=expr.value.ctype.is_unsigned(),
+            )
+        else:
+            # Compound assignment: read-modify-write.
+            current = self.lower_expr_of_target(target)
+            rhs_raw = self.lower_expr(expr.value)
+            base_op = expr.op[:-1]
+            if target_type.is_float() or expr.value.ctype.is_float():
+                current = self.coerce(current, "f", unsigned=target_type.is_unsigned())
+                rhs = self.coerce(rhs_raw, "f", unsigned=expr.value.ctype.is_unsigned())
+                opcode = _FLOAT_OPS[base_op]
+                tmp = self.func.new_temp("f")
+                self.emit(BinOp(opcode, tmp, current, rhs))
+                value = self.coerce(tmp, target_kind)
+            else:
+                either_unsigned = (
+                    target_type.is_unsigned() or expr.value.ctype.is_unsigned()
+                )
+                opcode = _int_opcode(base_op, either_unsigned, target_type.is_unsigned())
+                tmp = self.func.new_temp("i")
+                self.emit(BinOp(opcode, tmp, current, rhs_raw))
+                value = tmp
+        self.write_target(target, value)
+        return value
+
+    def lower_expr_of_target(self, target: ast.Expr) -> Operand:
+        if isinstance(target, ast.Ident):
+            return self.read_var(target.name)
+        if isinstance(target, ast.ArrayRef):
+            addr, kind = self.array_address(target)
+            dst = self.func.new_temp(kind)
+            self.emit(Load(dst, addr))
+            return dst
+        raise SemanticError("invalid assignment target")
+
+    def write_target(self, target: ast.Expr, value: Operand) -> None:
+        if isinstance(target, ast.Ident):
+            binding = self.lookup(target.name)
+            if binding.category == "temp":
+                op = "fmov" if binding.kind == "f" else "mov"
+                self.emit(UnOp(op, binding.temp, value))
+            elif binding.category == "slot":
+                self.emit(Store(value, Address(binding.slot)))
+            elif binding.category == "gscalar":
+                self.emit(Store(value, Address(binding.symbol)))
+            else:
+                raise SemanticError(f"cannot assign to array {target.name!r}")
+            return
+        if isinstance(target, ast.ArrayRef):
+            addr, _ = self.array_address(target)
+            self.emit(Store(value, addr))
+            return
+        raise SemanticError("invalid assignment target")
+
+    def lower_incdec(self, expr: ast.IncDec) -> Operand:
+        current = self.lower_expr_of_target(expr.target)
+        opcode = "add" if expr.op == "++" else "sub"
+        updated = self.func.new_temp("i")
+        self.emit(BinOp(opcode, updated, current, Const(1)))
+        self.write_target(expr.target, updated)
+        return updated if expr.prefix else current
+
+    def lower_ternary(self, expr: ast.Ternary) -> Operand:
+        kind = _kind_of(expr.ctype)
+        result = self.func.new_temp(kind)
+        then_label = self.new_label("tthen")
+        else_label = self.new_label("telse")
+        end_label = self.new_label("tend")
+        self.lower_condition(expr.cond, then_label, else_label)
+        mov = "fmov" if kind == "f" else "mov"
+        self.start_block(then_label)
+        then_value = self.coerce(
+            self.lower_expr(expr.then), kind, unsigned=expr.then.ctype.is_unsigned()
+        )
+        self.emit(UnOp(mov, result, then_value))
+        self.emit(Jump(end_label))
+        self.start_block(else_label)
+        else_value = self.coerce(
+            self.lower_expr(expr.other), kind, unsigned=expr.other.ctype.is_unsigned()
+        )
+        self.emit(UnOp(mov, result, else_value))
+        self.emit(Jump(end_label))
+        self.start_block(end_label)
+        return result
+
+    def coerce(self, value: Operand, kind: str, unsigned: bool = False) -> Operand:
+        """Convert *value* to the requested kind, emitting casts as needed."""
+        value_kind = value.kind
+        if value_kind == kind:
+            return value
+        if kind == "f":
+            if isinstance(value, Const):
+                base = _to_unsigned(int(value.value)) if unsigned else _to_signed(int(value.value))
+                return Const(float(base))
+            dst = self.func.new_temp("f")
+            self.emit(UnOp("utof" if unsigned else "itof", dst, value))
+            return dst
+        # float -> int
+        if isinstance(value, Const):
+            return Const(_to_unsigned(int(value.value)))
+        dst = self.func.new_temp("i")
+        self.emit(UnOp("ftoi", dst, value))
+        return dst
+
+
+_FLOAT_OPS = {
+    "+": "fadd",
+    "-": "fsub",
+    "*": "fmul",
+    "/": "fdiv",
+    "==": "fcmpeq",
+    "!=": "fcmpne",
+    "<": "fcmplt",
+    "<=": "fcmple",
+    ">": "fcmpgt",
+    ">=": "fcmpge",
+}
+
+_INT_OPS_SIGNED = {
+    "+": "add", "-": "sub", "*": "mul", "/": "div", "%": "mod",
+    "&": "and", "|": "or", "^": "xor", "<<": "shl", ">>": "sar",
+    "==": "cmpeq", "!=": "cmpne", "<": "cmplt", "<=": "cmple",
+    ">": "cmpgt", ">=": "cmpge",
+}
+_INT_OPS_UNSIGNED = {
+    "/": "udiv", "%": "umod", ">>": "shr",
+    "<": "cmpltu", "<=": "cmpleu", ">": "cmpgtu", ">=": "cmpgeu",
+}
+
+
+def _int_opcode(op: str, either_unsigned: bool, left_unsigned: bool) -> str:
+    """Choose the signed or unsigned integer opcode for a C operator.
+
+    Shifts key off the left operand only; the rest follow C's usual
+    conversions (either side unsigned makes the operation unsigned).
+    """
+    if op == ">>":
+        return "shr" if left_unsigned else "sar"
+    if either_unsigned and op in _INT_OPS_UNSIGNED:
+        return _INT_OPS_UNSIGNED[op]
+    return _INT_OPS_SIGNED[op]
+
+
+class IRBuilder:
+    """Lowers a type-checked program into an :class:`IRProgram`."""
+
+    def __init__(
+        self, program: ast.Program, analyzer: SemanticAnalyzer, promote_scalars: bool = False
+    ):
+        self.program = program
+        self.analyzer = analyzer
+        self.promote_scalars = promote_scalars
+        self.global_bindings: dict[str, _VarBinding] = {}
+
+    def build(self) -> IRProgram:
+        ir_program = IRProgram()
+        for decl in self.program.globals:
+            kind = _kind_of(decl.base_type)
+            if decl.is_array:
+                init = self._array_init(decl, kind)
+                ir_program.globals[decl.name] = GlobalVar(
+                    decl.name, decl.array_length, init, kind
+                )
+                self.global_bindings[decl.name] = _VarBinding(
+                    "garray", kind, symbol=decl.name
+                )
+            else:
+                value = self._const_value(decl.init, kind) if decl.init is not None else (
+                    0.0 if kind == "f" else 0
+                )
+                ir_program.globals[decl.name] = GlobalVar(decl.name, 1, [value], kind)
+                self.global_bindings[decl.name] = _VarBinding(
+                    "gscalar", kind, symbol=decl.name
+                )
+        for func_ast in self.program.functions:
+            lowering = _FunctionLowering(self, func_ast)
+            ir_program.functions[func_ast.name] = lowering.lower()
+        return ir_program
+
+    def _array_init(self, decl: ast.Decl, kind: str) -> list[int | float]:
+        fill: int | float = 0.0 if kind == "f" else 0
+        init = [fill] * decl.array_length
+        if isinstance(decl.init, list):
+            for i, item in enumerate(decl.init):
+                init[i] = self._const_value(item, kind)
+        return init
+
+    def _const_value(self, expr: ast.Expr, kind: str) -> int | float:
+        value = _eval_const(expr)
+        if kind == "f":
+            return float(value)
+        return _to_unsigned(int(value))
+
+
+def _eval_const(expr: ast.Expr) -> int | float:
+    """Compile-time evaluation of constant initializer expressions."""
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.CharLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp):
+        value = _eval_const(expr.operand)
+        if expr.op == "-":
+            return -value
+        if expr.op == "~":
+            return ~int(value)
+        if expr.op == "!":
+            return 0 if value else 1
+    if isinstance(expr, ast.Cast):
+        value = _eval_const(expr.operand)
+        return float(value) if expr.target.is_float() else int(value)
+    if isinstance(expr, ast.BinOp):
+        left = _eval_const(expr.left)
+        right = _eval_const(expr.right)
+        ops = {
+            "+": lambda a, b: a + b,
+            "-": lambda a, b: a - b,
+            "*": lambda a, b: a * b,
+            "/": lambda a, b: a / b if isinstance(a, float) or isinstance(b, float) else a // b,
+            "%": lambda a, b: a % b,
+            "&": lambda a, b: int(a) & int(b),
+            "|": lambda a, b: int(a) | int(b),
+            "^": lambda a, b: int(a) ^ int(b),
+            "<<": lambda a, b: int(a) << int(b),
+            ">>": lambda a, b: int(a) >> int(b),
+        }
+        if expr.op in ops:
+            return ops[expr.op](left, right)
+    raise SemanticError("initializer is not a compile-time constant", expr.line)
+
+
+def lower_program(
+    program: ast.Program, analyzer: SemanticAnalyzer, promote_scalars: bool = False
+) -> IRProgram:
+    """Convenience wrapper building IR from an analyzed AST."""
+    return IRBuilder(program, analyzer, promote_scalars).build()

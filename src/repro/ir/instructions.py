@@ -1,0 +1,381 @@
+"""IR instruction and operand definitions.
+
+Operands are :class:`Temp` (virtual register), :class:`Const` (immediate),
+or — for memory instructions — an :class:`Address`.  Memory is word
+addressed (one word = 4 bytes = one ``int``/``unsigned``/``float`` value;
+see DESIGN.md).  Addresses have three base kinds:
+
+* a global symbol (``str``) — resolved to a static word address at link;
+* a :class:`StackSlot` — resolved to a frame-pointer offset;
+* a :class:`Temp` — a computed word address (array parameters).
+
+Binary opcodes carry their signedness/floatness explicitly (``add`` vs
+``fadd``, ``div`` vs ``udiv`` vs ``fdiv``, ``shr`` vs ``sar``...), so later
+stages never need type inference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Temp:
+    """A virtual register.  ``kind`` is 'i' (32-bit int word) or 'f'."""
+
+    id: int
+    kind: str = "i"
+
+    def __repr__(self) -> str:
+        return f"%{'f' if self.kind == 'f' else 't'}{self.id}"
+
+
+@dataclass(frozen=True)
+class Const:
+    """An immediate operand: Python int (as unsigned 32-bit) or float."""
+
+    value: int | float
+
+    @property
+    def kind(self) -> str:
+        return "f" if isinstance(self.value, float) else "i"
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+
+Operand = Temp | Const
+
+
+@dataclass(frozen=True)
+class StackSlot:
+    """A word-sized (or array) slot in the current function's frame."""
+
+    name: str
+    size: int = 1  # in words
+
+    def __repr__(self) -> str:
+        return f"[{self.name}]"
+
+
+@dataclass(frozen=True)
+class Address:
+    """A memory address: base plus optional word index.
+
+    ``base`` is a global symbol name, a stack slot, or a temp holding a
+    word address.  ``index`` (if present) is added in word units.
+    """
+
+    base: str | StackSlot | Temp
+    index: Operand | None = None
+
+    def __repr__(self) -> str:
+        if self.index is None:
+            return f"mem({self.base!r})"
+        return f"mem({self.base!r} + {self.index!r})"
+
+
+# --------------------------------------------------------------------------
+# Instructions
+# --------------------------------------------------------------------------
+
+# Integer binary ops (operate on 32-bit words).
+INT_BINOPS = {
+    "add", "sub", "mul", "div", "udiv", "mod", "umod",
+    "and", "or", "xor", "shl", "shr", "sar",
+    "cmpeq", "cmpne", "cmplt", "cmple", "cmpgt", "cmpge",
+    "cmpltu", "cmpleu", "cmpgtu", "cmpgeu",
+}
+# Float binary ops.
+FLOAT_BINOPS = {"fadd", "fsub", "fmul", "fdiv", "fcmpeq", "fcmpne", "fcmplt", "fcmple",
+                "fcmpgt", "fcmpge"}
+ALL_BINOPS = INT_BINOPS | FLOAT_BINOPS
+# Comparison opcodes produce an int 0/1.
+COMPARE_OPS = {op for op in ALL_BINOPS if "cmp" in op}
+# Unary ops.
+UNARY_OPS = {"neg", "not", "lognot", "fneg", "itof", "utof", "ftoi", "mov", "fmov",
+             "sqrt", "sin", "cos", "log", "exp", "fabs", "floor", "absi"}
+
+
+@dataclass
+class Instr:
+    """Base class for IR instructions."""
+
+    def uses(self) -> list[Temp]:
+        """Temps read by this instruction."""
+        return []
+
+    def defs(self) -> Temp | None:
+        """Temp written by this instruction, if any."""
+        return None
+
+
+def _operand_uses(*operands: object) -> list[Temp]:
+    uses: list[Temp] = []
+    for operand in operands:
+        if isinstance(operand, Temp):
+            uses.append(operand)
+        elif isinstance(operand, Address):
+            if isinstance(operand.base, Temp):
+                uses.append(operand.base)
+            if isinstance(operand.index, Temp):
+                uses.append(operand.index)
+    return uses
+
+
+@dataclass
+class LoadConst(Instr):
+    """dst <- constant."""
+
+    dst: Temp
+    value: int | float
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = const {self.value}"
+
+
+@dataclass
+class Load(Instr):
+    """dst <- memory[address]."""
+
+    dst: Temp
+    addr: Address
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.addr)
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = load {self.addr!r}"
+
+
+@dataclass
+class Store(Instr):
+    """memory[address] <- src."""
+
+    src: Operand
+    addr: Address
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.src, self.addr)
+
+    def __repr__(self) -> str:
+        return f"store {self.src!r} -> {self.addr!r}"
+
+
+@dataclass
+class LoadAddress(Instr):
+    """dst <- word address of a symbol/slot (used for array arguments)."""
+
+    dst: Temp
+    base: str | StackSlot
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = lea {self.base!r}"
+
+
+@dataclass
+class BinOp(Instr):
+    """dst <- lhs op rhs."""
+
+    op: str
+    dst: Temp
+    lhs: Operand
+    rhs: Operand
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.lhs, self.rhs)
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.op} {self.lhs!r}, {self.rhs!r}"
+
+
+@dataclass
+class UnOp(Instr):
+    """dst <- op src (also carries casts, moves and math builtins)."""
+
+    op: str
+    dst: Temp
+    src: Operand
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.src)
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        return f"{self.dst!r} = {self.op} {self.src!r}"
+
+
+@dataclass
+class Call(Instr):
+    """dst <- func(args); dst is None for void calls."""
+
+    func: str
+    args: list[Operand] = field(default_factory=list)
+    dst: Temp | None = None
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(*self.args)
+
+    def defs(self) -> Temp | None:
+        return self.dst
+
+    def __repr__(self) -> str:
+        head = f"{self.dst!r} = " if self.dst is not None else ""
+        return f"{head}call {self.func}({', '.join(map(repr, self.args))})"
+
+
+@dataclass
+class Print(Instr):
+    """printf with a literal format and scalar arguments."""
+
+    fmt: str
+    args: list[Operand] = field(default_factory=list)
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(*self.args)
+
+    def __repr__(self) -> str:
+        return f"print {self.fmt!r}, {self.args!r}"
+
+
+@dataclass
+class Branch(Instr):
+    """Conditional branch: if cond != 0 goto then_label else other_label."""
+
+    cond: Operand
+    then_label: str
+    other_label: str
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.cond)
+
+    def __repr__(self) -> str:
+        return f"br {self.cond!r} ? {self.then_label} : {self.other_label}"
+
+
+@dataclass
+class Jump(Instr):
+    """Unconditional branch."""
+
+    label: str
+
+    def __repr__(self) -> str:
+        return f"jmp {self.label}"
+
+
+@dataclass
+class Ret(Instr):
+    """Return, with optional value."""
+
+    value: Operand | None = None
+
+    def uses(self) -> list[Temp]:
+        return _operand_uses(self.value) if self.value is not None else []
+
+    def __repr__(self) -> str:
+        return f"ret {self.value!r}" if self.value is not None else "ret"
+
+
+TERMINATORS = (Branch, Jump, Ret)
+
+
+# --------------------------------------------------------------------------
+# Containers
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class IRFunction:
+    """A function in IR form.
+
+    ``blocks`` is an ordered list; the first block is the entry.  ``params``
+    records (name, kind, is_array); array parameters arrive as a word
+    address in an 'i' temp.  ``stack_slots`` lists frame objects (O0
+    scalars, local arrays, spills).
+    """
+
+    name: str
+    params: list[tuple[str, str, bool]] = field(default_factory=list)
+    return_kind: str = "v"  # 'i', 'f' or 'v'
+    blocks: list["BasicBlockRef"] = field(default_factory=list)
+    stack_slots: list[StackSlot] = field(default_factory=list)
+    param_temps: list[Temp] = field(default_factory=list)
+    next_temp: int = 0
+
+    def new_temp(self, kind: str = "i") -> Temp:
+        temp = Temp(self.next_temp, kind)
+        self.next_temp += 1
+        return temp
+
+    def block(self, label: str) -> "BasicBlockRef":
+        for blk in self.blocks:
+            if blk.label == label:
+                return blk
+        raise KeyError(label)
+
+    def instruction_count(self) -> int:
+        return sum(len(blk.instrs) for blk in self.blocks)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [f"func {self.name}({self.params})"]
+        for blk in self.blocks:
+            lines.append(f"{blk.label}:")
+            lines.extend(f"  {instr!r}" for instr in blk.instrs)
+        return "\n".join(lines)
+
+
+@dataclass
+class BasicBlockRef:
+    """A labelled straight-line instruction list ending in a terminator."""
+
+    label: str
+    instrs: list[Instr] = field(default_factory=list)
+
+    @property
+    def terminator(self) -> Instr | None:
+        if self.instrs and isinstance(self.instrs[-1], TERMINATORS):
+            return self.instrs[-1]
+        return None
+
+    def successor_labels(self) -> list[str]:
+        term = self.terminator
+        if isinstance(term, Branch):
+            return [term.then_label, term.other_label]
+        if isinstance(term, Jump):
+            return [term.label]
+        return []
+
+
+@dataclass
+class GlobalVar:
+    """A global scalar or array with its initial words."""
+
+    name: str
+    size: int  # words
+    init: list[int | float] = field(default_factory=list)
+    kind: str = "i"
+
+
+@dataclass
+class IRProgram:
+    """A whole program in IR form."""
+
+    functions: dict[str, IRFunction] = field(default_factory=dict)
+    globals: dict[str, GlobalVar] = field(default_factory=dict)
+
+    def function(self, name: str) -> IRFunction:
+        return self.functions[name]

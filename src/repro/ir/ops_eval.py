@@ -1,0 +1,208 @@
+"""Single source of truth for operator semantics.
+
+Both the constant folder and the functional simulator evaluate opcodes
+through these tables, so compile-time and run-time arithmetic can never
+disagree.  Integer values are canonically represented as unsigned 32-bit
+Python ints (0 .. 2**32-1); floats are Python floats (C ``double``).
+"""
+
+from __future__ import annotations
+
+import math
+
+WORD_MASK = 0xFFFFFFFF
+SIGN_BIT = 0x80000000
+
+
+def to_signed(value: int) -> int:
+    """Interpret an unsigned 32-bit word as a signed int."""
+    value &= WORD_MASK
+    return value - 0x100000000 if value & SIGN_BIT else value
+
+
+def to_unsigned(value: int) -> int:
+    """Wrap a Python int to its unsigned 32-bit representation."""
+    return value & WORD_MASK
+
+
+def _div_trunc(a: int, b: int) -> int:
+    """C-style truncating signed division."""
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _mod_trunc(a: int, b: int) -> int:
+    """C-style remainder (sign follows the dividend)."""
+    return a - _div_trunc(a, b) * b
+
+
+def int_add(a: int, b: int) -> int:
+    return (a + b) & WORD_MASK
+
+
+def int_sub(a: int, b: int) -> int:
+    return (a - b) & WORD_MASK
+
+
+def int_mul(a: int, b: int) -> int:
+    return (a * b) & WORD_MASK
+
+
+def int_div(a: int, b: int) -> int:
+    return to_unsigned(_div_trunc(to_signed(a), to_signed(b)))
+
+
+def int_udiv(a: int, b: int) -> int:
+    return (a & WORD_MASK) // (b & WORD_MASK)
+
+
+def int_mod(a: int, b: int) -> int:
+    return to_unsigned(_mod_trunc(to_signed(a), to_signed(b)))
+
+
+def int_umod(a: int, b: int) -> int:
+    return (a & WORD_MASK) % (b & WORD_MASK)
+
+
+def int_shl(a: int, b: int) -> int:
+    return (a << (b & 31)) & WORD_MASK
+
+
+def int_shr(a: int, b: int) -> int:
+    return (a & WORD_MASK) >> (b & 31)
+
+
+def int_sar(a: int, b: int) -> int:
+    return to_unsigned(to_signed(a) >> (b & 31))
+
+
+# op name -> binary function over canonical representations.
+BINOPS = {
+    "add": int_add,
+    "sub": int_sub,
+    "mul": int_mul,
+    "div": int_div,
+    "udiv": int_udiv,
+    "mod": int_mod,
+    "umod": int_umod,
+    "and": lambda a, b: (a & b) & WORD_MASK,
+    "or": lambda a, b: (a | b) & WORD_MASK,
+    "xor": lambda a, b: (a ^ b) & WORD_MASK,
+    "shl": int_shl,
+    "shr": int_shr,
+    "sar": int_sar,
+    "cmpeq": lambda a, b: 1 if (a & WORD_MASK) == (b & WORD_MASK) else 0,
+    "cmpne": lambda a, b: 1 if (a & WORD_MASK) != (b & WORD_MASK) else 0,
+    "cmplt": lambda a, b: 1 if to_signed(a) < to_signed(b) else 0,
+    "cmple": lambda a, b: 1 if to_signed(a) <= to_signed(b) else 0,
+    "cmpgt": lambda a, b: 1 if to_signed(a) > to_signed(b) else 0,
+    "cmpge": lambda a, b: 1 if to_signed(a) >= to_signed(b) else 0,
+    "cmpltu": lambda a, b: 1 if (a & WORD_MASK) < (b & WORD_MASK) else 0,
+    "cmpleu": lambda a, b: 1 if (a & WORD_MASK) <= (b & WORD_MASK) else 0,
+    "cmpgtu": lambda a, b: 1 if (a & WORD_MASK) > (b & WORD_MASK) else 0,
+    "cmpgeu": lambda a, b: 1 if (a & WORD_MASK) >= (b & WORD_MASK) else 0,
+    "fadd": lambda a, b: a + b,
+    "fsub": lambda a, b: a - b,
+    "fmul": lambda a, b: a * b,
+    "fdiv": lambda a, b: _float_div(a, b),
+    "fcmpeq": lambda a, b: 1 if a == b else 0,
+    "fcmpne": lambda a, b: 1 if a != b else 0,
+    "fcmplt": lambda a, b: 1 if a < b else 0,
+    "fcmple": lambda a, b: 1 if a <= b else 0,
+    "fcmpgt": lambda a, b: 1 if a > b else 0,
+    "fcmpge": lambda a, b: 1 if a >= b else 0,
+}
+
+# C <math.h> semantics: domain errors yield NaN/inf rather than trapping
+# (cos(inf) is NaN, log(0) is -inf, exp overflow is +inf, ...).
+_NAN = float("nan")
+_INF = float("inf")
+
+
+def _float_div(a: float, b: float) -> float:
+    if b == 0.0:
+        if a == 0.0 or a != a:
+            return _NAN
+        positive = (a > 0.0) == (not _sign_bit(b))
+        return _INF if positive else -_INF
+    return a / b
+
+
+def _sign_bit(value: float) -> bool:
+    return math.copysign(1.0, value) < 0
+
+
+def c_sqrt(a: float) -> float:
+    if a != a or a < 0.0:
+        return _NAN
+    return math.sqrt(a)
+
+
+def c_sin(a: float) -> float:
+    if a != a or a in (_INF, -_INF):
+        return _NAN
+    return math.sin(a)
+
+
+def c_cos(a: float) -> float:
+    if a != a or a in (_INF, -_INF):
+        return _NAN
+    return math.cos(a)
+
+
+def c_log(a: float) -> float:
+    if a != a or a < 0.0:
+        return _NAN
+    if a == 0.0:
+        return -_INF
+    return math.log(a)
+
+
+def c_exp(a: float) -> float:
+    if a != a:
+        return _NAN
+    try:
+        return math.exp(a)
+    except OverflowError:
+        return _INF
+
+
+def c_ftoi(a: float) -> int:
+    """Float-to-int conversion; out-of-range picks x86's sentinel."""
+    if a != a or a in (_INF, -_INF) or not (-(2**63) < a < 2**63):
+        return SIGN_BIT  # 0x80000000, what cvttsd2si yields
+    return to_unsigned(int(a))
+
+
+def c_floor(a: float) -> float:
+    if a != a or a in (_INF, -_INF):
+        return a
+    return float(math.floor(a))
+
+
+UNOPS = {
+    "neg": lambda a: (-a) & WORD_MASK,
+    "not": lambda a: (~a) & WORD_MASK,
+    "lognot": lambda a: 0 if (a & WORD_MASK) else 1,
+    "absi": lambda a: to_unsigned(abs(to_signed(a))),
+    "mov": lambda a: a,
+    "fmov": lambda a: a,
+    "fneg": lambda a: -a,
+    "itof": lambda a: float(to_signed(a)),
+    "utof": lambda a: float(a & WORD_MASK),
+    "ftoi": c_ftoi,
+    "sqrt": c_sqrt,
+    "sin": c_sin,
+    "cos": c_cos,
+    "log": c_log,
+    "exp": c_exp,
+    "fabs": abs,
+    "floor": c_floor,
+}
+
+# Operations that can trap and must not be speculated (LICM) or folded
+# when the divisor might be zero.
+TRAPPING_OPS = {"div", "udiv", "mod", "umod", "fdiv", "sqrt", "log"}
+
+COMMUTATIVE_OPS = {"add", "mul", "and", "or", "xor", "fadd", "fmul",
+                   "cmpeq", "cmpne", "fcmpeq", "fcmpne"}

@@ -1,0 +1,109 @@
+"""IR structural invariant checker.
+
+Run after lowering and after every optimization pass (in debug mode) to
+catch malformed IR early: every block must end in exactly one terminator,
+branch targets must exist, temps must be defined before use on every path
+(approximated: defined somewhere in the function), and operand kinds must
+match opcode expectations.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    ALL_BINOPS,
+    Branch,
+    BinOp,
+    Const,
+    IRFunction,
+    IRProgram,
+    Instr,
+    Jump,
+    Ret,
+    Temp,
+    TERMINATORS,
+    UNARY_OPS,
+    UnOp,
+)
+
+
+class IRVerificationError(AssertionError):
+    """Raised when an IR invariant is violated."""
+
+
+def verify_function(func: IRFunction) -> None:
+    """Check structural invariants of one function; raises on violation."""
+    if not func.blocks:
+        raise IRVerificationError(f"{func.name}: no blocks")
+    labels = [blk.label for blk in func.blocks]
+    if len(labels) != len(set(labels)):
+        raise IRVerificationError(f"{func.name}: duplicate labels")
+    label_set = set(labels)
+    defined: set[Temp] = set(func.param_temps)
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            dst = instr.defs()
+            if dst is not None:
+                defined.add(dst)
+    for blk in func.blocks:
+        if not blk.instrs or not isinstance(blk.instrs[-1], TERMINATORS):
+            raise IRVerificationError(f"{func.name}/{blk.label}: missing terminator")
+        for i, instr in enumerate(blk.instrs):
+            if isinstance(instr, TERMINATORS) and i != len(blk.instrs) - 1:
+                raise IRVerificationError(
+                    f"{func.name}/{blk.label}: terminator mid-block at {i}"
+                )
+            _check_instr(func, blk.label, instr, defined)
+        term = blk.instrs[-1]
+        if isinstance(term, Branch):
+            if term.then_label not in label_set or term.other_label not in label_set:
+                raise IRVerificationError(
+                    f"{func.name}/{blk.label}: branch to unknown label"
+                )
+        elif isinstance(term, Jump):
+            if term.label not in label_set:
+                raise IRVerificationError(f"{func.name}/{blk.label}: jump to unknown label")
+        elif isinstance(term, Ret):
+            if func.return_kind == "v" and term.value is not None:
+                raise IRVerificationError(f"{func.name}: void function returns a value")
+
+
+def _check_instr(func: IRFunction, label: str, instr: Instr, defined: set[Temp]) -> None:
+    for temp in instr.uses():
+        if temp not in defined:
+            raise IRVerificationError(f"{func.name}/{label}: use of undefined {temp!r}")
+    if isinstance(instr, BinOp):
+        if instr.op not in ALL_BINOPS:
+            raise IRVerificationError(f"{func.name}/{label}: unknown binop {instr.op!r}")
+        _check_kinds(func, label, instr)
+    if isinstance(instr, UnOp) and instr.op not in UNARY_OPS:
+        raise IRVerificationError(f"{func.name}/{label}: unknown unop {instr.op!r}")
+
+
+def _check_kinds(func: IRFunction, label: str, instr: BinOp) -> None:
+    from repro.ir.instructions import Address
+
+    is_float_op = instr.op.startswith("f")
+    for operand in (instr.lhs, instr.rhs):
+        if isinstance(operand, Address):
+            continue  # fused CISC memory operand (kind checked at codegen)
+        kind = operand.kind
+        if is_float_op and kind != "f":
+            raise IRVerificationError(
+                f"{func.name}/{label}: {instr.op} with int operand {operand!r}"
+            )
+        if not is_float_op and kind != "i":
+            raise IRVerificationError(
+                f"{func.name}/{label}: {instr.op} with float operand {operand!r}"
+            )
+    if isinstance(instr.dst, Temp):
+        expect = "i" if ("cmp" in instr.op or not is_float_op) else "f"
+        if instr.dst.kind != expect:
+            raise IRVerificationError(
+                f"{func.name}/{label}: {instr.op} writes {instr.dst!r}, expected kind {expect}"
+            )
+
+
+def verify_program(program: IRProgram) -> None:
+    """Verify every function in *program*."""
+    for func in program.functions.values():
+        verify_function(func)

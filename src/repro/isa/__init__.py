@@ -1,0 +1,44 @@
+"""Virtual instruction-set architectures and code generation.
+
+Three targets mirror the paper's hardware mix (§IV, Table III):
+
+* ``x86``    — 32-bit CISC: 8 integer / 8 float registers, load-op fusion
+               at O1+ (memory operands on ALU instructions);
+* ``x86_64`` — 64-bit: 16/16 registers, load-op fusion;
+* ``ia64``   — EPIC-style: 32/32 visible registers, strict load/store,
+               no fusion; paired with an in-order timing model so compiler
+               scheduling quality shows through (the paper's Itanium 2
+               observation in Fig. 11).
+
+Machine code is a linearized sequence of basic blocks per function;
+conditional branches have explicit taken-target/fall-through semantics so
+branch taken and transition rates are well defined (§III-A.2).
+"""
+
+from repro.isa.machine import (
+    AddressMode,
+    Binary,
+    KLASS_NAMES,
+    MachineBlock,
+    MachineFunction,
+    MOp,
+)
+from repro.isa.targets import ISA, ISA_BY_NAME, IA64, X86, X86_64
+from repro.isa.codegen import generate_function
+from repro.isa.linker import link_program
+
+__all__ = [
+    "AddressMode",
+    "Binary",
+    "IA64",
+    "ISA",
+    "ISA_BY_NAME",
+    "KLASS_NAMES",
+    "MOp",
+    "MachineBlock",
+    "MachineFunction",
+    "X86",
+    "X86_64",
+    "generate_function",
+    "link_program",
+]

@@ -1,0 +1,375 @@
+"""IR to machine-code generation.
+
+One IR basic block maps to one machine block in the same order; virtual
+registers are replaced by physical registers from the linear-scan
+allocation, with spill traffic through the target's reserved scratch
+registers.  Branches are lowered to taken-target/fall-through form
+(``bt``/``bf``), which is what gives branch *taken rates* meaning at the
+machine level.
+
+Symbols (global addresses, call targets) remain symbolic here; the linker
+resolves them.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Address,
+    BinOp,
+    Branch,
+    Call,
+    Const,
+    IRFunction,
+    Jump,
+    Load,
+    LoadAddress,
+    LoadConst,
+    Print,
+    Ret,
+    StackSlot,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.isa.machine import AddressMode, MachineBlock, MachineFunction, MOp
+from repro.isa.targets import ISA
+from repro.opt.regalloc import Allocation, allocate_registers
+
+
+class CodegenError(Exception):
+    """Raised on unexpected IR during instruction selection."""
+
+
+class _FuncCodegen:
+    """Generates machine code for one function."""
+
+    def __init__(self, func: IRFunction, isa: ISA, allocation: Allocation):
+        self.func = func
+        self.isa = isa
+        self.allocation = allocation
+        self.mfunc = MachineFunction(
+            name=func.name,
+            num_int_regs=isa.int_regs,
+            num_float_regs=isa.float_regs,
+        )
+        self.block_index = {blk.label: i for i, blk in enumerate(func.blocks)}
+        self.current: MachineBlock | None = None
+        # Frame layout: slot name -> word offset.
+        self.slot_offsets: dict[str, int] = {}
+        offset = 0
+        for slot in func.stack_slots:
+            self.slot_offsets[slot.name] = offset
+            offset += slot.size
+        self.mfunc.frame_size = offset
+        self._int_scratch = isa.int_scratch
+        self._float_scratch = isa.float_scratch
+
+    # -- operand materialization ----------------------------------------
+
+    def emit(self, mop: MOp) -> None:
+        self.current.instrs.append(mop)
+
+    def _temp_reg(self, temp: Temp, scratch_index: int) -> int:
+        """Physical register holding *temp*, loading from a spill slot."""
+        where, value = self.allocation.location(temp)
+        if where == "reg":
+            return value
+        slot: StackSlot = value
+        offset = self.slot_offsets[slot.name]
+        if temp.kind == "f":
+            scratch = self._float_scratch[scratch_index]
+            self.emit(MOp("fld", dst=scratch, addr=(AddressMode.FP, offset, None, 0)))
+        else:
+            scratch = self._int_scratch[scratch_index]
+            self.emit(MOp("ld", dst=scratch, addr=(AddressMode.FP, offset, None, 0)))
+        return scratch
+
+    def _operand_reg(self, operand, scratch_index: int) -> int:
+        """Materialize any operand into a register."""
+        if isinstance(operand, Temp):
+            return self._temp_reg(operand, scratch_index)
+        if isinstance(operand, Const):
+            if isinstance(operand.value, float):
+                scratch = self._float_scratch[scratch_index]
+                self.emit(MOp("lif", dst=scratch, b_imm=float(operand.value)))
+            else:
+                scratch = self._int_scratch[scratch_index]
+                self.emit(MOp("li", dst=scratch, b_imm=int(operand.value)))
+            return scratch
+        raise CodegenError(f"cannot materialize operand {operand!r}")
+
+    def _dest(self, temp: Temp) -> tuple[int, int | None]:
+        """(register to compute into, spill offset to store to afterwards)."""
+        where, value = self.allocation.location(temp)
+        if where == "reg":
+            return value, None
+        offset = self.slot_offsets[value.name]
+        scratch = self._float_scratch[0] if temp.kind == "f" else self._int_scratch[0]
+        return scratch, offset
+
+    def _finish_dest(self, temp: Temp, reg: int, spill_offset: int | None) -> None:
+        if spill_offset is None:
+            return
+        op = "fst" if temp.kind == "f" else "st"
+        self.emit(MOp(op, a=reg, addr=(AddressMode.FP, spill_offset, None, 0)))
+
+    def _address(
+        self, addr: Address, base_scratch: int = 0, idx_scratch: int = 1
+    ) -> tuple:
+        """Lower an IR address to a machine (mode, base, idx, off) tuple.
+
+        Callers assign distinct scratch indices so a spilled base, index
+        and other operand never collide (store legalization guarantees at
+        most two temps appear in any one memory instruction).
+        """
+        index_reg = None
+        offset = 0
+        if isinstance(addr.index, Const):
+            offset = int(addr.index.value)
+        elif isinstance(addr.index, Temp):
+            index_reg = self._temp_reg(addr.index, idx_scratch)
+        if isinstance(addr.base, str):
+            return (AddressMode.ABS, addr.base, index_reg, offset)
+        if isinstance(addr.base, StackSlot):
+            base = self.slot_offsets[addr.base.name]
+            return (AddressMode.FP, base, index_reg, offset)
+        if isinstance(addr.base, Temp):
+            base_reg = self._temp_reg(addr.base, base_scratch)
+            return (AddressMode.REG, base_reg, index_reg, offset)
+        raise CodegenError(f"cannot lower address {addr!r}")
+
+    # -- instruction selection -------------------------------------------
+
+    def generate(self) -> MachineFunction:
+        # Parameter locations: where the calling convention deposits
+        # arguments (register, or callee frame slot when spilled).
+        for temp in self.func.param_temps:
+            where, value = self.allocation.location(temp)
+            if where == "reg":
+                self.mfunc.param_locs.append((temp.kind, "r", value))
+            else:
+                offset = self.slot_offsets[value.name]
+                self.mfunc.param_locs.append((temp.kind, "s", offset))
+        for blk in self.func.blocks:
+            mblock = MachineBlock(label=blk.label)
+            self.mfunc.blocks.append(mblock)
+        for blk_idx, blk in enumerate(self.func.blocks):
+            self.current = self.mfunc.blocks[blk_idx]
+            if blk_idx + 1 < len(self.func.blocks):
+                self.current.fall_through = blk_idx + 1
+            next_label = (
+                self.func.blocks[blk_idx + 1].label
+                if blk_idx + 1 < len(self.func.blocks)
+                else None
+            )
+            for instr in blk.instrs:
+                self._select(instr, next_label)
+        return self.mfunc
+
+    def _select(self, instr, next_label: str | None) -> None:
+        if isinstance(instr, LoadConst):
+            reg, spill = self._dest(instr.dst)
+            op = "lif" if instr.dst.kind == "f" else "li"
+            self.emit(MOp(op, dst=reg, b_imm=instr.value))
+            self._finish_dest(instr.dst, reg, spill)
+        elif isinstance(instr, Load):
+            addr = self._address(instr.addr)
+            reg, spill = self._dest(instr.dst)
+            op = "fld" if instr.dst.kind == "f" else "ld"
+            self.emit(MOp(op, dst=reg, addr=addr))
+            self._finish_dest(instr.dst, reg, spill)
+        elif isinstance(instr, Store):
+            self._select_store(instr)
+        elif isinstance(instr, LoadAddress):
+            if isinstance(instr.base, str):
+                addr = (AddressMode.ABS, instr.base, None, 0)
+            else:
+                addr = (AddressMode.FP, self.slot_offsets[instr.base.name], None, 0)
+            reg, spill = self._dest(instr.dst)
+            self.emit(MOp("lea", dst=reg, addr=addr))
+            self._finish_dest(instr.dst, reg, spill)
+        elif isinstance(instr, BinOp):
+            self._select_binop(instr)
+        elif isinstance(instr, UnOp):
+            self._select_unop(instr)
+        elif isinstance(instr, Call):
+            self._select_call(instr)
+        elif isinstance(instr, Print):
+            self._select_print(instr)
+        elif isinstance(instr, Branch):
+            self._select_branch(instr, next_label)
+        elif isinstance(instr, Jump):
+            if instr.label != next_label:
+                self.emit(MOp("jmp", target=self.block_index[instr.label]))
+        elif isinstance(instr, Ret):
+            self._select_ret(instr)
+        else:
+            raise CodegenError(f"cannot select {instr!r}")
+
+    def _select_store(self, instr: Store) -> None:
+        # Store legalization guarantees the address holds at most one
+        # temp; it goes through scratch 1, the source through scratch 0.
+        addr = self._address(instr.addr, base_scratch=1, idx_scratch=1)
+        if isinstance(instr.src, Const):
+            op = "fst" if isinstance(instr.src.value, float) else "st"
+            self.emit(MOp(op, b_imm=instr.src.value, addr=addr))
+            return
+        src_reg = self._temp_reg(instr.src, 0)
+        op = "fst" if instr.src.kind == "f" else "st"
+        self.emit(MOp(op, a=src_reg, addr=addr))
+
+    def _select_binop(self, instr: BinOp) -> None:
+        lhs_reg = self._operand_reg(instr.lhs, 0)
+        if isinstance(instr.rhs, Address):
+            # Fused CISC memory operand (from the fusion pass); fusion
+            # guarantees at most one temp in the address, so scratch 1 is
+            # free for it (the lhs uses scratch 0).
+            addr = self._address(instr.rhs, base_scratch=1, idx_scratch=1)
+            reg, spill = self._dest(instr.dst)
+            self.emit(MOp(instr.op, dst=reg, a=lhs_reg, addr=addr))
+            self._finish_dest(instr.dst, reg, spill)
+            return
+        reg, spill = self._dest(instr.dst)
+        if isinstance(instr.rhs, Const):
+            self.emit(MOp(instr.op, dst=reg, a=lhs_reg, b_imm=instr.rhs.value))
+        else:
+            rhs_reg = self._temp_reg(instr.rhs, 1)
+            self.emit(MOp(instr.op, dst=reg, a=lhs_reg, b_reg=rhs_reg))
+        self._finish_dest(instr.dst, reg, spill)
+
+    def _select_unop(self, instr: UnOp) -> None:
+        if instr.op in ("mov", "fmov") and isinstance(instr.src, Const):
+            reg, spill = self._dest(instr.dst)
+            op = "lif" if instr.op == "fmov" else "li"
+            self.emit(MOp(op, dst=reg, b_imm=instr.src.value))
+            self._finish_dest(instr.dst, reg, spill)
+            return
+        src_reg = self._operand_reg(instr.src, 0)
+        reg, spill = self._dest(instr.dst)
+        self.emit(MOp(instr.op, dst=reg, a=src_reg))
+        self._finish_dest(instr.dst, reg, spill)
+
+    def _select_call(self, instr: Call) -> None:
+        for arg in instr.args:
+            if isinstance(arg, Const):
+                op = "farg" if isinstance(arg.value, float) else "arg"
+                self.emit(MOp(op, b_imm=arg.value))
+            else:
+                reg = self._temp_reg(arg, 0)
+                op = "farg" if arg.kind == "f" else "arg"
+                self.emit(MOp(op, a=reg))
+        if instr.dst is None:
+            self.emit(MOp("call", fmt=instr.func))
+            return
+        reg, spill = self._dest(instr.dst)
+        self.emit(MOp("call", dst=reg, fmt=instr.func, b_imm=instr.dst.kind))
+        self._finish_dest(instr.dst, reg, spill)
+
+    def _select_print(self, instr: Print) -> None:
+        # Arguments go through the same staging mechanism as calls: each
+        # 'arg' reads its register immediately, so spilled values never
+        # need to be live simultaneously in scratch registers.
+        for arg in instr.args:
+            if isinstance(arg, Const):
+                op = "farg" if isinstance(arg.value, float) else "arg"
+                self.emit(MOp(op, b_imm=arg.value))
+            else:
+                reg = self._temp_reg(arg, 0)
+                op = "farg" if arg.kind == "f" else "arg"
+                self.emit(MOp(op, a=reg))
+        self.emit(MOp("print", fmt=instr.fmt, args=len(instr.args)))
+
+    def _select_branch(self, instr: Branch, next_label: str | None) -> None:
+        if isinstance(instr.cond, Const):
+            target = instr.then_label if instr.cond.value else instr.other_label
+            if target != next_label:
+                self.emit(MOp("jmp", target=self.block_index[target]))
+            return
+        cond_reg = self._temp_reg(instr.cond, 0)
+        then_idx = self.block_index[instr.then_label]
+        other_idx = self.block_index[instr.other_label]
+        if instr.other_label == next_label:
+            self.emit(MOp("bt", a=cond_reg, target=then_idx))
+        elif instr.then_label == next_label:
+            self.emit(MOp("bf", a=cond_reg, target=other_idx))
+        else:
+            self.emit(MOp("bt", a=cond_reg, target=then_idx))
+            self.emit(MOp("jmp", target=other_idx))
+
+    def _select_ret(self, instr: Ret) -> None:
+        if instr.value is None:
+            self.emit(MOp("ret"))
+            return
+        if isinstance(instr.value, Const):
+            self.emit(MOp("ret", b_imm=instr.value.value))
+            return
+        reg = self._temp_reg(instr.value, 0)
+        if instr.value.kind == "f":
+            self.emit(MOp("ret", b_reg=reg))
+        else:
+            self.emit(MOp("ret", a=reg))
+
+
+def _legalize_stores(func: IRFunction) -> None:
+    """Rewrite stores whose address has two temps (base and index).
+
+    ``a[i] = src`` with both the array base and the index in temps would
+    need three scratch registers when everything spills; precomputing
+    ``base + index`` bounds every memory instruction to two temps.
+    """
+    for blk in func.blocks:
+        rewritten: list = []
+        for instr in blk.instrs:
+            if (
+                isinstance(instr, Store)
+                and isinstance(instr.addr.base, Temp)
+                and isinstance(instr.addr.index, Temp)
+            ):
+                combined = func.new_temp("i")
+                rewritten.append(
+                    BinOp("add", combined, instr.addr.base, instr.addr.index)
+                )
+                instr.addr = Address(combined, None)
+            rewritten.append(instr)
+        blk.instrs = rewritten
+
+
+def _split_at_calls(mfunc: MachineFunction) -> None:
+    """Split blocks so that ``call`` always terminates its block.
+
+    Pin-style basic blocks end at calls; this keeps the dynamic block
+    trace unambiguous (every trace transition is a branch edge, a call
+    edge, or a return edge), which the SFGL builder relies on.
+    """
+    new_blocks: list[MachineBlock] = []
+    index_map: dict[int, int] = {}
+    for old_idx, blk in enumerate(mfunc.blocks):
+        index_map[old_idx] = len(new_blocks)
+        parts: list[list[MOp]] = []
+        current: list[MOp] = []
+        for ins in blk.instrs:
+            current.append(ins)
+            if ins.op == "call":
+                parts.append(current)
+                current = []
+        parts.append(current)
+        if len(parts) > 1 and not parts[-1]:
+            parts.pop()  # call was the last instruction: fall to next block
+        for j, part in enumerate(parts):
+            label = blk.label if j == 0 else f"{blk.label}.c{j}"
+            new_blocks.append(MachineBlock(label=label, instrs=part))
+    for i, blk in enumerate(new_blocks):
+        blk.fall_through = i + 1 if i + 1 < len(new_blocks) else None
+        for ins in blk.instrs:
+            if ins.op in ("bt", "bf", "jmp"):
+                ins.target = index_map[ins.target]
+    mfunc.blocks = new_blocks
+
+
+def generate_function(func: IRFunction, isa: ISA) -> MachineFunction:
+    """Allocate registers for *func* and emit machine code for *isa*."""
+    _legalize_stores(func)
+    allocation = allocate_registers(func, isa.allocatable_int, isa.allocatable_float)
+    mfunc = _FuncCodegen(func, isa, allocation).generate()
+    _split_at_calls(mfunc)
+    return mfunc

@@ -1,0 +1,77 @@
+"""Linker: lays out globals, resolves symbols, numbers instructions.
+
+Produces a :class:`repro.isa.machine.Binary` ready for the functional
+simulator.  Every static instruction receives a ``uid`` and every basic
+block a global block id (``gbid``); profilers key their statistics on
+these, mirroring how Pin attributes counts to instruction addresses.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import IRProgram
+from repro.isa.codegen import generate_function
+from repro.isa.machine import AddressMode, Binary, MOp
+from repro.isa.targets import ISA
+
+_DATA_BASE = 64  # first global word address; low words stay unused
+_STACK_ALIGN = 1024
+
+
+class LinkError(Exception):
+    """Raised for unresolved symbols or malformed programs."""
+
+
+def link_program(ir_program: IRProgram, isa: ISA, opt_level: int = 0) -> Binary:
+    """Generate code for every function and produce a linked binary."""
+    binary = Binary(isa_name=isa.name, opt_level=opt_level)
+    # 1. Lay out globals.
+    address = _DATA_BASE
+    image: list = []
+    for name, gvar in ir_program.globals.items():
+        binary.globals_layout[name] = address
+        image.extend(gvar.init)
+        if len(gvar.init) != gvar.size:
+            raise LinkError(f"global {name!r}: init size mismatch")
+        address += gvar.size
+    binary.data_base = _DATA_BASE
+    binary.data_image = image
+    binary.stack_base = ((address + _STACK_ALIGN) // _STACK_ALIGN + 1) * _STACK_ALIGN
+    # 2. Generate machine code.
+    for name, func in ir_program.functions.items():
+        mfunc = generate_function(func, isa)
+        mfunc.index = len(binary.functions)
+        binary.function_index[name] = mfunc.index
+        binary.functions.append(mfunc)
+    if "main" not in binary.function_index:
+        raise LinkError("no main() in program")
+    binary.entry = binary.function_index["main"]
+    # 3. Resolve symbols, assign uids and gbids.
+    uid = 0
+    gbid = 0
+    for func in binary.functions:
+        for blk_idx, blk in enumerate(func.blocks):
+            blk.gbid = gbid
+            binary.block_map.append((func.index, blk_idx))
+            gbid += 1
+            for ins_idx, mop in enumerate(blk.instrs):
+                mop.uid = uid
+                binary.uid_map.append((func.index, blk_idx, ins_idx))
+                uid += 1
+                _resolve(mop, binary)
+    binary.total_static_instructions = uid
+    return binary
+
+
+def _resolve(mop: MOp, binary: Binary) -> None:
+    """Resolve symbolic addresses and call targets in place."""
+    if mop.addr is not None:
+        mode, base, idx_reg, off = mop.addr
+        if mode == AddressMode.ABS and isinstance(base, str):
+            if base not in binary.globals_layout:
+                raise LinkError(f"undefined symbol {base!r}")
+            mop.addr = (mode, binary.globals_layout[base], idx_reg, off)
+    if mop.op == "call":
+        name = mop.fmt
+        if name not in binary.function_index:
+            raise LinkError(f"call to undefined function {name!r}")
+        mop.target = binary.function_index[name]

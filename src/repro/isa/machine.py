@@ -1,0 +1,279 @@
+"""Machine-level instruction format shared by the virtual ISAs.
+
+Instructions carry physical register indices and resolved addresses.  The
+format is deliberately close to real assembly:
+
+* integer and float register files are separate;
+* addresses are (mode, base, index-reg, offset) tuples resolved by the
+  linker — ``ABS`` for globals, ``FP`` for frame slots, ``REG`` for
+  computed bases (array parameters);
+* conditional branches (``bt``/``bf``) have a taken target block and fall
+  through to the next block in layout order, so "taken" is meaningful;
+* every instruction has a ``klass`` used by profilers and timing models:
+  ``load store branch jump call ret ialu imul idiv falu fmul fdiv fmath
+  print other``.
+
+Word addressing: one word = 4 bytes; byte addresses (for cache simulation)
+are ``word_address << 2``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class AddressMode(enum.IntEnum):
+    """Addressing modes after linking."""
+
+    ABS = 0  # base = absolute word address (globals)
+    FP = 1  # base = frame-pointer-relative word offset (locals, spills)
+    REG = 2  # base = integer register holding a word address
+
+
+KLASS_NAMES = (
+    "load",
+    "store",
+    "branch",
+    "jump",
+    "call",
+    "ret",
+    "ialu",
+    "imul",
+    "idiv",
+    "falu",
+    "fmul",
+    "fdiv",
+    "fmath",
+    "print",
+    "other",
+)
+
+# Opcode -> klass.  Fused CISC ALU ops with a memory operand keep their ALU
+# klass but set ``addr`` (they count as arithmetic in the mix, yet produce
+# a data-cache access — like ``addl t+504, %eax``).
+OP_KLASS = {
+    "li": "ialu",
+    "lif": "falu",
+    "ld": "load",
+    "fld": "load",
+    "st": "store",
+    "fst": "store",
+    "lea": "ialu",
+    "mov": "ialu",
+    "fmov": "falu",
+    "add": "ialu",
+    "sub": "ialu",
+    "mul": "imul",
+    "div": "idiv",
+    "udiv": "idiv",
+    "mod": "idiv",
+    "umod": "idiv",
+    "and": "ialu",
+    "or": "ialu",
+    "xor": "ialu",
+    "shl": "ialu",
+    "shr": "ialu",
+    "sar": "ialu",
+    "neg": "ialu",
+    "not": "ialu",
+    "lognot": "ialu",
+    "absi": "ialu",
+    "cmpeq": "ialu",
+    "cmpne": "ialu",
+    "cmplt": "ialu",
+    "cmple": "ialu",
+    "cmpgt": "ialu",
+    "cmpge": "ialu",
+    "cmpltu": "ialu",
+    "cmpleu": "ialu",
+    "cmpgtu": "ialu",
+    "cmpgeu": "ialu",
+    "fadd": "falu",
+    "fsub": "falu",
+    "fmul": "fmul",
+    "fdiv": "fdiv",
+    "fneg": "falu",
+    "fcmpeq": "falu",
+    "fcmpne": "falu",
+    "fcmplt": "falu",
+    "fcmple": "falu",
+    "fcmpgt": "falu",
+    "fcmpge": "falu",
+    "itof": "falu",
+    "utof": "falu",
+    "ftoi": "falu",
+    "sqrt": "fmath",
+    "sin": "fmath",
+    "cos": "fmath",
+    "log": "fmath",
+    "exp": "fmath",
+    "fabs": "falu",
+    "floor": "fmath",
+    "arg": "ialu",
+    "farg": "falu",
+    "bt": "branch",
+    "bf": "branch",
+    "jmp": "jump",
+    "call": "call",
+    "ret": "ret",
+    "print": "print",
+}
+
+
+class MOp:
+    """One machine instruction.
+
+    Generic fields (meaning depends on ``op``):
+
+    * ``dst``  — destination register index (int or float file per op);
+    * ``a``    — first source register index;
+    * ``b_reg``/``b_imm`` — second operand: register or immediate
+      (exactly one is set for two-operand ALU instructions);
+    * ``addr`` — (mode, base, index_reg, offset) for memory instructions
+      or fused ALU ops;
+    * ``target`` — taken block index (branches/jumps), function index
+      (calls);
+    * ``args`` — call argument descriptors or print arguments;
+    * ``fmt``  — printf format string;
+    * ``uid``  — global static instruction id (assigned at link time),
+      used to attribute profile statistics to static instructions.
+    """
+
+    __slots__ = (
+        "op",
+        "klass",
+        "dst",
+        "a",
+        "b_reg",
+        "b_imm",
+        "addr",
+        "target",
+        "args",
+        "fmt",
+        "uid",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        dst: int | None = None,
+        a: int | None = None,
+        b_reg: int | None = None,
+        b_imm: int | float | None = None,
+        addr: tuple | None = None,
+        target: int | None = None,
+        args: list | None = None,
+        fmt: str | None = None,
+    ):
+        self.op = op
+        self.klass = OP_KLASS[op]
+        self.dst = dst
+        self.a = a
+        self.b_reg = b_reg
+        self.b_imm = b_imm
+        self.addr = addr
+        self.target = target
+        self.args = args
+        self.fmt = fmt
+        self.uid = -1
+
+    @property
+    def is_memory(self) -> bool:
+        """True if this instruction performs a data memory access.
+
+        ``lea`` only computes an address, so it is excluded; fused CISC
+        ALU ops with a memory operand are included.
+        """
+        return self.addr is not None and self.op != "lea"
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in ("st", "fst")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [self.op]
+        if self.dst is not None:
+            parts.append(f"r{self.dst}")
+        if self.a is not None:
+            parts.append(f"r{self.a}")
+        if self.b_reg is not None:
+            parts.append(f"r{self.b_reg}")
+        if self.b_imm is not None:
+            parts.append(f"#{self.b_imm}")
+        if self.addr is not None:
+            parts.append(f"@{self.addr}")
+        if self.target is not None:
+            parts.append(f"->{self.target}")
+        return " ".join(parts)
+
+
+@dataclass
+class MachineBlock:
+    """A machine basic block.
+
+    ``taken_target``/branch semantics: the block's last instruction may be
+    ``bt``/``bf`` (conditional, target = taken block index, falls through
+    to ``fall_through``) or ``jmp``/``ret``.  A block with neither falls
+    through unconditionally.
+    """
+
+    label: str
+    instrs: list[MOp] = field(default_factory=list)
+    fall_through: int | None = None  # next block index in layout order
+    gbid: int = -1  # global block id assigned at link time
+    loop_header: bool = False
+
+
+@dataclass
+class MachineFunction:
+    """Machine code for one function."""
+
+    name: str
+    index: int = -1
+    blocks: list[MachineBlock] = field(default_factory=list)
+    frame_size: int = 0  # words
+    # (kind, where, index) per parameter: kind in {'i', 'f'}, where 'r'
+    # (register index) or 's' (frame slot offset — the calling convention
+    # deposits spilled parameters straight into the callee frame, like
+    # stack arguments on a real ABI).
+    param_locs: list[tuple[str, str, int]] = field(default_factory=list)
+    num_int_regs: int = 8
+    num_float_regs: int = 8
+
+    def instruction_count(self) -> int:
+        return sum(len(blk.instrs) for blk in self.blocks)
+
+
+@dataclass
+class Binary:
+    """A linked program: functions, data image, symbol table."""
+
+    isa_name: str
+    opt_level: int
+    functions: list[MachineFunction] = field(default_factory=list)
+    function_index: dict[str, int] = field(default_factory=dict)
+    globals_layout: dict[str, int] = field(default_factory=dict)  # symbol -> word addr
+    data_image: list = field(default_factory=list)  # initial global words
+    data_base: int = 64  # first global word address
+    stack_base: int = 0  # first stack word address (set by linker)
+    entry: int = 0  # index of main()
+    total_static_instructions: int = 0
+    # uid -> (function index, block index, instr index) for attribution
+    uid_map: list[tuple[int, int, int]] = field(default_factory=list)
+    # gbid -> (function index, block index)
+    block_map: list[tuple[int, int]] = field(default_factory=list)
+
+    def function(self, name: str) -> MachineFunction:
+        return self.functions[self.function_index[name]]
+
+    def instr_by_uid(self, uid: int) -> MOp:
+        func_idx, blk_idx, ins_idx = self.uid_map[uid]
+        return self.functions[func_idx].blocks[blk_idx].instrs[ins_idx]
+
+    def block_by_gbid(self, gbid: int) -> MachineBlock:
+        func_idx, blk_idx = self.block_map[gbid]
+        return self.functions[func_idx].blocks[blk_idx]
+
+    def static_instruction_count(self) -> int:
+        return sum(func.instruction_count() for func in self.functions)

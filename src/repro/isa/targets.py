@@ -1,0 +1,71 @@
+"""ISA target descriptions.
+
+Register counts model what a compiler can actually allocate; the last two
+registers of each file are reserved as spill scratch.  ``cisc_fusion``
+enables the load-op peephole (memory operands on ALU instructions) that
+distinguishes x86-style CISC encodings from the IA64 load/store
+discipline — one of the mechanisms behind the per-ISA instruction-count
+differences in the paper's Fig. 11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ISA:
+    """Static description of a virtual instruction-set architecture."""
+
+    name: str
+    int_regs: int  # total integer registers (incl. 2 scratch)
+    float_regs: int  # total float registers (incl. 2 scratch)
+    cisc_fusion: bool  # allow ALU ops with a memory source operand at O1+
+    wordsize_bits: int = 32
+    description: str = ""
+
+    @property
+    def allocatable_int(self) -> int:
+        return self.int_regs - 2
+
+    @property
+    def allocatable_float(self) -> int:
+        return self.float_regs - 2
+
+    @property
+    def int_scratch(self) -> tuple[int, int]:
+        return (self.int_regs - 2, self.int_regs - 1)
+
+    @property
+    def float_scratch(self) -> tuple[int, int]:
+        return (self.float_regs - 2, self.float_regs - 1)
+
+
+X86 = ISA(
+    name="x86",
+    int_regs=8,
+    float_regs=8,
+    cisc_fusion=True,
+    wordsize_bits=32,
+    description="32-bit CISC: few registers, load-op memory operands",
+)
+
+X86_64 = ISA(
+    name="x86_64",
+    int_regs=16,
+    float_regs=16,
+    cisc_fusion=True,
+    wordsize_bits=64,
+    description="64-bit CISC: 16 registers, load-op memory operands",
+)
+
+IA64 = ISA(
+    name="ia64",
+    int_regs=32,
+    float_regs=32,
+    cisc_fusion=False,
+    wordsize_bits=64,
+    description="EPIC: large register file, strict load/store, static scheduling",
+)
+
+ISA_BY_NAME = {isa.name: isa for isa in (X86, X86_64, IA64)}

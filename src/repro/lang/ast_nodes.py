@@ -1,0 +1,263 @@
+"""AST node definitions for the mini-C dialect.
+
+Plain dataclasses; expression nodes carry a ``ctype`` slot that the
+semantic analyzer fills in.  Nodes keep the source line for diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.types import ScalarType, Type
+
+
+@dataclass
+class Node:
+    """Base class for all AST nodes."""
+
+    line: int = field(default=0, kw_only=True)
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    """Base class for expressions; ``ctype`` is set by semantic analysis."""
+
+    ctype: Type | None = field(default=None, kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    """Integer literal; ``unsigned`` when the source had a ``u`` suffix."""
+
+    value: int = 0
+    unsigned: bool = False
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class CharLit(Expr):
+    """Character literal, an ``int`` whose value is the code point."""
+
+    value: int = 0
+
+
+@dataclass
+class StringLit(Expr):
+    """String literal; only valid as a ``printf`` argument."""
+
+    value: str = ""
+
+
+@dataclass
+class Ident(Expr):
+    """A reference to a variable (scalar or whole-array)."""
+
+    name: str = ""
+
+
+@dataclass
+class ArrayRef(Expr):
+    """``base[index]`` where ``base`` names an array."""
+
+    base: str = ""
+    index: Expr | None = None
+
+
+@dataclass
+class BinOp(Expr):
+    """Binary operation.  ``op`` is the C spelling (``+``, ``<<``, ...)."""
+
+    op: str = ""
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class UnaryOp(Expr):
+    """Unary operation: ``-``, ``~``, ``!``, or ``+`` (no-op)."""
+
+    op: str = ""
+    operand: Expr | None = None
+
+
+@dataclass
+class Cast(Expr):
+    """Explicit scalar cast, e.g. ``(float)x``."""
+
+    target: ScalarType | None = None
+    operand: Expr | None = None
+
+
+@dataclass
+class Call(Expr):
+    """Function or builtin call."""
+
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Assign(Expr):
+    """Assignment, possibly compound (``op`` is ``"="``, ``"+="``, ...).
+
+    ``target`` is an :class:`Ident` or :class:`ArrayRef`.
+    """
+
+    op: str = "="
+    target: Expr | None = None
+    value: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--``.
+
+    ``op`` is ``"++"`` or ``"--"``; ``prefix`` selects pre/post semantics.
+    """
+
+    op: str = "++"
+    target: Expr | None = None
+    prefix: bool = True
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? then : other``."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    """Base class for statements."""
+
+
+@dataclass
+class Decl(Stmt):
+    """A variable declaration (local or global).
+
+    For arrays, ``array_length`` is the static extent and ``init`` may be a
+    list of literal expressions.  For scalars, ``init`` is an optional
+    expression.
+    """
+
+    name: str = ""
+    base_type: ScalarType | None = None
+    array_length: int | None = None
+    init: Expr | list[Expr] | None = None
+
+    @property
+    def is_array(self) -> bool:
+        return self.array_length is not None
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    other: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    """``for (init; cond; step) body``; any of the three heads may be None.
+
+    ``init`` is either a :class:`Decl` or an expression statement.
+    """
+
+    init: Stmt | None = None
+    cond: Expr | None = None
+    step: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+# --------------------------------------------------------------------------
+# Top level
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Param(Node):
+    """A function parameter; arrays are passed by reference."""
+
+    name: str = ""
+    base_type: ScalarType | None = None
+    is_array: bool = False
+
+
+@dataclass
+class FuncDecl(Node):
+    """A function definition."""
+
+    name: str = ""
+    return_type: ScalarType | None = None
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+
+
+@dataclass
+class Program(Node):
+    """A translation unit: globals and function definitions in order."""
+
+    globals: list[Decl] = field(default_factory=list)
+    functions: list[FuncDecl] = field(default_factory=list)
+
+    def function(self, name: str) -> FuncDecl:
+        """Return the function named *name* (KeyError if absent)."""
+        for func in self.functions:
+            if func.name == name:
+                return func
+        raise KeyError(name)

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the mini-C front end."""
+
+
+class LangError(Exception):
+    """Base class for all front-end errors.
+
+    Carries an optional source position so tools can point at the
+    offending construct.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{line}:{column}: {message}"
+        super().__init__(message)
+
+
+class LexError(LangError):
+    """Raised when the lexer encounters an invalid character or literal."""
+
+
+class ParseError(LangError):
+    """Raised when the parser encounters an unexpected token."""
+
+
+class SemanticError(LangError):
+    """Raised by semantic analysis (type errors, undefined names, ...)."""

@@ -1,0 +1,337 @@
+"""Hand-written lexer for the mini-C dialect.
+
+Produces a flat list of :class:`Token` objects.  The token stream is also
+reused by :mod:`repro.obfuscation` for plagiarism detection, which mirrors
+how JPlag tokenizes source before matching.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+
+class TokenKind(enum.Enum):
+    """Lexical classes for mini-C tokens."""
+
+    # Literals / identifiers
+    IDENT = "ident"
+    INT_LIT = "int_lit"
+    FLOAT_LIT = "float_lit"
+    STRING_LIT = "string_lit"
+    CHAR_LIT = "char_lit"
+    # Keywords
+    KW_INT = "int"
+    KW_UNSIGNED = "unsigned"
+    KW_FLOAT = "float"
+    KW_DOUBLE = "double"
+    KW_VOID = "void"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_FOR = "for"
+    KW_WHILE = "while"
+    KW_DO = "do"
+    KW_BREAK = "break"
+    KW_CONTINUE = "continue"
+    KW_RETURN = "return"
+    # Punctuation
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    QUESTION = "?"
+    COLON = ":"
+    # Operators
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    TILDE = "~"
+    BANG = "!"
+    LSHIFT = "<<"
+    RSHIFT = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND_AND = "&&"
+    OR_OR = "||"
+    ASSIGN = "="
+    PLUS_ASSIGN = "+="
+    MINUS_ASSIGN = "-="
+    STAR_ASSIGN = "*="
+    SLASH_ASSIGN = "/="
+    PERCENT_ASSIGN = "%="
+    AMP_ASSIGN = "&="
+    PIPE_ASSIGN = "|="
+    CARET_ASSIGN = "^="
+    LSHIFT_ASSIGN = "<<="
+    RSHIFT_ASSIGN = ">>="
+    PLUS_PLUS = "++"
+    MINUS_MINUS = "--"
+    EOF = "eof"
+
+
+KEYWORDS = {
+    "int": TokenKind.KW_INT,
+    "unsigned": TokenKind.KW_UNSIGNED,
+    "float": TokenKind.KW_FLOAT,
+    "double": TokenKind.KW_DOUBLE,
+    "void": TokenKind.KW_VOID,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "while": TokenKind.KW_WHILE,
+    "do": TokenKind.KW_DO,
+    "break": TokenKind.KW_BREAK,
+    "continue": TokenKind.KW_CONTINUE,
+    "return": TokenKind.KW_RETURN,
+}
+
+# Multi-character operators, longest first so maximal munch works.
+_OPERATORS = [
+    ("<<=", TokenKind.LSHIFT_ASSIGN),
+    (">>=", TokenKind.RSHIFT_ASSIGN),
+    ("<<", TokenKind.LSHIFT),
+    (">>", TokenKind.RSHIFT),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NE),
+    ("&&", TokenKind.AND_AND),
+    ("||", TokenKind.OR_OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+    ("*=", TokenKind.STAR_ASSIGN),
+    ("/=", TokenKind.SLASH_ASSIGN),
+    ("%=", TokenKind.PERCENT_ASSIGN),
+    ("&=", TokenKind.AMP_ASSIGN),
+    ("|=", TokenKind.PIPE_ASSIGN),
+    ("^=", TokenKind.CARET_ASSIGN),
+    ("++", TokenKind.PLUS_PLUS),
+    ("--", TokenKind.MINUS_MINUS),
+    ("(", TokenKind.LPAREN),
+    (")", TokenKind.RPAREN),
+    ("{", TokenKind.LBRACE),
+    ("}", TokenKind.RBRACE),
+    ("[", TokenKind.LBRACKET),
+    ("]", TokenKind.RBRACKET),
+    (";", TokenKind.SEMI),
+    (",", TokenKind.COMMA),
+    ("?", TokenKind.QUESTION),
+    (":", TokenKind.COLON),
+    ("+", TokenKind.PLUS),
+    ("-", TokenKind.MINUS),
+    ("*", TokenKind.STAR),
+    ("/", TokenKind.SLASH),
+    ("%", TokenKind.PERCENT),
+    ("&", TokenKind.AMP),
+    ("|", TokenKind.PIPE),
+    ("^", TokenKind.CARET),
+    ("~", TokenKind.TILDE),
+    ("!", TokenKind.BANG),
+    ("<", TokenKind.LT),
+    (">", TokenKind.GT),
+    ("=", TokenKind.ASSIGN),
+]
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", "0": "\0", "\\": "\\", '"': '"', "'": "'"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token with its source position."""
+
+    kind: TokenKind
+    text: str
+    value: object = None
+    line: int = 0
+    column: int = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r})"
+
+
+class Lexer:
+    """Converts mini-C source text into a list of tokens."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        """Lex the entire input, appending a final EOF token."""
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.pos >= len(self.source):
+                tokens.append(Token(TokenKind.EOF, "", None, self.line, self.column))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+
+    def _skip_whitespace_and_comments(self) -> None:
+        src = self.source
+        while self.pos < len(src):
+            ch = src[self.pos]
+            if ch in " \t\r":
+                self._advance(1)
+            elif ch == "\n":
+                self.pos += 1
+                self.line += 1
+                self.column = 1
+            elif src.startswith("//", self.pos):
+                end = src.find("\n", self.pos)
+                self.pos = len(src) if end < 0 else end
+            elif src.startswith("/*", self.pos):
+                end = src.find("*/", self.pos + 2)
+                if end < 0:
+                    raise LexError("unterminated block comment", self.line, self.column)
+                for i in range(self.pos, end + 2):
+                    if src[i] == "\n":
+                        self.line += 1
+                        self.column = 1
+                    else:
+                        self.column += 1
+                self.pos = end + 2
+            else:
+                return
+
+    def _advance(self, n: int) -> None:
+        self.pos += n
+        self.column += n
+
+    def _next_token(self) -> Token:
+        src = self.source
+        ch = src[self.pos]
+        line, column = self.line, self.column
+        if ch.isalpha() or ch == "_":
+            return self._lex_ident(line, column)
+        if ch.isdigit() or (ch == "." and self.pos + 1 < len(src) and src[self.pos + 1].isdigit()):
+            return self._lex_number(line, column)
+        if ch == '"':
+            return self._lex_string(line, column)
+        if ch == "'":
+            return self._lex_char(line, column)
+        for text, kind in _OPERATORS:
+            if src.startswith(text, self.pos):
+                self._advance(len(text))
+                return Token(kind, text, None, line, column)
+        raise LexError(f"unexpected character {ch!r}", line, column)
+
+    def _lex_ident(self, line: int, column: int) -> Token:
+        src = self.source
+        start = self.pos
+        while self.pos < len(src) and (src[self.pos].isalnum() or src[self.pos] == "_"):
+            self._advance(1)
+        text = src[start : self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, text if kind is TokenKind.IDENT else None, line, column)
+
+    def _lex_number(self, line: int, column: int) -> Token:
+        src = self.source
+        start = self.pos
+        if src.startswith(("0x", "0X"), self.pos):
+            self._advance(2)
+            while self.pos < len(src) and src[self.pos] in "0123456789abcdefABCDEF":
+                self._advance(1)
+            text = src[start : self.pos]
+            if len(text) == 2:
+                raise LexError("malformed hex literal", line, column)
+            value = int(text, 16)
+            text = self._maybe_unsigned_suffix(text)
+            return Token(TokenKind.INT_LIT, text, value, line, column)
+        is_float = False
+        while self.pos < len(src) and src[self.pos].isdigit():
+            self._advance(1)
+        if self.pos < len(src) and src[self.pos] == ".":
+            is_float = True
+            self._advance(1)
+            while self.pos < len(src) and src[self.pos].isdigit():
+                self._advance(1)
+        if self.pos < len(src) and src[self.pos] in "eE":
+            peek = self.pos + 1
+            if peek < len(src) and src[peek] in "+-":
+                peek += 1
+            if peek < len(src) and src[peek].isdigit():
+                is_float = True
+                self._advance(peek - self.pos)
+                while self.pos < len(src) and src[self.pos].isdigit():
+                    self._advance(1)
+        text = src[start : self.pos]
+        if is_float:
+            return Token(TokenKind.FLOAT_LIT, text, float(text), line, column)
+        value = int(text, 10)
+        text = self._maybe_unsigned_suffix(text)
+        return Token(TokenKind.INT_LIT, text, value, line, column)
+
+    def _maybe_unsigned_suffix(self, text: str) -> str:
+        """Consume an optional ``u``/``U`` suffix on integer literals."""
+        if self.pos < len(self.source) and self.source[self.pos] in "uU":
+            self._advance(1)
+            return text + "u"
+        return text
+
+    def _lex_string(self, line: int, column: int) -> Token:
+        src = self.source
+        self._advance(1)
+        chunks: list[str] = []
+        while True:
+            if self.pos >= len(src) or src[self.pos] == "\n":
+                raise LexError("unterminated string literal", line, column)
+            ch = src[self.pos]
+            if ch == '"':
+                self._advance(1)
+                value = "".join(chunks)
+                return Token(TokenKind.STRING_LIT, value, value, line, column)
+            if ch == "\\":
+                if self.pos + 1 >= len(src):
+                    raise LexError("bad escape at end of input", line, column)
+                esc = src[self.pos + 1]
+                if esc not in _ESCAPES:
+                    raise LexError(f"unknown escape \\{esc}", self.line, self.column)
+                chunks.append(_ESCAPES[esc])
+                self._advance(2)
+            else:
+                chunks.append(ch)
+                self._advance(1)
+
+    def _lex_char(self, line: int, column: int) -> Token:
+        src = self.source
+        self._advance(1)
+        if self.pos >= len(src):
+            raise LexError("unterminated char literal", line, column)
+        ch = src[self.pos]
+        if ch == "\\":
+            esc = src[self.pos + 1] if self.pos + 1 < len(src) else ""
+            if esc not in _ESCAPES:
+                raise LexError(f"unknown escape \\{esc}", line, column)
+            value = _ESCAPES[esc]
+            self._advance(2)
+        else:
+            value = ch
+            self._advance(1)
+        if self.pos >= len(src) or src[self.pos] != "'":
+            raise LexError("unterminated char literal", line, column)
+        self._advance(1)
+        return Token(TokenKind.CHAR_LIT, value, ord(value), line, column)
+
+
+def tokenize(source: str) -> list[Token]:
+    """Convenience wrapper: lex *source* and return the token list."""
+    return Lexer(source).tokenize()

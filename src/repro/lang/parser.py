@@ -1,0 +1,415 @@
+"""Recursive-descent parser for the mini-C dialect.
+
+Grammar (informal):
+
+    program     := (global_decl | function)*
+    function    := type IDENT '(' params ')' block
+    global_decl := type IDENT ('[' INT ']')? ('=' initializer)? ';'
+    block       := '{' stmt* '}'
+    stmt        := decl | if | for | while | do_while | break | continue
+                 | return | block | expr ';' | ';'
+    expr        := assignment (with C precedence below)
+
+Expression precedence follows C: assignment < ternary < || < && < | < ^ <
+& < equality < relational < shift < additive < multiplicative < unary <
+postfix.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.types import ScalarType, scalar_from_name
+
+_TYPE_KEYWORDS = {
+    TokenKind.KW_INT,
+    TokenKind.KW_UNSIGNED,
+    TokenKind.KW_FLOAT,
+    TokenKind.KW_DOUBLE,
+    TokenKind.KW_VOID,
+}
+
+_ASSIGN_OPS = {
+    TokenKind.ASSIGN: "=",
+    TokenKind.PLUS_ASSIGN: "+=",
+    TokenKind.MINUS_ASSIGN: "-=",
+    TokenKind.STAR_ASSIGN: "*=",
+    TokenKind.SLASH_ASSIGN: "/=",
+    TokenKind.PERCENT_ASSIGN: "%=",
+    TokenKind.AMP_ASSIGN: "&=",
+    TokenKind.PIPE_ASSIGN: "|=",
+    TokenKind.CARET_ASSIGN: "^=",
+    TokenKind.LSHIFT_ASSIGN: "<<=",
+    TokenKind.RSHIFT_ASSIGN: ">>=",
+}
+
+# Binary precedence table: level -> [(TokenKind, spelling)].  Lower index
+# binds more loosely.
+_BINARY_LEVELS: list[list[tuple[TokenKind, str]]] = [
+    [(TokenKind.OR_OR, "||")],
+    [(TokenKind.AND_AND, "&&")],
+    [(TokenKind.PIPE, "|")],
+    [(TokenKind.CARET, "^")],
+    [(TokenKind.AMP, "&")],
+    [(TokenKind.EQ, "=="), (TokenKind.NE, "!=")],
+    [(TokenKind.LT, "<"), (TokenKind.GT, ">"), (TokenKind.LE, "<="), (TokenKind.GE, ">=")],
+    [(TokenKind.LSHIFT, "<<"), (TokenKind.RSHIFT, ">>")],
+    [(TokenKind.PLUS, "+"), (TokenKind.MINUS, "-")],
+    [(TokenKind.STAR, "*"), (TokenKind.SLASH, "/"), (TokenKind.PERCENT, "%")],
+]
+
+
+class Parser:
+    """Parses a token stream into a :class:`repro.lang.ast_nodes.Program`."""
+
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers -------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def _peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind is not TokenKind.EOF:
+            self.pos += 1
+        return token
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self.current.kind is kind
+
+    def _match(self, kind: TokenKind) -> Token | None:
+        if self._check(kind):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: TokenKind, what: str = "") -> Token:
+        if not self._check(kind):
+            found = self.current.text or self.current.kind.value
+            wanted = what or kind.value
+            raise ParseError(
+                f"expected {wanted}, found {found!r}", self.current.line, self.current.column
+            )
+        return self._advance()
+
+    # -- top level -------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        """Parse a full translation unit."""
+        program = ast.Program()
+        while not self._check(TokenKind.EOF):
+            if self.current.kind not in _TYPE_KEYWORDS:
+                raise ParseError(
+                    f"expected declaration, found {self.current.text!r}",
+                    self.current.line,
+                    self.current.column,
+                )
+            # Lookahead: type IDENT '(' starts a function.
+            if self._peek().kind is TokenKind.IDENT and self._peek(2).kind is TokenKind.LPAREN:
+                program.functions.append(self._parse_function())
+            else:
+                program.globals.append(self._parse_global())
+        return program
+
+    def _parse_type(self) -> ScalarType:
+        token = self._advance()
+        if token.kind not in _TYPE_KEYWORDS:
+            raise ParseError(f"expected type, found {token.text!r}", token.line, token.column)
+        name = token.kind.value
+        # 'unsigned int' is accepted as a synonym for 'unsigned'.
+        if token.kind is TokenKind.KW_UNSIGNED and self._check(TokenKind.KW_INT):
+            self._advance()
+        return scalar_from_name(name)
+
+    def _parse_function(self) -> ast.FuncDecl:
+        line = self.current.line
+        return_type = self._parse_type()
+        name = self._expect(TokenKind.IDENT, "function name").text
+        self._expect(TokenKind.LPAREN)
+        params: list[ast.Param] = []
+        if not self._check(TokenKind.RPAREN):
+            if self._check(TokenKind.KW_VOID) and self._peek().kind is TokenKind.RPAREN:
+                self._advance()
+            else:
+                params.append(self._parse_param())
+                while self._match(TokenKind.COMMA):
+                    params.append(self._parse_param())
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_block()
+        return ast.FuncDecl(name=name, return_type=return_type, params=params, body=body, line=line)
+
+    def _parse_param(self) -> ast.Param:
+        line = self.current.line
+        base = self._parse_type()
+        name = self._expect(TokenKind.IDENT, "parameter name").text
+        is_array = False
+        if self._match(TokenKind.LBRACKET):
+            # Extent, if present, is ignored for parameters (C semantics).
+            if self._check(TokenKind.INT_LIT):
+                self._advance()
+            self._expect(TokenKind.RBRACKET)
+            is_array = True
+        return ast.Param(name=name, base_type=base, is_array=is_array, line=line)
+
+    def _parse_global(self) -> ast.Decl:
+        decl = self._parse_decl()
+        return decl
+
+    # -- statements --------------------------------------------------------
+
+    def _parse_block(self) -> ast.Block:
+        line = self.current.line
+        self._expect(TokenKind.LBRACE)
+        stmts: list[ast.Stmt] = []
+        while not self._check(TokenKind.RBRACE):
+            if self._check(TokenKind.EOF):
+                raise ParseError("unterminated block", line, 0)
+            stmts.append(self._parse_stmt())
+        self._expect(TokenKind.RBRACE)
+        return ast.Block(stmts=stmts, line=line)
+
+    def _parse_stmt(self) -> ast.Stmt:
+        kind = self.current.kind
+        if kind in _TYPE_KEYWORDS:
+            return self._parse_decl()
+        if kind is TokenKind.LBRACE:
+            return self._parse_block()
+        if kind is TokenKind.KW_IF:
+            return self._parse_if()
+        if kind is TokenKind.KW_FOR:
+            return self._parse_for()
+        if kind is TokenKind.KW_WHILE:
+            return self._parse_while()
+        if kind is TokenKind.KW_DO:
+            return self._parse_do_while()
+        if kind is TokenKind.KW_BREAK:
+            token = self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Break(line=token.line)
+        if kind is TokenKind.KW_CONTINUE:
+            token = self._advance()
+            self._expect(TokenKind.SEMI)
+            return ast.Continue(line=token.line)
+        if kind is TokenKind.KW_RETURN:
+            token = self._advance()
+            value = None if self._check(TokenKind.SEMI) else self._parse_expr()
+            self._expect(TokenKind.SEMI)
+            return ast.Return(value=value, line=token.line)
+        if kind is TokenKind.SEMI:
+            token = self._advance()
+            return ast.Block(stmts=[], line=token.line)
+        expr = self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        return ast.ExprStmt(expr=expr, line=expr.line)
+
+    def _parse_decl(self) -> ast.Decl:
+        line = self.current.line
+        base = self._parse_type()
+        name = self._expect(TokenKind.IDENT, "variable name").text
+        array_length = None
+        if self._match(TokenKind.LBRACKET):
+            length_tok = self._expect(TokenKind.INT_LIT, "array length")
+            array_length = int(length_tok.value)
+            self._expect(TokenKind.RBRACKET)
+        init: ast.Expr | list[ast.Expr] | None = None
+        if self._match(TokenKind.ASSIGN):
+            if self._check(TokenKind.LBRACE):
+                init = self._parse_initializer_list()
+            else:
+                init = self._parse_assignment()
+        self._expect(TokenKind.SEMI)
+        return ast.Decl(
+            name=name, base_type=base, array_length=array_length, init=init, line=line
+        )
+
+    def _parse_initializer_list(self) -> list[ast.Expr]:
+        self._expect(TokenKind.LBRACE)
+        items: list[ast.Expr] = []
+        if not self._check(TokenKind.RBRACE):
+            items.append(self._parse_assignment())
+            while self._match(TokenKind.COMMA):
+                if self._check(TokenKind.RBRACE):  # trailing comma
+                    break
+                items.append(self._parse_assignment())
+        self._expect(TokenKind.RBRACE)
+        return items
+
+    def _parse_if(self) -> ast.If:
+        token = self._expect(TokenKind.KW_IF)
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        then = self._parse_stmt()
+        other = None
+        if self._match(TokenKind.KW_ELSE):
+            other = self._parse_stmt()
+        return ast.If(cond=cond, then=then, other=other, line=token.line)
+
+    def _parse_while(self) -> ast.While:
+        token = self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_stmt()
+        return ast.While(cond=cond, body=body, line=token.line)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        token = self._expect(TokenKind.KW_DO)
+        body = self._parse_stmt()
+        self._expect(TokenKind.KW_WHILE)
+        self._expect(TokenKind.LPAREN)
+        cond = self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return ast.DoWhile(body=body, cond=cond, line=token.line)
+
+    def _parse_for(self) -> ast.For:
+        token = self._expect(TokenKind.KW_FOR)
+        self._expect(TokenKind.LPAREN)
+        init: ast.Stmt | None = None
+        if not self._check(TokenKind.SEMI):
+            if self.current.kind in _TYPE_KEYWORDS:
+                init = self._parse_decl()  # consumes the ';'
+            else:
+                expr = self._parse_expr()
+                self._expect(TokenKind.SEMI)
+                init = ast.ExprStmt(expr=expr, line=expr.line)
+        else:
+            self._expect(TokenKind.SEMI)
+        cond = None if self._check(TokenKind.SEMI) else self._parse_expr()
+        self._expect(TokenKind.SEMI)
+        step = None if self._check(TokenKind.RPAREN) else self._parse_expr()
+        self._expect(TokenKind.RPAREN)
+        body = self._parse_stmt()
+        return ast.For(init=init, cond=cond, step=step, body=body, line=token.line)
+
+    # -- expressions --------------------------------------------------------
+
+    def _parse_expr(self) -> ast.Expr:
+        return self._parse_assignment()
+
+    def _parse_assignment(self) -> ast.Expr:
+        left = self._parse_ternary()
+        if self.current.kind in _ASSIGN_OPS:
+            op_tok = self._advance()
+            if not isinstance(left, (ast.Ident, ast.ArrayRef)):
+                raise ParseError("invalid assignment target", op_tok.line, op_tok.column)
+            value = self._parse_assignment()
+            return ast.Assign(
+                op=_ASSIGN_OPS[op_tok.kind], target=left, value=value, line=op_tok.line
+            )
+        return left
+
+    def _parse_ternary(self) -> ast.Expr:
+        cond = self._parse_binary(0)
+        if self._match(TokenKind.QUESTION):
+            then = self._parse_assignment()
+            self._expect(TokenKind.COLON)
+            other = self._parse_ternary()
+            return ast.Ternary(cond=cond, then=then, other=other, line=cond.line)
+        return cond
+
+    def _parse_binary(self, level: int) -> ast.Expr:
+        if level >= len(_BINARY_LEVELS):
+            return self._parse_unary()
+        left = self._parse_binary(level + 1)
+        ops = _BINARY_LEVELS[level]
+        while True:
+            matched = None
+            for kind, spelling in ops:
+                if self._check(kind):
+                    matched = spelling
+                    self._advance()
+                    break
+            if matched is None:
+                return left
+            right = self._parse_binary(level + 1)
+            left = ast.BinOp(op=matched, left=left, right=right, line=left.line)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.current
+        if token.kind in (TokenKind.MINUS, TokenKind.PLUS, TokenKind.TILDE, TokenKind.BANG):
+            self._advance()
+            operand = self._parse_unary()
+            if token.kind is TokenKind.PLUS:
+                return operand
+            return ast.UnaryOp(op=token.text, operand=operand, line=token.line)
+        if token.kind in (TokenKind.PLUS_PLUS, TokenKind.MINUS_MINUS):
+            self._advance()
+            target = self._parse_unary()
+            if not isinstance(target, (ast.Ident, ast.ArrayRef)):
+                raise ParseError("invalid ++/-- target", token.line, token.column)
+            return ast.IncDec(op=token.text, target=target, prefix=True, line=token.line)
+        # Cast: '(' type ')' unary
+        if token.kind is TokenKind.LPAREN and self._peek().kind in _TYPE_KEYWORDS:
+            self._advance()
+            target = self._parse_type()
+            self._expect(TokenKind.RPAREN)
+            operand = self._parse_unary()
+            return ast.Cast(target=target, operand=operand, line=token.line)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            if self._check(TokenKind.PLUS_PLUS) or self._check(TokenKind.MINUS_MINUS):
+                token = self._advance()
+                if not isinstance(expr, (ast.Ident, ast.ArrayRef)):
+                    raise ParseError("invalid ++/-- target", token.line, token.column)
+                expr = ast.IncDec(op=token.text, target=expr, prefix=False, line=token.line)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.current
+        if token.kind is TokenKind.INT_LIT:
+            self._advance()
+            return ast.IntLit(
+                value=int(token.value), unsigned=token.text.endswith("u"), line=token.line
+            )
+        if token.kind is TokenKind.FLOAT_LIT:
+            self._advance()
+            return ast.FloatLit(value=float(token.value), line=token.line)
+        if token.kind is TokenKind.CHAR_LIT:
+            self._advance()
+            return ast.CharLit(value=int(token.value), line=token.line)
+        if token.kind is TokenKind.STRING_LIT:
+            self._advance()
+            return ast.StringLit(value=str(token.value), line=token.line)
+        if token.kind is TokenKind.LPAREN:
+            self._advance()
+            expr = self._parse_expr()
+            self._expect(TokenKind.RPAREN)
+            return expr
+        if token.kind is TokenKind.IDENT:
+            self._advance()
+            name = token.text
+            if self._match(TokenKind.LPAREN):
+                args: list[ast.Expr] = []
+                if not self._check(TokenKind.RPAREN):
+                    args.append(self._parse_assignment())
+                    while self._match(TokenKind.COMMA):
+                        args.append(self._parse_assignment())
+                self._expect(TokenKind.RPAREN)
+                return ast.Call(name=name, args=args, line=token.line)
+            if self._match(TokenKind.LBRACKET):
+                index = self._parse_expr()
+                self._expect(TokenKind.RBRACKET)
+                return ast.ArrayRef(base=name, index=index, line=token.line)
+            return ast.Ident(name=name, line=token.line)
+        raise ParseError(
+            f"unexpected token {token.text or token.kind.value!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str) -> ast.Program:
+    """Lex and parse *source*, returning the AST."""
+    return Parser(tokenize(source)).parse_program()

@@ -1,0 +1,212 @@
+"""Pretty-printer: mini-C AST back to compilable C source.
+
+The emitted text is valid input for :func:`repro.lang.parser.parse_program`
+(round-trip property tested in ``tests/lang/test_roundtrip.py``) and is
+also legal C89 modulo the ``float``-is-double convention, which keeps the
+synthetic benchmarks distributable as ordinary ``.c`` files — the central
+promise of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast_nodes as ast
+
+_INDENT = "  "
+
+# Precedence for parenthesization, mirroring the parser's table.
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    ">": 7,
+    "<=": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+_UNARY_PREC = 11
+_ESCAPES = {"\n": "\\n", "\t": "\\t", "\r": "\\r", "\0": "\\0", "\\": "\\\\", '"': '\\"'}
+
+
+def _escape(text: str) -> str:
+    return "".join(_ESCAPES.get(ch, ch) for ch in text)
+
+
+def format_expr(expr: ast.Expr, parent_prec: int = 0) -> str:
+    """Render *expr* as C source, adding parentheses where precedence needs."""
+    if isinstance(expr, ast.IntLit):
+        suffix = "u" if expr.unsigned else ""
+        if expr.value >= 0x10000 and expr.unsigned:
+            return f"0x{expr.value:x}{suffix}"
+        return f"{expr.value}{suffix}"
+    if isinstance(expr, ast.FloatLit):
+        text = repr(float(expr.value))
+        if "e" not in text and "." not in text and "inf" not in text and "nan" not in text:
+            text += ".0"
+        return text
+    if isinstance(expr, ast.CharLit):
+        ch = chr(expr.value)
+        if ch in _ESCAPES:
+            return f"'{_ESCAPES[ch]}'"
+        if ch == "'":
+            return "'\\''"
+        return f"'{ch}'"
+    if isinstance(expr, ast.StringLit):
+        return f'"{_escape(expr.value)}"'
+    if isinstance(expr, ast.Ident):
+        return expr.name
+    if isinstance(expr, ast.ArrayRef):
+        return f"{expr.base}[{format_expr(expr.index)}]"
+    if isinstance(expr, ast.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        right = format_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, ast.UnaryOp):
+        inner = format_expr(expr.operand, _UNARY_PREC)
+        # "- -x" must not collapse into the "--" token.
+        spacer = " " if inner and inner[0] == expr.op else ""
+        text = f"{expr.op}{spacer}{inner}"
+        return f"({text})" if _UNARY_PREC < parent_prec else text
+    if isinstance(expr, ast.Cast):
+        inner = format_expr(expr.operand, _UNARY_PREC)
+        text = f"({expr.target}){inner}"
+        return f"({text})" if _UNARY_PREC < parent_prec else text
+    if isinstance(expr, ast.Call):
+        args = ", ".join(format_expr(arg) for arg in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.Assign):
+        target = format_expr(expr.target)
+        value = format_expr(expr.value)
+        text = f"{target} {expr.op} {value}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ast.IncDec):
+        target = format_expr(expr.target)
+        text = f"{expr.op}{target}" if expr.prefix else f"{target}{expr.op}"
+        return f"({text})" if _UNARY_PREC < parent_prec else text
+    if isinstance(expr, ast.Ternary):
+        cond = format_expr(expr.cond, 1)
+        then = format_expr(expr.then)
+        other = format_expr(expr.other)
+        text = f"{cond} ? {then} : {other}"
+        return f"({text})" if parent_prec > 0 else text
+    raise TypeError(f"cannot format expression {expr!r}")
+
+
+def _format_decl(decl: ast.Decl, indent: str) -> str:
+    head = f"{indent}{decl.base_type} {decl.name}"
+    if decl.is_array:
+        head += f"[{decl.array_length}]"
+    if decl.init is not None:
+        if isinstance(decl.init, list):
+            items = ", ".join(format_expr(item) for item in decl.init)
+            head += f" = {{{items}}}"
+        else:
+            head += f" = {format_expr(decl.init)}"
+    return head + ";"
+
+
+def _format_stmt(stmt: ast.Stmt, level: int) -> list[str]:
+    indent = _INDENT * level
+    if isinstance(stmt, ast.Decl):
+        return [_format_decl(stmt, indent)]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{indent}{format_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.Block):
+        lines = [f"{indent}{{"]
+        for inner in stmt.stmts:
+            lines.extend(_format_stmt(inner, level + 1))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.If):
+        lines = [f"{indent}if ({format_expr(stmt.cond)}) {{"]
+        lines.extend(_format_body(stmt.then, level + 1))
+        if stmt.other is not None:
+            lines.append(f"{indent}}} else {{")
+            lines.extend(_format_body(stmt.other, level + 1))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        lines = [f"{indent}while ({format_expr(stmt.cond)}) {{"]
+        lines.extend(_format_body(stmt.body, level + 1))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.DoWhile):
+        lines = [f"{indent}do {{"]
+        lines.extend(_format_body(stmt.body, level + 1))
+        lines.append(f"{indent}}} while ({format_expr(stmt.cond)});")
+        return lines
+    if isinstance(stmt, ast.For):
+        init = ""
+        if isinstance(stmt.init, ast.Decl):
+            init = _format_decl(stmt.init, "")[:-1]  # strip ';'
+        elif isinstance(stmt.init, ast.ExprStmt):
+            init = format_expr(stmt.init.expr)
+        cond = format_expr(stmt.cond) if stmt.cond is not None else ""
+        step = format_expr(stmt.step) if stmt.step is not None else ""
+        lines = [f"{indent}for ({init}; {cond}; {step}) {{"]
+        lines.extend(_format_body(stmt.body, level + 1))
+        lines.append(f"{indent}}}")
+        return lines
+    if isinstance(stmt, ast.Break):
+        return [f"{indent}break;"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{indent}continue;"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{indent}return;"]
+        return [f"{indent}return {format_expr(stmt.value)};"]
+    raise TypeError(f"cannot format statement {stmt!r}")
+
+
+def _format_body(stmt: ast.Stmt, level: int) -> list[str]:
+    """Format a statement as the body of a control construct.
+
+    Blocks are flattened into the parent's braces.
+    """
+    if isinstance(stmt, ast.Block):
+        lines: list[str] = []
+        for inner in stmt.stmts:
+            lines.extend(_format_stmt(inner, level))
+        return lines
+    return _format_stmt(stmt, level)
+
+
+def format_function(func: ast.FuncDecl) -> str:
+    """Render a function definition."""
+    params = []
+    for param in func.params:
+        if param.is_array:
+            params.append(f"{param.base_type} {param.name}[]")
+        else:
+            params.append(f"{param.base_type} {param.name}")
+    header = f"{func.return_type} {func.name}({', '.join(params)}) {{"
+    lines = [header]
+    for stmt in func.body.stmts:
+        lines.extend(_format_stmt(stmt, 1))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def format_program(program: ast.Program) -> str:
+    """Render a full translation unit as C source text."""
+    parts: list[str] = []
+    for decl in program.globals:
+        parts.append(_format_decl(decl, ""))
+    if program.globals:
+        parts.append("")
+    for func in program.functions:
+        parts.append(format_function(func))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"

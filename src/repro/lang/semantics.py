@@ -1,0 +1,402 @@
+"""Semantic analysis for mini-C: name resolution and type checking.
+
+Annotates every expression node with its ``ctype`` and validates the usual
+C rules (call arity, assignment targets, array indexing, void usage).  The
+IR builder (:mod:`repro.ir.builder`) relies on these annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import SemanticError
+from repro.lang.types import (
+    FLOAT,
+    INT,
+    UNSIGNED,
+    VOID,
+    ArrayType,
+    ScalarType,
+    Type,
+    arithmetic_result,
+)
+
+# Math builtins all take and return float.  ``abs`` is integer.
+MATH_BUILTINS = ("sqrt", "sin", "cos", "log", "exp", "fabs", "floor")
+BUILTIN_SIGNATURES: dict[str, tuple[ScalarType, tuple[Type, ...]]] = {
+    name: (FLOAT, (FLOAT,)) for name in MATH_BUILTINS
+}
+BUILTIN_SIGNATURES["abs"] = (INT, (INT,))
+
+
+@dataclass
+class FunctionSignature:
+    """Resolved signature of a user-defined function."""
+
+    name: str
+    return_type: ScalarType
+    param_types: list[Type] = field(default_factory=list)
+
+
+@dataclass
+class SymbolInfo:
+    """A resolved variable: its type and storage class."""
+
+    name: str
+    ctype: Type
+    storage: str  # 'global' | 'local' | 'param'
+
+
+class _Scope:
+    """A lexical scope chaining to its parent."""
+
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, SymbolInfo] = {}
+
+    def define(self, info: SymbolInfo, line: int) -> None:
+        if info.name in self.symbols:
+            raise SemanticError(f"redefinition of {info.name!r}", line)
+        self.symbols[info.name] = info
+
+    def lookup(self, name: str) -> SymbolInfo | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+class SemanticAnalyzer:
+    """Type-checks a program and annotates the AST in place."""
+
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals = _Scope()
+        self.functions: dict[str, FunctionSignature] = {}
+        self._current_return: ScalarType | None = None
+        self._loop_depth = 0
+
+    def analyze(self) -> ast.Program:
+        """Run all checks; returns the (annotated) program."""
+        for decl in self.program.globals:
+            self._declare_variable(decl, self.globals, "global")
+        for func in self.program.functions:
+            if func.name in self.functions or func.name in BUILTIN_SIGNATURES:
+                raise SemanticError(f"redefinition of function {func.name!r}", func.line)
+            params: list[Type] = []
+            for param in func.params:
+                if param.base_type.is_void():
+                    raise SemanticError("void parameter", param.line)
+                if param.is_array:
+                    params.append(ArrayType(param.base_type))
+                else:
+                    params.append(param.base_type)
+            self.functions[func.name] = FunctionSignature(func.name, func.return_type, params)
+        if "main" not in self.functions:
+            raise SemanticError("program has no main() function")
+        for func in self.program.functions:
+            self._check_function(func)
+        return self.program
+
+    # -- declarations -----------------------------------------------------
+
+    def _declare_variable(self, decl: ast.Decl, scope: _Scope, storage: str) -> None:
+        if decl.base_type.is_void():
+            raise SemanticError(f"variable {decl.name!r} cannot be void", decl.line)
+        ctype: Type
+        if decl.is_array:
+            if decl.array_length <= 0:
+                raise SemanticError(f"array {decl.name!r} must have positive length", decl.line)
+            ctype = ArrayType(decl.base_type, decl.array_length)
+            if isinstance(decl.init, ast.Expr):
+                raise SemanticError(f"array {decl.name!r} needs a brace initializer", decl.line)
+            if isinstance(decl.init, list):
+                if len(decl.init) > decl.array_length:
+                    raise SemanticError(f"too many initializers for {decl.name!r}", decl.line)
+                for item in decl.init:
+                    item_type = self._check_expr(item, scope)
+                    self._require_scalar(item_type, decl.line)
+        else:
+            ctype = decl.base_type
+            if isinstance(decl.init, list):
+                raise SemanticError(f"scalar {decl.name!r} cannot take a brace init", decl.line)
+            if decl.init is not None:
+                init_type = self._check_expr(decl.init, scope)
+                self._require_scalar(init_type, decl.line)
+        if storage == "global" and decl.init is not None:
+            self._require_constant_init(decl)
+        scope.define(SymbolInfo(decl.name, ctype, storage), decl.line)
+
+    def _require_constant_init(self, decl: ast.Decl) -> None:
+        items = decl.init if isinstance(decl.init, list) else [decl.init]
+        for item in items:
+            if not self._is_constant(item):
+                raise SemanticError(
+                    f"global {decl.name!r} initializer must be constant", decl.line
+                )
+
+    def _is_constant(self, expr: ast.Expr) -> bool:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.CharLit)):
+            return True
+        if isinstance(expr, ast.UnaryOp):
+            return self._is_constant(expr.operand)
+        if isinstance(expr, ast.BinOp):
+            return self._is_constant(expr.left) and self._is_constant(expr.right)
+        if isinstance(expr, ast.Cast):
+            return self._is_constant(expr.operand)
+        return False
+
+    # -- functions -------------------------------------------------------
+
+    def _check_function(self, func: ast.FuncDecl) -> None:
+        scope = _Scope(self.globals)
+        for param in func.params:
+            ctype: Type = ArrayType(param.base_type) if param.is_array else param.base_type
+            scope.define(SymbolInfo(param.name, ctype, "param"), param.line)
+        self._current_return = func.return_type
+        self._check_block(func.body, scope)
+        self._current_return = None
+
+    def _check_block(self, block: ast.Block, scope: _Scope) -> None:
+        inner = _Scope(scope)
+        for stmt in block.stmts:
+            self._check_stmt(stmt, inner)
+
+    def _check_stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Decl):
+            self._declare_variable(stmt, scope, "local")
+        elif isinstance(stmt, ast.ExprStmt):
+            self._check_expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.Block):
+            self._check_block(stmt, scope)
+        elif isinstance(stmt, ast.If):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.line)
+            self._check_stmt(stmt.then, scope)
+            if stmt.other is not None:
+                self._check_stmt(stmt.other, scope)
+        elif isinstance(stmt, ast.While):
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.line)
+            self._enter_loop(stmt.body, scope)
+        elif isinstance(stmt, ast.DoWhile):
+            self._enter_loop(stmt.body, scope)
+            self._require_scalar(self._check_expr(stmt.cond, scope), stmt.line)
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._check_stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._require_scalar(self._check_expr(stmt.cond, inner), stmt.line)
+            if stmt.step is not None:
+                self._check_expr(stmt.step, inner)
+            self._enter_loop(stmt.body, inner)
+        elif isinstance(stmt, ast.Break):
+            if self._loop_depth == 0:
+                raise SemanticError("break outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if self._loop_depth == 0:
+                raise SemanticError("continue outside a loop", stmt.line)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                if not self._current_return.is_void():
+                    raise SemanticError("non-void function must return a value", stmt.line)
+            else:
+                if self._current_return.is_void():
+                    raise SemanticError("void function cannot return a value", stmt.line)
+                self._require_scalar(self._check_expr(stmt.value, scope), stmt.line)
+        else:
+            raise SemanticError(f"unknown statement {stmt!r}", stmt.line)
+
+    def _enter_loop(self, body: ast.Stmt, scope: _Scope) -> None:
+        self._loop_depth += 1
+        try:
+            self._check_stmt(body, scope)
+        finally:
+            self._loop_depth -= 1
+
+    # -- expressions --------------------------------------------------------
+
+    def _check_expr(self, expr: ast.Expr, scope: _Scope) -> Type:
+        ctype = self._infer(expr, scope)
+        expr.ctype = ctype
+        return ctype
+
+    def _infer(self, expr: ast.Expr, scope: _Scope) -> Type:
+        if isinstance(expr, ast.IntLit):
+            return UNSIGNED if expr.unsigned else INT
+        if isinstance(expr, ast.FloatLit):
+            return FLOAT
+        if isinstance(expr, ast.CharLit):
+            return INT
+        if isinstance(expr, ast.StringLit):
+            raise SemanticError("string literal outside printf", expr.line)
+        if isinstance(expr, ast.Ident):
+            info = scope.lookup(expr.name)
+            if info is None:
+                raise SemanticError(f"undefined variable {expr.name!r}", expr.line)
+            return info.ctype
+        if isinstance(expr, ast.ArrayRef):
+            info = scope.lookup(expr.base)
+            if info is None:
+                raise SemanticError(f"undefined array {expr.base!r}", expr.line)
+            if not info.ctype.is_array():
+                raise SemanticError(f"{expr.base!r} is not an array", expr.line)
+            index_type = self._check_expr(expr.index, scope)
+            if not index_type.is_integer():
+                raise SemanticError("array index must be an integer", expr.line)
+            return info.ctype.element
+        if isinstance(expr, ast.BinOp):
+            return self._infer_binop(expr, scope)
+        if isinstance(expr, ast.UnaryOp):
+            operand = self._check_expr(expr.operand, scope)
+            self._require_scalar(operand, expr.line)
+            if expr.op == "!":
+                return INT
+            if expr.op == "~":
+                if not operand.is_integer():
+                    raise SemanticError("~ requires an integer operand", expr.line)
+                return operand
+            return operand  # unary minus keeps the operand type
+        if isinstance(expr, ast.Cast):
+            operand = self._check_expr(expr.operand, scope)
+            self._require_scalar(operand, expr.line)
+            if expr.target.is_void():
+                raise SemanticError("cannot cast to void", expr.line)
+            return expr.target
+        if isinstance(expr, ast.Call):
+            return self._infer_call(expr, scope)
+        if isinstance(expr, ast.Assign):
+            return self._infer_assign(expr, scope)
+        if isinstance(expr, ast.IncDec):
+            target = self._check_expr(expr.target, scope)
+            if not target.is_integer():
+                raise SemanticError("++/-- requires an integer lvalue", expr.line)
+            return target
+        if isinstance(expr, ast.Ternary):
+            self._require_scalar(self._check_expr(expr.cond, scope), expr.line)
+            then = self._check_expr(expr.then, scope)
+            other = self._check_expr(expr.other, scope)
+            self._require_scalar(then, expr.line)
+            self._require_scalar(other, expr.line)
+            return arithmetic_result(then, other)
+        raise SemanticError(f"unknown expression {expr!r}", expr.line)
+
+    def _infer_binop(self, expr: ast.BinOp, scope: _Scope) -> Type:
+        left = self._check_expr(expr.left, scope)
+        right = self._check_expr(expr.right, scope)
+        self._require_scalar(left, expr.line)
+        self._require_scalar(right, expr.line)
+        op = expr.op
+        if op in ("&&", "||"):
+            return INT
+        if op in ("==", "!=", "<", ">", "<=", ">="):
+            return INT
+        if op in ("%", "&", "|", "^", "<<", ">>"):
+            if not (left.is_integer() and right.is_integer()):
+                raise SemanticError(f"{op!r} requires integer operands", expr.line)
+            if op in ("<<", ">>"):
+                return left
+            return arithmetic_result(left, right)
+        return arithmetic_result(left, right)
+
+    def _infer_assign(self, expr: ast.Assign, scope: _Scope) -> Type:
+        target_type = self._check_expr(expr.target, scope)
+        if not target_type.is_scalar():
+            raise SemanticError("assignment target must be a scalar lvalue", expr.line)
+        value_type = self._check_expr(expr.value, scope)
+        self._require_scalar(value_type, expr.line)
+        if expr.op != "=":
+            base_op = expr.op[:-1]
+            if base_op in ("%", "&", "|", "^", "<<", ">>"):
+                if not (target_type.is_integer() and value_type.is_integer()):
+                    raise SemanticError(
+                        f"{expr.op!r} requires integer operands", expr.line
+                    )
+        return target_type
+
+    def _infer_call(self, expr: ast.Call, scope: _Scope) -> Type:
+        if expr.name == "printf":
+            return self._infer_printf(expr, scope)
+        if expr.name in BUILTIN_SIGNATURES:
+            return_type, param_types = BUILTIN_SIGNATURES[expr.name]
+            if len(expr.args) != len(param_types):
+                raise SemanticError(f"{expr.name}() takes {len(param_types)} args", expr.line)
+            for arg in expr.args:
+                self._require_scalar(self._check_expr(arg, scope), expr.line)
+            return return_type
+        sig = self.functions.get(expr.name)
+        if sig is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}", expr.line)
+        if len(expr.args) != len(sig.param_types):
+            raise SemanticError(
+                f"{expr.name}() takes {len(sig.param_types)} args, got {len(expr.args)}",
+                expr.line,
+            )
+        for arg, param_type in zip(expr.args, sig.param_types):
+            arg_type = self._check_expr(arg, scope)
+            if param_type.is_array():
+                if not (isinstance(arg, ast.Ident) and arg_type.is_array()):
+                    raise SemanticError("array argument must be an array name", expr.line)
+                if arg_type.element != param_type.element:
+                    raise SemanticError("array element type mismatch", expr.line)
+            else:
+                self._require_scalar(arg_type, expr.line)
+        return sig.return_type
+
+    def _infer_printf(self, expr: ast.Call, scope: _Scope) -> Type:
+        if not expr.args or not isinstance(expr.args[0], ast.StringLit):
+            raise SemanticError("printf needs a string literal format", expr.line)
+        fmt: ast.StringLit = expr.args[0]
+        fmt.ctype = None  # strings carry no value type
+        conversions = _parse_printf_format(fmt.value, expr.line)
+        rest = expr.args[1:]
+        if len(conversions) != len(rest):
+            raise SemanticError(
+                f"printf format expects {len(conversions)} args, got {len(rest)}", expr.line
+            )
+        for conv, arg in zip(conversions, rest):
+            arg_type = self._check_expr(arg, scope)
+            self._require_scalar(arg_type, expr.line)
+            if conv == "f" and not arg_type.is_float():
+                raise SemanticError("%f requires a float argument", expr.line)
+            if conv in ("d", "u", "c", "x") and arg_type.is_float():
+                raise SemanticError(f"%{conv} requires an integer argument", expr.line)
+        return INT
+
+    def _require_scalar(self, ctype: Type, line: int) -> None:
+        if ctype is None or not ctype.is_scalar():
+            raise SemanticError("expected a scalar value", line)
+
+
+def _parse_printf_format(fmt: str, line: int) -> list[str]:
+    """Return the conversion letters in a printf format string."""
+    conversions: list[str] = []
+    i = 0
+    while i < len(fmt):
+        if fmt[i] == "%":
+            if i + 1 >= len(fmt):
+                raise SemanticError("dangling % in printf format", line)
+            ch = fmt[i + 1]
+            if ch == "%":
+                i += 2
+                continue
+            # Skip width/precision digits and '.'
+            j = i + 1
+            while j < len(fmt) and (fmt[j].isdigit() or fmt[j] == "."):
+                j += 1
+            if j >= len(fmt) or fmt[j] not in "dufcxs":
+                raise SemanticError(f"unsupported printf conversion in {fmt!r}", line)
+            conversions.append(fmt[j])
+            i = j + 1
+        else:
+            i += 1
+    return conversions
+
+
+def analyze(program: ast.Program) -> SemanticAnalyzer:
+    """Run semantic analysis; returns the analyzer (with signature tables)."""
+    analyzer = SemanticAnalyzer(program)
+    analyzer.analyze()
+    return analyzer

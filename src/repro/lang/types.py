@@ -1,0 +1,87 @@
+"""Type system for the mini-C dialect.
+
+Three scalar types (``int``, ``unsigned``, ``float``), ``void`` for
+functions, and one-dimensional arrays of scalars.  ``float`` follows C's
+``double`` semantics (the paper's workloads use ``double`` math through
+``libm``); we keep the C spelling ``float`` in source for brevity but give
+it 64-bit behaviour, which is documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for mini-C types."""
+
+    def is_scalar(self) -> bool:
+        return isinstance(self, ScalarType) and self.name != "void"
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_integer(self) -> bool:
+        return isinstance(self, ScalarType) and self.name in ("int", "unsigned")
+
+    def is_float(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "float"
+
+    def is_void(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "void"
+
+    def is_unsigned(self) -> bool:
+        return isinstance(self, ScalarType) and self.name == "unsigned"
+
+
+@dataclass(frozen=True)
+class ScalarType(Type):
+    """One of ``int``, ``unsigned``, ``float`` or ``void``."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class ArrayType(Type):
+    """A one-dimensional array of a scalar element type.
+
+    ``length`` is ``None`` for array function parameters (``int a[]``),
+    whose extent is supplied by the caller.
+    """
+
+    element: ScalarType
+    length: int | None = None
+
+    def __str__(self) -> str:
+        if self.length is None:
+            return f"{self.element}[]"
+        return f"{self.element}[{self.length}]"
+
+
+INT = ScalarType("int")
+UNSIGNED = ScalarType("unsigned")
+FLOAT = ScalarType("float")
+VOID = ScalarType("void")
+
+_BY_NAME = {"int": INT, "unsigned": UNSIGNED, "float": FLOAT, "double": FLOAT, "void": VOID}
+
+
+def scalar_from_name(name: str) -> ScalarType:
+    """Look up a scalar type by keyword, treating ``double`` as ``float``."""
+    return _BY_NAME[name]
+
+
+def arithmetic_result(left: Type, right: Type) -> ScalarType:
+    """C's usual arithmetic conversions, restricted to our three scalars.
+
+    float beats unsigned beats int.
+    """
+    if left.is_float() or right.is_float():
+        return FLOAT
+    if left.is_unsigned() or right.is_unsigned():
+        return UNSIGNED
+    return INT

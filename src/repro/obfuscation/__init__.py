@@ -1,0 +1,37 @@
+"""Software-plagiarism detection (§V-E).
+
+The paper validates that synthetic clones expose no proprietary
+information by running Moss and JPlag on (original, clone) pairs.  We
+implement both tools' published algorithms:
+
+* :mod:`repro.obfuscation.winnowing` — Moss's winnowing fingerprinter
+  (Schleimer, Wilkerson & Aiken, SIGMOD 2003): k-gram hashes over a
+  normalized token stream, window-minimum fingerprint selection, Jaccard
+  similarity over fingerprint sets;
+* :mod:`repro.obfuscation.gst` — JPlag's Greedy String Tiling (Prechelt,
+  Malpohl & Philippsen): maximal non-overlapping token-run matching with
+  a minimum match length, similarity = matched coverage.
+
+Both operate on the mini-C token stream with identifiers/literals
+normalized to class tokens, exactly as the real tools normalize source.
+"""
+
+from repro.obfuscation.tokens import normalize_tokens
+from repro.obfuscation.winnowing import (
+    fingerprint_similarity,
+    winnow,
+    winnow_fingerprints,
+)
+from repro.obfuscation.gst import greedy_string_tiling, gst_similarity
+from repro.obfuscation.report import SimilarityReport, compare_sources
+
+__all__ = [
+    "SimilarityReport",
+    "compare_sources",
+    "fingerprint_similarity",
+    "greedy_string_tiling",
+    "gst_similarity",
+    "normalize_tokens",
+    "winnow",
+    "winnow_fingerprints",
+]

@@ -1,0 +1,31 @@
+"""Token normalization for plagiarism detection.
+
+Both Moss and JPlag are robust to renaming: identifiers, literals and
+comments are collapsed into class tokens before matching.  We reuse the
+mini-C lexer so the token classes exactly match the language.
+"""
+
+from __future__ import annotations
+
+from repro.lang.lexer import TokenKind, tokenize
+
+# All identifiers collapse to ID, all numeric literals to LIT, strings to
+# STR; keywords/operators keep their identity (that is the structure the
+# matchers compare).
+_CLASS = {
+    TokenKind.IDENT: "ID",
+    TokenKind.INT_LIT: "LIT",
+    TokenKind.FLOAT_LIT: "LIT",
+    TokenKind.CHAR_LIT: "LIT",
+    TokenKind.STRING_LIT: "STR",
+}
+
+
+def normalize_tokens(source: str) -> list[str]:
+    """Lex *source* and return its normalized token-class stream."""
+    normalized: list[str] = []
+    for token in tokenize(source):
+        if token.kind is TokenKind.EOF:
+            break
+        normalized.append(_CLASS.get(token.kind, token.kind.value))
+    return normalized

@@ -1,0 +1,84 @@
+"""Constant folding and algebraic simplification.
+
+Folds ``BinOp``/``UnOp`` instructions whose operands are constants using
+the shared semantics in :mod:`repro.ir.ops_eval`, and applies the safe
+identities (x+0, x*1, x*0, x-0, x|0, x&~0, shifts by 0).  Branches with a
+constant condition keep their form here (codegen turns them into
+unconditional jumps); folding never changes control flow.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    Address,
+    BinOp,
+    Const,
+    IRFunction,
+    IRProgram,
+    LoadConst,
+    UnOp,
+)
+from repro.ir.ops_eval import BINOPS, TRAPPING_OPS, UNOPS
+
+
+def _fold_binop(instr: BinOp):
+    """Return a replacement instruction or None."""
+    lhs, rhs = instr.lhs, instr.rhs
+    if isinstance(rhs, Address):
+        return None
+    if isinstance(lhs, Const) and isinstance(rhs, Const):
+        if instr.op in TRAPPING_OPS and not rhs.value:
+            return None  # let it trap at run time, like the hardware
+        value = BINOPS[instr.op](lhs.value, rhs.value)
+        return LoadConst(instr.dst, value)
+    if isinstance(rhs, Const):
+        value = rhs.value
+        if instr.op in ("add", "sub", "or", "xor", "shl", "shr", "sar") and value == 0:
+            return UnOp("mov", instr.dst, lhs)
+        if instr.op in ("fadd", "fsub") and value == 0.0:
+            return UnOp("fmov", instr.dst, lhs)
+        if instr.op in ("mul", "udiv", "div") and value == 1:
+            return UnOp("mov", instr.dst, lhs)
+        if instr.op in ("fmul", "fdiv") and value == 1.0:
+            return UnOp("fmov", instr.dst, lhs)
+        if instr.op in ("mul", "and") and value == 0:
+            return LoadConst(instr.dst, 0)
+    if isinstance(lhs, Const):
+        value = lhs.value
+        if instr.op == "add" and value == 0:
+            return UnOp("mov", instr.dst, rhs)
+        if instr.op == "fadd" and value == 0.0:
+            return UnOp("fmov", instr.dst, rhs)
+        if instr.op in ("mul", "and") and value == 0:
+            return LoadConst(instr.dst, 0)
+        if instr.op == "mul" and value == 1:
+            return UnOp("mov", instr.dst, rhs)
+        if instr.op == "fmul" and value == 1.0:
+            return UnOp("fmov", instr.dst, rhs)
+    return None
+
+
+def fold_constants_function(func: IRFunction) -> int:
+    """Fold constants in one function; returns the number of changes."""
+    changes = 0
+    for blk in func.blocks:
+        for i, instr in enumerate(blk.instrs):
+            if isinstance(instr, BinOp):
+                replacement = _fold_binop(instr)
+                if replacement is not None:
+                    blk.instrs[i] = replacement
+                    changes += 1
+            elif isinstance(instr, UnOp) and isinstance(instr.src, Const):
+                if instr.op in ("mov", "fmov"):
+                    blk.instrs[i] = LoadConst(instr.dst, instr.src.value)
+                    changes += 1
+                elif instr.op in UNOPS and instr.op not in TRAPPING_OPS:
+                    value = UNOPS[instr.op](instr.src.value)
+                    blk.instrs[i] = LoadConst(instr.dst, value)
+                    changes += 1
+    return changes
+
+
+def fold_constants(program: IRProgram) -> int:
+    """Fold constants program-wide; returns total change count."""
+    return sum(fold_constants_function(func) for func in program.functions.values())

@@ -1,0 +1,56 @@
+"""Dead-code elimination.
+
+Removes pure instructions (ALU ops, loads, address computations, constant
+loads, moves) whose destination temp is never used anywhere in the
+function.  Iterates to a fixpoint so chains of dead computations collapse.
+Stores, calls, prints and terminators are always live.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    BinOp,
+    IRFunction,
+    IRProgram,
+    Load,
+    LoadAddress,
+    LoadConst,
+    Temp,
+    UnOp,
+)
+
+_PURE = (BinOp, UnOp, Load, LoadAddress, LoadConst)
+
+
+def _use_counts(func: IRFunction) -> dict[Temp, int]:
+    counts: dict[Temp, int] = {}
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            for temp in instr.uses():
+                counts[temp] = counts.get(temp, 0) + 1
+    return counts
+
+
+def eliminate_dead_code_function(func: IRFunction) -> int:
+    removed = 0
+    while True:
+        counts = _use_counts(func)
+        changed = False
+        for blk in func.blocks:
+            kept = []
+            for instr in blk.instrs:
+                if isinstance(instr, _PURE):
+                    dst = instr.defs()
+                    if dst is not None and counts.get(dst, 0) == 0:
+                        removed += 1
+                        changed = True
+                        continue
+                kept.append(instr)
+            blk.instrs = kept
+        if not changed:
+            return removed
+
+
+def eliminate_dead_code(program: IRProgram) -> int:
+    """Remove dead code program-wide; returns removed instruction count."""
+    return sum(eliminate_dead_code_function(func) for func in program.functions.values())

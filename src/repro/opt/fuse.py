@@ -1,0 +1,75 @@
+"""CISC load-op fusion (x86-style memory operands).
+
+For targets with ``cisc_fusion``, a load whose result feeds exactly one
+immediately-following ALU instruction is folded into that instruction as a
+memory operand — mirroring ``addl t+504, %eax``.  The fused instruction
+keeps its ALU klass for instruction-mix purposes but still produces a
+data-cache access, exactly like hardware.
+
+Constraints (soundness + spill safety):
+
+* load and consumer are adjacent in the same block;
+* the loaded temp has exactly one use in the whole function;
+* the address contains at most one temp (scratch-register budget);
+* value kinds match (int loads into int ops, float into float).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Address, BinOp, IRFunction, IRProgram, Load, Temp
+
+
+def _use_counts(func: IRFunction) -> dict[Temp, int]:
+    counts: dict[Temp, int] = {}
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            for temp in instr.uses():
+                counts[temp] = counts.get(temp, 0) + 1
+    return counts
+
+
+def _address_temp_count(addr: Address) -> int:
+    count = 0
+    if isinstance(addr.base, Temp):
+        count += 1
+    if isinstance(addr.index, Temp):
+        count += 1
+    return count
+
+
+def fuse_memory_operands_function(func: IRFunction) -> int:
+    counts = _use_counts(func)
+    fused = 0
+    for blk in func.blocks:
+        result: list = []
+        i = 0
+        while i < len(blk.instrs):
+            instr = blk.instrs[i]
+            nxt = blk.instrs[i + 1] if i + 1 < len(blk.instrs) else None
+            if (
+                isinstance(instr, Load)
+                and isinstance(nxt, BinOp)
+                and not isinstance(nxt.rhs, Address)
+                and counts.get(instr.dst, 0) == 1
+                and nxt.rhs == instr.dst
+                and nxt.lhs != instr.dst
+                and _address_temp_count(instr.addr) <= 1
+            ):
+                float_op = nxt.op.startswith("f")
+                if (instr.dst.kind == "f") == float_op:
+                    nxt.rhs = instr.addr
+                    result.append(nxt)
+                    fused += 1
+                    i += 2
+                    continue
+            result.append(instr)
+            i += 1
+        blk.instrs = result
+    return fused
+
+
+def fuse_memory_operands(program: IRProgram) -> int:
+    """Fuse load-op pairs program-wide; returns fusion count."""
+    return sum(
+        fuse_memory_operands_function(func) for func in program.functions.values()
+    )

@@ -1,0 +1,166 @@
+"""Loop-invariant code motion.
+
+Hoists pure, non-trapping computations out of natural loops into a
+freshly-created preheader.  An instruction is hoistable when:
+
+* it is a pure ALU op, constant load, or address computation (loads are
+  hoisted only from loops containing no stores or calls);
+* every temp it reads is defined outside the loop (or by an instruction
+  already hoisted);
+* its destination temp has exactly one definition in the whole function
+  (quasi-SSA condition that makes the motion trivially sound).
+
+The preheader takes over every non-back edge into the loop header.
+"""
+
+from __future__ import annotations
+
+from repro.ir.cfg import ControlFlowGraph, find_natural_loops
+from repro.ir.instructions import (
+    Address,
+    BasicBlockRef,
+    BinOp,
+    Branch,
+    Call,
+    IRFunction,
+    IRProgram,
+    Jump,
+    Load,
+    LoadAddress,
+    LoadConst,
+    Print,
+    Store,
+    Temp,
+    UnOp,
+)
+from repro.ir.ops_eval import TRAPPING_OPS
+
+_PURE_ALU = (BinOp, UnOp, LoadConst, LoadAddress)
+
+
+def _definition_counts(func: IRFunction) -> dict[Temp, int]:
+    counts: dict[Temp, int] = {}
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            dst = instr.defs()
+            if dst is not None:
+                counts[dst] = counts.get(dst, 0) + 1
+    return counts
+
+
+def _loop_has_side_effects(func: IRFunction, body: set[str]) -> bool:
+    for blk in func.blocks:
+        if blk.label in body:
+            for instr in blk.instrs:
+                if isinstance(instr, (Store, Call, Print)):
+                    return True
+    return False
+
+
+def hoist_loop_invariants_function(func: IRFunction) -> int:
+    cfg = ControlFlowGraph(func)
+    loops = find_natural_loops(cfg)
+    if not loops:
+        return 0
+    def_counts = _definition_counts(func)
+    # Temps defined inside each loop body.
+    hoisted_total = 0
+    preheader_counter = 0
+    for loop in loops:  # outermost first: inner loops can re-hoist later
+        defined_in_loop: set[Temp] = set()
+        for blk in func.blocks:
+            if blk.label in loop.body:
+                for instr in blk.instrs:
+                    dst = instr.defs()
+                    if dst is not None:
+                        defined_in_loop.add(dst)
+        loads_ok = not _loop_has_side_effects(func, loop.body)
+        hoisted: list = []
+        moved_temps: set[Temp] = set()
+
+        def invariant(instr) -> bool:
+            dst = instr.defs()
+            if dst is None or def_counts.get(dst, 0) != 1:
+                return False
+            if isinstance(instr, BinOp):
+                if instr.op in TRAPPING_OPS:
+                    return False
+                if isinstance(instr.rhs, Address):
+                    return False
+            elif isinstance(instr, UnOp):
+                if instr.op in TRAPPING_OPS:
+                    return False
+            elif isinstance(instr, Load):
+                if not loads_ok:
+                    return False
+            elif not isinstance(instr, (LoadConst, LoadAddress)):
+                return False
+            for temp in instr.uses():
+                if temp in defined_in_loop and temp not in moved_temps:
+                    return False
+            return True
+
+        changed = True
+        while changed:
+            changed = False
+            for blk in func.blocks:
+                if blk.label not in loop.body:
+                    continue
+                kept = []
+                for instr in blk.instrs:
+                    if (
+                        isinstance(instr, _PURE_ALU + (Load,))
+                        and instr.defs() is not None
+                        and instr.defs() not in moved_temps
+                        and invariant(instr)
+                    ):
+                        hoisted.append(instr)
+                        moved_temps.add(instr.defs())
+                        changed = True
+                    else:
+                        kept.append(instr)
+                blk.instrs = kept
+        if not hoisted:
+            continue
+        hoisted_total += len(hoisted)
+        preheader_counter += 1
+        _insert_preheader(func, loop.header, loop.back_edges, hoisted, preheader_counter)
+        cfg = ControlFlowGraph(func)  # structure changed
+    return hoisted_total
+
+
+def _insert_preheader(
+    func: IRFunction,
+    header: str,
+    back_edges: list[str],
+    hoisted: list,
+    counter: int,
+) -> None:
+    """Create a preheader with the hoisted code before *header*."""
+    label = f"preheader{counter}.{header}"
+    preheader = BasicBlockRef(label, hoisted + [Jump(header)])
+    back = set(back_edges)
+    for blk in func.blocks:
+        if blk.label in back or blk.label == label:
+            continue
+        term = blk.terminator
+        if isinstance(term, Jump) and term.label == header:
+            term.label = label
+        elif isinstance(term, Branch):
+            if term.then_label == header:
+                term.then_label = label
+            if term.other_label == header:
+                term.other_label = label
+    header_index = next(i for i, blk in enumerate(func.blocks) if blk.label == header)
+    func.blocks.insert(header_index, preheader)
+    # If the entry block *is* the header, the preheader must become the
+    # new entry.
+    if header_index == 0:
+        pass  # insert already placed the preheader first
+
+
+def hoist_loop_invariants(program: IRProgram) -> int:
+    """Run LICM program-wide; returns hoisted instruction count."""
+    return sum(
+        hoist_loop_invariants_function(func) for func in program.functions.values()
+    )

@@ -1,0 +1,168 @@
+"""Linear-scan register allocation over IR virtual registers.
+
+Classic Poletto/Sarkar linear scan with interval extension from block-level
+liveness (the IR is not SSA, so a temp may have several defs; intervals are
+widened to cover every block where the temp is live-in/live-out).
+
+Integer and float temps are allocated from separate register files.  The
+last two registers of each file are reserved by the target as spill
+scratch and never allocated here.  Spilled temps are materialized by the
+code generator through those scratch registers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.instructions import Address, IRFunction, StackSlot, Temp
+
+
+@dataclass
+class Allocation:
+    """Result of register allocation for one function."""
+
+    # temp -> physical register index (within its file)
+    registers: dict[Temp, int] = field(default_factory=dict)
+    # temp -> spill slot
+    spills: dict[Temp, StackSlot] = field(default_factory=dict)
+    spill_count: int = 0
+
+    def location(self, temp: Temp) -> tuple[str, int | StackSlot]:
+        if temp in self.registers:
+            return ("reg", self.registers[temp])
+        return ("spill", self.spills[temp])
+
+
+def _instruction_temps(instr) -> tuple[list[Temp], Temp | None]:
+    """(uses, def) of an instruction, including temps inside addresses."""
+    uses = list(instr.uses())
+    # BinOp rhs may be a fused Address (after the fusion pass); Instr.uses()
+    # already walks Address operands via _operand_uses.
+    return uses, instr.defs()
+
+
+def _block_liveness(func: IRFunction) -> tuple[dict[str, set[Temp]], dict[str, set[Temp]]]:
+    """Compute live-in / live-out sets per block (backward dataflow)."""
+    use: dict[str, set[Temp]] = {}
+    defs: dict[str, set[Temp]] = {}
+    succs: dict[str, list[str]] = {}
+    for blk in func.blocks:
+        block_use: set[Temp] = set()
+        block_def: set[Temp] = set()
+        for instr in blk.instrs:
+            instr_uses, instr_def = _instruction_temps(instr)
+            for temp in instr_uses:
+                if temp not in block_def:
+                    block_use.add(temp)
+            if instr_def is not None:
+                block_def.add(instr_def)
+        use[blk.label] = block_use
+        defs[blk.label] = block_def
+        succs[blk.label] = blk.successor_labels()
+    live_in: dict[str, set[Temp]] = {blk.label: set() for blk in func.blocks}
+    live_out: dict[str, set[Temp]] = {blk.label: set() for blk in func.blocks}
+    changed = True
+    order = [blk.label for blk in reversed(func.blocks)]
+    while changed:
+        changed = False
+        for label in order:
+            out: set[Temp] = set()
+            for succ in succs[label]:
+                out |= live_in[succ]
+            new_in = use[label] | (out - defs[label])
+            if out != live_out[label] or new_in != live_in[label]:
+                live_out[label] = out
+                live_in[label] = new_in
+                changed = True
+    return live_in, live_out
+
+
+@dataclass
+class _Interval:
+    temp: Temp
+    start: int
+    end: int
+
+
+def _build_intervals(func: IRFunction) -> list[_Interval]:
+    live_in, live_out = _block_liveness(func)
+    starts: dict[Temp, int] = {}
+    ends: dict[Temp, int] = {}
+
+    def note(temp: Temp, pos: int) -> None:
+        if temp not in starts or pos < starts[temp]:
+            starts[temp] = pos
+        if temp not in ends or pos > ends[temp]:
+            ends[temp] = pos
+
+    position = 0
+    for param in func.param_temps:
+        note(param, 0)
+    for blk in func.blocks:
+        block_start = position
+        for instr in blk.instrs:
+            uses, definition = _instruction_temps(instr)
+            for temp in uses:
+                note(temp, position)
+            if definition is not None:
+                note(definition, position)
+            position += 1
+        block_end = position - 1 if position > block_start else block_start
+        for temp in live_in[blk.label]:
+            note(temp, block_start)
+        for temp in live_out[blk.label]:
+            note(temp, block_end)
+    intervals = [_Interval(temp, starts[temp], ends[temp]) for temp in starts]
+    intervals.sort(key=lambda iv: (iv.start, iv.end))
+    return intervals
+
+
+def allocate_registers(
+    func: IRFunction, num_int_regs: int, num_float_regs: int
+) -> Allocation:
+    """Allocate physical registers for every temp in *func*.
+
+    ``num_int_regs``/``num_float_regs`` are the *allocatable* counts
+    (scratch registers excluded by the caller).  Spill slots are appended
+    to ``func.stack_slots``.
+    """
+    allocation = Allocation()
+    intervals = _build_intervals(func)
+    free: dict[str, list[int]] = {
+        "i": list(range(num_int_regs - 1, -1, -1)),
+        "f": list(range(num_float_regs - 1, -1, -1)),
+    }
+    active: dict[str, list[_Interval]] = {"i": [], "f": []}
+
+    def expire(kind: str, start: int) -> None:
+        keep: list[_Interval] = []
+        for interval in active[kind]:
+            if interval.end < start:
+                free[kind].append(allocation.registers[interval.temp])
+            else:
+                keep.append(interval)
+        active[kind] = keep
+
+    def spill(interval: _Interval) -> None:
+        allocation.spill_count += 1
+        slot = StackSlot(f"spill.{allocation.spill_count}", 1)
+        func.stack_slots.append(slot)
+        allocation.spills[interval.temp] = slot
+
+    for interval in intervals:
+        kind = interval.temp.kind
+        expire(kind, interval.start)
+        if free[kind]:
+            allocation.registers[interval.temp] = free[kind].pop()
+            active[kind].append(interval)
+            continue
+        # No free register: spill whichever interval ends last.
+        victim = max(active[kind], key=lambda iv: iv.end)
+        if victim.end > interval.end:
+            allocation.registers[interval.temp] = allocation.registers.pop(victim.temp)
+            active[kind].remove(victim)
+            active[kind].append(interval)
+            spill(victim)
+        else:
+            spill(interval)
+    return allocation

@@ -1,0 +1,53 @@
+"""Strength reduction.
+
+Rewrites expensive integer operations with power-of-two constants into
+cheap shifts and masks:
+
+* ``mul x, 2^k``  -> ``shl x, k`` (both signednesses);
+* ``udiv x, 2^k`` -> ``shr x, k``;
+* ``umod x, 2^k`` -> ``and x, 2^k - 1``.
+
+Signed division is left alone (C's truncation toward zero differs from an
+arithmetic shift for negative operands).
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinOp, Const, IRProgram, IRFunction, Temp
+
+
+def _log2_exact(value: int) -> int | None:
+    if value > 0 and (value & (value - 1)) == 0:
+        return value.bit_length() - 1
+    return None
+
+
+def reduce_strength_function(func: IRFunction) -> int:
+    changes = 0
+    for blk in func.blocks:
+        for instr in blk.instrs:
+            if not isinstance(instr, BinOp) or not isinstance(instr.rhs, Const):
+                continue
+            if isinstance(instr.rhs.value, float):
+                continue
+            shift = _log2_exact(instr.rhs.value)
+            if shift is None:
+                continue
+            if instr.op == "mul":
+                instr.op = "shl"
+                instr.rhs = Const(shift)
+                changes += 1
+            elif instr.op == "udiv":
+                instr.op = "shr"
+                instr.rhs = Const(shift)
+                changes += 1
+            elif instr.op == "umod":
+                instr.op = "and"
+                instr.rhs = Const(instr.rhs.value - 1)
+                changes += 1
+    return changes
+
+
+def reduce_strength(program: IRProgram) -> int:
+    """Apply strength reduction program-wide; returns rewrite count."""
+    return sum(reduce_strength_function(func) for func in program.functions.values())

@@ -1,0 +1,49 @@
+"""Workload profiling: the paper's "statistical profile" (§III-A).
+
+``profile_trace`` turns one functional-simulation trace into a
+:class:`StatisticalProfile` holding:
+
+* the **SFGL** — statistical flow graph with loop annotation: block
+  execution counts, edge counts/probabilities, and the natural-loop
+  forest with iteration counts (§III-A.1);
+* per-static-branch **taken and transition rates** with the easy/hard
+  classification of Huang et al. (§III-A.2);
+* per-static-memory-access **hit/miss classes** (Table I) measured
+  against a configurable profiling cache, plus working-set estimates from
+  a multi-size sweep (§III-A.3);
+* per-block instruction descriptors feeding the Table II pattern
+  recognizer.
+"""
+
+from repro.profiling.loops import MachineLoop, find_machine_loops, machine_cfg
+from repro.profiling.sfgl import SFGL, SFGLBlock, SFGLLoop, build_sfgl
+from repro.profiling.branch_profile import BranchProfile, BranchStats, profile_branches
+from repro.profiling.memory_profile import (
+    MemoryProfile,
+    MemoryStats,
+    miss_class_for_rate,
+    profile_memory,
+    MISS_CLASS_STRIDES,
+)
+from repro.profiling.profile import StatisticalProfile, profile_trace, profile_workload
+
+__all__ = [
+    "BranchProfile",
+    "BranchStats",
+    "MachineLoop",
+    "MemoryProfile",
+    "MemoryStats",
+    "MISS_CLASS_STRIDES",
+    "SFGL",
+    "SFGLBlock",
+    "SFGLLoop",
+    "StatisticalProfile",
+    "build_sfgl",
+    "find_machine_loops",
+    "machine_cfg",
+    "miss_class_for_rate",
+    "profile_branches",
+    "profile_memory",
+    "profile_trace",
+    "profile_workload",
+]

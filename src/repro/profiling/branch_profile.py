@@ -1,0 +1,84 @@
+"""Branch taken and transition rates (§III-A.2).
+
+The *transition rate* of a static branch is how often its outcome differs
+from its previous outcome (Huang et al., HPCA 2000).  Low (<~10%) or high
+(>~90%) transition rates mean the branch is easy to predict; mid-range
+rates mean hard.  The paper collapses this into two classes, which the
+synthesizer turns into constant conditions (easy) or modulo tests (hard).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+EASY_LOW = 0.10
+EASY_HIGH = 0.90
+
+
+@dataclass
+class BranchStats:
+    """Profile of one static conditional branch."""
+
+    uid: int
+    executions: int = 0
+    taken: int = 0
+    transitions: int = 0
+    _last: int = field(default=-1, repr=False)
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def transition_rate(self) -> float:
+        if self.executions <= 1:
+            return 0.0
+        return self.transitions / (self.executions - 1)
+
+    @property
+    def is_easy(self) -> bool:
+        rate = self.transition_rate
+        return rate <= EASY_LOW or rate >= EASY_HIGH
+
+
+@dataclass
+class BranchProfile:
+    """Per-branch statistics for one execution."""
+
+    branches: dict[int, BranchStats] = field(default_factory=dict)
+
+    def stats(self, uid: int) -> BranchStats | None:
+        return self.branches.get(uid)
+
+    @property
+    def total_executions(self) -> int:
+        return sum(b.executions for b in self.branches.values())
+
+    def hard_fraction(self) -> float:
+        """Dynamic fraction of branch executions from hard branches."""
+        total = self.total_executions
+        if not total:
+            return 0.0
+        hard = sum(
+            b.executions for b in self.branches.values() if not b.is_easy
+        )
+        return hard / total
+
+
+def profile_branches(branch_log) -> BranchProfile:
+    """Build a :class:`BranchProfile` from a ``(uid << 1) | taken`` log."""
+    profile = BranchProfile()
+    branches = profile.branches
+    for packed in branch_log:
+        uid = packed >> 1
+        taken = packed & 1
+        stats = branches.get(uid)
+        if stats is None:
+            stats = BranchStats(uid=uid)
+            branches[uid] = stats
+        stats.executions += 1
+        stats.taken += taken
+        if stats._last >= 0 and stats._last != taken:
+            stats.transitions += 1
+        stats._last = taken
+    return profile

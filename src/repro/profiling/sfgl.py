@@ -1,0 +1,216 @@
+"""The Statistical Flow Graph with Loop annotation (SFGL) — §III-A.1.
+
+Nodes are the profiled binary's basic blocks annotated with execution
+counts; edges carry transition counts (probabilities derive from them);
+loops carry total iteration and entry counts so the synthesizer can
+regenerate ``for`` nests with the right average trip counts.
+
+``SFGL.scale_down(R)`` implements §III-B.1 / Fig. 2: every block count and
+loop count is divided by the reduction factor; blocks executed fewer than
+R times disappear (like block C in the paper's example).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.machine import Binary
+from repro.profiling.loops import MachineLoop, find_machine_loops
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass
+class InstrDescriptor:
+    """What the pattern recognizer needs to know about one instruction."""
+
+    uid: int
+    op: str
+    klass: str
+    is_memory: bool
+    is_store: bool
+    has_imm: bool
+    is_float: bool
+
+
+@dataclass
+class SFGLBlock:
+    """One SFGL node."""
+
+    gbid: int
+    func_index: int
+    block_index: int
+    count: int
+    instrs: list[InstrDescriptor] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.instrs)
+
+
+@dataclass
+class SFGLLoop:
+    """A loop annotation: header/body plus dynamic iteration statistics."""
+
+    header: int  # gbid
+    body: set[int] = field(default_factory=set)  # gbids
+    iterations: int = 0  # total header executions
+    entries: int = 0  # times the loop was entered from outside
+    parent: "SFGLLoop | None" = None
+    children: list["SFGLLoop"] = field(default_factory=list)
+
+    @property
+    def average_trip(self) -> float:
+        return self.iterations / self.entries if self.entries else 0.0
+
+    @property
+    def depth(self) -> int:
+        depth = 1
+        node = self.parent
+        while node is not None:
+            depth += 1
+            node = node.parent
+        return depth
+
+
+@dataclass
+class SFGL:
+    """The full statistical flow graph."""
+
+    blocks: dict[int, SFGLBlock] = field(default_factory=dict)
+    edges: dict[tuple[int, int], int] = field(default_factory=dict)
+    loops: list[SFGLLoop] = field(default_factory=list)
+    call_counts: dict[int, int] = field(default_factory=dict)  # func idx -> calls
+    function_names: dict[int, str] = field(default_factory=dict)
+
+    def total_instructions(self) -> int:
+        """Dynamic instructions represented by the graph."""
+        return sum(block.count * block.size for block in self.blocks.values())
+
+    def edge_probability(self, src: int, dst: int) -> float:
+        total = sum(count for (s, _), count in self.edges.items() if s == src)
+        if not total:
+            return 0.0
+        return self.edges.get((src, dst), 0) / total
+
+    def loop_of(self, gbid: int) -> SFGLLoop | None:
+        """Innermost loop containing *gbid*."""
+        best: SFGLLoop | None = None
+        for loop in self.loops:
+            if gbid in loop.body and (best is None or len(loop.body) < len(best.body)):
+                best = loop
+        return best
+
+    # -- §III-B.1: scale-down -------------------------------------------
+
+    def scale_down(self, reduction: int) -> "SFGL":
+        """Return a new SFGL with counts divided by *reduction*.
+
+        Blocks executed fewer than *reduction* times are removed, exactly
+        as in the paper's Fig. 2; loops whose header disappears are
+        dropped, and loop iteration/entry counts are scaled.
+        """
+        if reduction < 1:
+            raise ValueError("reduction factor must be >= 1")
+        scaled = SFGL(function_names=dict(self.function_names))
+        for gbid, block in self.blocks.items():
+            count = block.count // reduction
+            if count >= 1:
+                scaled.blocks[gbid] = SFGLBlock(
+                    gbid=block.gbid,
+                    func_index=block.func_index,
+                    block_index=block.block_index,
+                    count=count,
+                    instrs=block.instrs,
+                )
+        for (src, dst), count in self.edges.items():
+            if src in scaled.blocks and dst in scaled.blocks:
+                new_count = count // reduction
+                if new_count >= 1:
+                    scaled.edges[(src, dst)] = new_count
+        # Rebuild loop forest restricted to surviving blocks.
+        index_of: dict[int, int] = {}
+        for loop in self.loops:
+            if loop.header not in scaled.blocks:
+                continue
+            entries = max(1, loop.entries // reduction)
+            iterations = max(entries, loop.iterations // reduction)
+            clone = SFGLLoop(
+                header=loop.header,
+                body={gbid for gbid in loop.body if gbid in scaled.blocks},
+                iterations=iterations,
+                entries=entries,
+            )
+            index_of[id(loop)] = len(scaled.loops)
+            scaled.loops.append(clone)
+            if loop.parent is not None and id(loop.parent) in index_of:
+                parent = scaled.loops[index_of[id(loop.parent)]]
+                clone.parent = parent
+                parent.children.append(clone)
+        for func_index, count in self.call_counts.items():
+            new_count = count // reduction
+            if new_count >= 1:
+                scaled.call_counts[func_index] = new_count
+        return scaled
+
+
+def build_sfgl(binary: Binary, trace: ExecutionTrace) -> SFGL:
+    """Construct the SFGL for one profiled execution."""
+    sfgl = SFGL()
+    block_counts = trace.block_counts()
+    edge_counts = trace.edge_counts()
+    for gbid, count in block_counts.items():
+        func_index, block_index = binary.block_map[gbid]
+        block = binary.functions[func_index].blocks[block_index]
+        descriptors = [
+            InstrDescriptor(
+                uid=ins.uid,
+                op=ins.op,
+                klass=ins.klass,
+                is_memory=ins.is_memory,
+                is_store=ins.is_store,
+                has_imm=ins.b_imm is not None,
+                is_float=ins.op.startswith("f")
+                or ins.klass in ("falu", "fmul", "fdiv", "fmath"),
+            )
+            for ins in block.instrs
+        ]
+        sfgl.blocks[gbid] = SFGLBlock(
+            gbid=gbid,
+            func_index=func_index,
+            block_index=block_index,
+            count=count,
+            instrs=descriptors,
+        )
+    sfgl.edges = dict(edge_counts)
+    for func in binary.functions:
+        sfgl.function_names[func.index] = func.name
+        machine_loops = find_machine_loops(func)
+        clones: dict[int, SFGLLoop] = {}
+        for loop in machine_loops:
+            header_gbid = func.blocks[loop.header].gbid
+            if header_gbid not in sfgl.blocks:
+                continue
+            body_gbids = {func.blocks[b].gbid for b in loop.body}
+            iterations = block_counts.get(header_gbid, 0)
+            entries = 0
+            for (src, dst), count in edge_counts.items():
+                if dst == header_gbid and src not in body_gbids:
+                    entries += count
+            clone = SFGLLoop(
+                header=header_gbid,
+                body=body_gbids,
+                iterations=iterations,
+                entries=max(1, entries) if iterations else 0,
+            )
+            clones[id(loop)] = clone
+            sfgl.loops.append(clone)
+        for loop in machine_loops:
+            clone = clones.get(id(loop))
+            if clone is None:
+                continue
+            if loop.parent is not None and id(loop.parent) in clones:
+                parent = clones[id(loop.parent)]
+                clone.parent = parent
+                parent.children.append(clone)
+    sfgl.call_counts = dict(trace.call_counts())
+    return sfgl

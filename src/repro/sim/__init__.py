@@ -1,0 +1,50 @@
+"""Simulation substrate: functional execution, traces, caches, branch
+predictors, timing models and machine configurations.
+
+The functional simulator stands in for real hardware + Pin; it executes a
+linked :class:`repro.isa.machine.Binary` and records an
+:class:`ExecutionTrace` (dynamic block sequence + data addresses + branch
+outcomes).  Everything downstream is trace-driven:
+
+* :mod:`repro.sim.cache` — set-associative LRU caches, multi-size sweeps
+  (Figs. 7, 8, 10);
+* :mod:`repro.sim.branch` — bimodal / gshare / hybrid predictors (Fig. 9);
+* :mod:`repro.sim.ooo` — 2-wide out-of-order scoreboard model (Fig. 10);
+* :mod:`repro.sim.inorder` — in-order/EPIC model (Itanium in Fig. 11);
+* :mod:`repro.sim.machines` — the five Table III machines.
+"""
+
+from repro.sim.functional import SimTrap, Simulator, run_binary
+from repro.sim.trace import ExecutionTrace, InstructionMix
+from repro.sim.cache import Cache, CacheConfig, simulate_cache, sweep_cache_sizes
+from repro.sim.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    simulate_predictor,
+)
+from repro.sim.ooo import OutOfOrderModel, TimingResult
+from repro.sim.inorder import InOrderModel
+from repro.sim.machines import MACHINES, Machine, estimate_runtime
+
+__all__ = [
+    "BimodalPredictor",
+    "Cache",
+    "CacheConfig",
+    "ExecutionTrace",
+    "GsharePredictor",
+    "HybridPredictor",
+    "InOrderModel",
+    "InstructionMix",
+    "MACHINES",
+    "Machine",
+    "OutOfOrderModel",
+    "SimTrap",
+    "Simulator",
+    "TimingResult",
+    "estimate_runtime",
+    "run_binary",
+    "simulate_cache",
+    "simulate_predictor",
+    "sweep_cache_sizes",
+]

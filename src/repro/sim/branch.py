@@ -1,0 +1,120 @@
+"""Branch predictors.
+
+The paper evaluates branch behaviour with PTLSim's hybrid predictor — a
+bimodal component plus a history-based component with a meta chooser.  We
+implement exactly that trio and drive it from the recorded branch-outcome
+stream (``uid`` plays the role of the branch PC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class BimodalPredictor:
+    """Per-PC 2-bit saturating counters."""
+
+    def __init__(self, entries: int = 4096):
+        self.mask = entries - 1
+        self.table = [2] * entries  # weakly taken
+
+    def predict(self, pc: int) -> bool:
+        return self.table[pc & self.mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = pc & self.mask
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+
+
+class GsharePredictor:
+    """Global-history predictor: PC xor history indexes 2-bit counters."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        self.mask = entries - 1
+        self.table = [2] * entries
+        self.history = 0
+        self.history_mask = (1 << history_bits) - 1
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ self.history) & self.mask
+
+    def predict(self, pc: int) -> bool:
+        return self.table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> None:
+        index = self._index(pc)
+        counter = self.table[index]
+        if taken:
+            if counter < 3:
+                self.table[index] = counter + 1
+        elif counter > 0:
+            self.table[index] = counter - 1
+        self.history = ((self.history << 1) | taken) & self.history_mask
+
+
+class HybridPredictor:
+    """Bimodal + gshare with a per-PC meta chooser (PTLSim-style)."""
+
+    def __init__(self, entries: int = 4096, history_bits: int = 12):
+        self.bimodal = BimodalPredictor(entries)
+        self.gshare = GsharePredictor(entries, history_bits)
+        self.meta = [2] * entries  # >=2 prefers gshare
+        self.mask = entries - 1
+
+    def predict(self, pc: int) -> bool:
+        if self.meta[pc & self.mask] >= 2:
+            return self.gshare.predict(pc)
+        return self.bimodal.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        bimodal_correct = self.bimodal.predict(pc) == taken
+        gshare_correct = self.gshare.predict(pc) == taken
+        index = pc & self.mask
+        if gshare_correct != bimodal_correct:
+            counter = self.meta[index]
+            if gshare_correct:
+                if counter < 3:
+                    self.meta[index] = counter + 1
+            elif counter > 0:
+                self.meta[index] = counter - 1
+        self.bimodal.update(pc, taken)
+        self.gshare.update(pc, taken)
+
+
+@dataclass
+class PredictorResult:
+    """Outcome of replaying a branch stream through a predictor."""
+
+    branches: int
+    correct: int
+
+    @property
+    def accuracy(self) -> float:
+        return self.correct / self.branches if self.branches else 1.0
+
+    @property
+    def misses(self) -> int:
+        return self.branches - self.correct
+
+
+def simulate_predictor(branch_log, predictor=None) -> PredictorResult:
+    """Replay a ``(uid << 1) | taken`` log; returns accuracy stats."""
+    if predictor is None:
+        predictor = HybridPredictor()
+    correct = 0
+    total = 0
+    predict = predictor.predict
+    update = predictor.update
+    for packed in branch_log:
+        pc = packed >> 1
+        taken = bool(packed & 1)
+        if predict(pc) == taken:
+            correct += 1
+        update(pc, taken)
+        total += 1
+    return PredictorResult(branches=total, correct=correct)

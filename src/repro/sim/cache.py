@@ -1,0 +1,111 @@
+"""Set-associative LRU data-cache simulation.
+
+Used in three places, mirroring the paper's setup:
+
+* during profiling, to classify every static memory instruction into Table I
+  hit/miss classes (done in :mod:`repro.profiling.memory_profile`);
+* for Figs. 7/8's hit-rate-vs-size sweeps (``sweep_cache_sizes`` replays
+  one recorded address stream against many configurations in one pass,
+  like Hill & Smith's single-pass evaluation the paper cites);
+* inside the timing models (per-access ``access()`` calls).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 32
+    associativity: int = 4
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.size_bytes // (self.line_bytes * self.associativity)
+        return max(1, sets)
+
+    def describe(self) -> str:
+        kib = self.size_bytes / 1024
+        return f"{kib:g}KB/{self.line_bytes}B/{self.associativity}-way"
+
+
+class Cache:
+    """One LRU set-associative cache level."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        self.num_sets = config.num_sets
+        self.line_shift = config.line_bytes.bit_length() - 1
+        self.assoc = config.associativity
+        # Per-set dict tag -> None; insertion order is LRU order.
+        self.sets: list[dict] = [dict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, byte_addr: int) -> bool:
+        """Access one address; returns True on hit."""
+        line = byte_addr >> self.line_shift
+        index = line % self.num_sets
+        ways = self.sets[index]
+        if line in ways:
+            del ways[line]  # refresh LRU position
+            ways[line] = None
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(ways) >= self.assoc:
+            ways.pop(next(iter(ways)))
+        ways[line] = None
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 1.0
+
+    @property
+    def miss_rate(self) -> float:
+        return 1.0 - self.hit_rate
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        for ways in self.sets:
+            ways.clear()
+
+
+def simulate_cache(addresses, config: CacheConfig) -> Cache:
+    """Replay *addresses* (byte granularity) through a fresh cache."""
+    cache = Cache(config)
+    access = cache.access
+    for addr in addresses:
+        access(addr)
+    return cache
+
+
+def sweep_cache_sizes(
+    addresses,
+    sizes_bytes,
+    line_bytes: int = 32,
+    associativity: int = 4,
+) -> dict[int, float]:
+    """Hit rate per cache size for one recorded address stream.
+
+    All configurations are evaluated in a single pass over the stream.
+    """
+    caches = [
+        Cache(CacheConfig(size, line_bytes, associativity)) for size in sizes_bytes
+    ]
+    accessors = [cache.access for cache in caches]
+    for addr in addresses:
+        for access in accessors:
+            access(addr)
+    return {cache.config.size_bytes: cache.hit_rate for cache in caches}

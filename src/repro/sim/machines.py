@@ -1,0 +1,133 @@
+"""The five machines of the paper's Table III.
+
+Each machine couples an ISA, a clock frequency, and a timing-model
+configuration.  The parameters are first-order public-spec values (issue
+width, ROB size, cache sizes, pipeline depth via the mispredict penalty);
+Fig. 11 only reads *normalized* execution times, so relative magnitudes
+are what matters:
+
+==============  =======  ======  =====  ====  =======  =========
+machine         ISA      clock   width  ROB   L1 D     L2
+==============  =======  ======  =====  ====  =======  =========
+Pentium 4 3GHz  x86      3.0GHz  2      126   8 KB     1 MB
+Core 2          x86_64   2.2GHz  3      96    32 KB    2 MB
+Pentium 4 2.8   x86      2.8GHz  2      126   8 KB     1 MB
+Itanium 2       ia64     0.9GHz  4      --    16 KB    256 KB (in-order)
+Core i7         x86_64   2.67GHz 4      128   32 KB    8 MB
+==============  =======  ======  =====  ====  =======  =========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.targets import IA64, ISA, X86, X86_64
+from repro.sim.cache import CacheConfig
+from repro.sim.inorder import InOrderModel
+from repro.sim.ooo import OutOfOrderModel, TimingConfig, TimingResult
+from repro.sim.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class Machine:
+    """One hardware platform: ISA + clock + core model."""
+
+    name: str
+    isa: ISA
+    frequency_ghz: float
+    in_order: bool
+    timing: TimingConfig = field(hash=False)
+
+    def model(self):
+        if self.in_order:
+            return InOrderModel(self.timing)
+        return OutOfOrderModel(self.timing)
+
+    def simulate(self, trace: ExecutionTrace) -> TimingResult:
+        return self.model().simulate(trace)
+
+    def runtime_seconds(self, trace: ExecutionTrace) -> float:
+        result = self.simulate(trace)
+        return result.cycles / (self.frequency_ghz * 1e9)
+
+
+def _config(
+    width: int,
+    rob: int,
+    l1_kb: int,
+    l2_kb: int,
+    penalty: int,
+    memory_cycles: int,
+    l1_hit: int,
+) -> TimingConfig:
+    return TimingConfig(
+        width=width,
+        rob_size=rob,
+        l1=CacheConfig(l1_kb * 1024, 32, 4),
+        l2=CacheConfig(l2_kb * 1024, 32, 8),
+        mispredict_penalty=penalty,
+        memory_cycles=memory_cycles,
+        l1_hit_cycles=l1_hit,
+    )
+
+
+# L1 hit latencies (cycles) reflect each design's load-to-use cost: the
+# deeply pipelined Pentium 4 pays ~4 cycles, Nehalem ~2 effective, the
+# 900 MHz Itanium 2 one.
+PENTIUM4_3GHZ = Machine(
+    name="Pentium 4, 3GHz",
+    isa=X86,
+    frequency_ghz=3.0,
+    in_order=False,
+    timing=_config(width=2, rob=126, l1_kb=8, l2_kb=1024, penalty=20,
+                   memory_cycles=200, l1_hit=4),
+)
+
+CORE2 = Machine(
+    name="Core 2",
+    isa=X86_64,
+    frequency_ghz=2.2,
+    in_order=False,
+    timing=_config(width=3, rob=96, l1_kb=32, l2_kb=2048, penalty=12,
+                   memory_cycles=130, l1_hit=3),
+)
+
+PENTIUM4_28GHZ = Machine(
+    name="Pentium 4, 2.8GHz",
+    isa=X86,
+    frequency_ghz=2.8,
+    in_order=False,
+    timing=_config(width=2, rob=126, l1_kb=8, l2_kb=1024, penalty=20,
+                   memory_cycles=190, l1_hit=4),
+)
+
+ITANIUM2 = Machine(
+    name="Itanium 2",
+    isa=IA64,
+    frequency_ghz=0.9,
+    in_order=True,
+    timing=_config(width=4, rob=48, l1_kb=16, l2_kb=256, penalty=6,
+                   memory_cycles=100, l1_hit=1),
+)
+
+COREI7 = Machine(
+    name="Core i7",
+    isa=X86_64,
+    frequency_ghz=2.67,
+    in_order=False,
+    timing=_config(width=4, rob=128, l1_kb=32, l2_kb=8192, penalty=14,
+                   memory_cycles=110, l1_hit=2),
+)
+
+MACHINES: tuple[Machine, ...] = (
+    PENTIUM4_3GHZ,
+    CORE2,
+    PENTIUM4_28GHZ,
+    ITANIUM2,
+    COREI7,
+)
+
+
+def estimate_runtime(trace: ExecutionTrace, machine: Machine) -> float:
+    """Wall-clock seconds for *trace* on *machine*."""
+    return machine.runtime_seconds(trace)

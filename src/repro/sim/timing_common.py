@@ -1,0 +1,155 @@
+"""Shared machinery for the trace-driven timing models.
+
+``decode_binary`` precomputes, for every static instruction, the register
+keys it reads/writes, its latency class and its memory behaviour, so the
+cycle models touch only small tuples in their hot loops.
+
+Register keys: integer registers are their index; float registers are
+``1000 + index`` (the two files never collide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.machine import Binary, MOp
+
+# Latency classes (cycles) for a contemporary out-of-order core; loads get
+# their latency from the cache model instead.
+DEFAULT_LATENCIES = {
+    "ialu": 1,
+    "imul": 3,
+    "idiv": 20,
+    "falu": 3,
+    "fmul": 5,
+    "fdiv": 20,
+    "fmath": 25,
+    "store": 1,
+    "branch": 1,
+    "jump": 1,
+    "call": 2,
+    "ret": 2,
+    "print": 10,
+    "other": 1,
+    "load": 0,  # resolved by the cache model
+}
+
+_FLOAT_A_OPS = {
+    "fst", "fmov", "fneg", "ftoi", "sqrt", "sin", "cos", "log", "exp",
+    "fabs", "floor",
+}
+_FLOAT_BINOPS_PREFIX = "f"
+
+
+@dataclass(frozen=True)
+class DecodedOp:
+    """Timing-relevant view of one static instruction."""
+
+    srcs: tuple[int, ...]
+    dst: int  # register key, or -1
+    klass: str
+    is_mem: bool
+    is_store: bool
+    is_cond_branch: bool
+    is_call_or_ret: bool
+    uid: int
+
+
+def _float_key(reg: int) -> int:
+    return 1000 + reg
+
+
+def _addr_src_keys(ins: MOp) -> list[int]:
+    keys: list[int] = []
+    if ins.addr is None:
+        return keys
+    mode, base, idx, _off = ins.addr
+    if mode == 2:  # REG base
+        keys.append(base)
+    if idx is not None:
+        keys.append(idx)
+    return keys
+
+
+def decode_instruction(ins: MOp) -> DecodedOp:
+    """Extract dependency and latency info from one instruction."""
+    op = ins.op
+    klass = ins.klass
+    srcs: list[int] = _addr_src_keys(ins)
+    dst = -1
+    float_op = op.startswith(_FLOAT_BINOPS_PREFIX) or op in (
+        "sqrt", "sin", "cos", "log", "exp", "lif",
+    )
+    if op in ("ld",):
+        dst = ins.dst
+    elif op == "fld":
+        dst = _float_key(ins.dst)
+    elif op in ("st",):
+        if ins.a is not None:
+            srcs.append(ins.a)
+    elif op == "fst":
+        if ins.a is not None:
+            srcs.append(_float_key(ins.a))
+    elif op in ("li", "lea"):
+        dst = ins.dst
+    elif op == "lif":
+        dst = _float_key(ins.dst)
+    elif op in ("itof", "utof"):
+        if ins.a is not None:
+            srcs.append(ins.a)
+        dst = _float_key(ins.dst)
+    elif op == "ftoi":
+        if ins.a is not None:
+            srcs.append(_float_key(ins.a))
+        dst = ins.dst
+    elif op in _FLOAT_A_OPS or (float_op and klass in ("falu", "fmul", "fdiv", "fmath")):
+        # Float ALU: a and b are float regs; dst float unless comparison.
+        if ins.a is not None:
+            srcs.append(_float_key(ins.a))
+        if ins.b_reg is not None:
+            srcs.append(_float_key(ins.b_reg))
+        if ins.dst is not None:
+            dst = ins.dst if "cmp" in op else _float_key(ins.dst)
+    elif op == "farg":
+        if ins.a is not None:
+            srcs.append(_float_key(ins.a))
+    elif op == "print":
+        pass  # arguments are staged by the preceding arg/farg ops
+    elif op == "ret":
+        if ins.a is not None:
+            srcs.append(ins.a)
+        if ins.b_reg is not None:
+            srcs.append(_float_key(ins.b_reg))
+    elif op == "call":
+        dst = -1  # return-value latency handled by the callee's ret
+    else:
+        # Integer ALU / branches / moves / arg.
+        if ins.a is not None:
+            srcs.append(ins.a)
+        if ins.b_reg is not None:
+            srcs.append(ins.b_reg)
+        if ins.dst is not None and op not in ("bt", "bf", "jmp"):
+            dst = ins.dst
+    return DecodedOp(
+        srcs=tuple(srcs),
+        dst=dst,
+        klass=klass,
+        is_mem=ins.is_memory,
+        is_store=ins.is_store,
+        is_cond_branch=op in ("bt", "bf"),
+        is_call_or_ret=op in ("call", "ret"),
+        uid=ins.uid,
+    )
+
+
+def decode_binary(binary: Binary) -> list[list[DecodedOp]]:
+    """Per-gbid list of decoded instructions (cached on the binary)."""
+    cached = getattr(binary, "_decoded_blocks", None)
+    if cached is not None:
+        return cached
+    decoded: list[list[DecodedOp]] = []
+    for func_idx, blk_idx in binary.block_map:
+        block = binary.functions[func_idx].blocks[blk_idx]
+        decoded.append([decode_instruction(ins) for ins in block.instrs])
+    binary._decoded_blocks = decoded
+    return decoded

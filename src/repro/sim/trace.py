@@ -1,0 +1,177 @@
+"""Execution traces and trace-level analyses.
+
+An :class:`ExecutionTrace` is the single artifact a functional run
+produces; instruction mixes, block/edge counts, branch outcome streams and
+memory address streams are all derived from it offline — the same
+"profile once, analyze many times" structure the paper gets from Pin.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.isa.machine import Binary, KLASS_NAMES
+
+_KLASS_INDEX = {name: i for i, name in enumerate(KLASS_NAMES)}
+
+# Paper-style 4-way mix (Fig. 6): loads / stores / branches / others.
+MIX_CATEGORIES = ("loads", "stores", "branches", "others")
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction counts by class."""
+
+    by_klass: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.by_klass.values())
+
+    def fraction(self, klass: str) -> float:
+        total = self.total
+        return self.by_klass.get(klass, 0) / total if total else 0.0
+
+    def paper_mix(self) -> dict[str, float]:
+        """Fractions in the paper's four categories (Fig. 6).
+
+        Conditional branches and unconditional jumps both count as
+        "branches"; calls/returns and everything else fall under
+        "others".
+        """
+        total = self.total
+        if not total:
+            return {name: 0.0 for name in MIX_CATEGORIES}
+        loads = self.by_klass.get("load", 0)
+        stores = self.by_klass.get("store", 0)
+        branches = self.by_klass.get("branch", 0) + self.by_klass.get("jump", 0)
+        others = total - loads - stores - branches
+        return {
+            "loads": loads / total,
+            "stores": stores / total,
+            "branches": branches / total,
+            "others": others / total,
+        }
+
+
+def _block_klass_matrix(binary: Binary) -> np.ndarray:
+    """(num_blocks x num_klasses) static instruction counts, cached."""
+    cached = getattr(binary, "_klass_matrix", None)
+    if cached is not None:
+        return cached
+    matrix = np.zeros((len(binary.block_map), len(KLASS_NAMES)), dtype=np.int64)
+    for gbid, (func_idx, blk_idx) in enumerate(binary.block_map):
+        block = binary.functions[func_idx].blocks[blk_idx]
+        for ins in block.instrs:
+            matrix[gbid, _KLASS_INDEX[ins.klass]] += 1
+    binary._klass_matrix = matrix
+    return matrix
+
+
+@dataclass
+class ExecutionTrace:
+    """Record of one functional simulation."""
+
+    binary: Binary
+    block_seq: list[int]
+    mem_addrs: list[int]  # byte addresses, program order
+    branch_log: list[int]  # (uid << 1) | taken
+    output: str
+    exit_value: int | float
+    instructions: int
+
+    # -- derived views ---------------------------------------------------
+
+    def block_counts(self) -> Counter:
+        """Execution count per global block id."""
+        return Counter(self.block_seq)
+
+    def instruction_mix(self) -> InstructionMix:
+        """Dynamic instruction mix, accumulated over the block sequence."""
+        matrix = _block_klass_matrix(self.binary)
+        if not self.block_seq:
+            return InstructionMix({})
+        seq = np.asarray(self.block_seq, dtype=np.int64)
+        totals = matrix[seq].sum(axis=0)
+        return InstructionMix(
+            {name: int(totals[i]) for i, name in enumerate(KLASS_NAMES) if totals[i]}
+        )
+
+    def branch_outcomes(self) -> tuple[np.ndarray, np.ndarray]:
+        """(uids, taken) arrays for every dynamic conditional branch."""
+        if not self.branch_log:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+        log = np.asarray(self.branch_log, dtype=np.int64)
+        return log >> 1, log & 1
+
+    def edge_counts(self) -> Counter:
+        """Intra-function control-flow edge counts ``(src_gbid, dst_gbid)``.
+
+        Replays the block sequence with a virtual call stack: call edges
+        push the caller's continuation block and are not recorded;
+        return edges record the caller's ``call-block -> continuation``
+        edge instead, so the caller's flow graph stays connected.
+        """
+        binary = self.binary
+        num_blocks = len(binary.block_map)
+        # Per-block: 0 = normal, 1 = ends in call, 2 = ends in ret.
+        kinds = [0] * num_blocks
+        cont_gbid = [0] * num_blocks
+        for gbid, (func_idx, blk_idx) in enumerate(binary.block_map):
+            func = binary.functions[func_idx]
+            block = func.blocks[blk_idx]
+            if block.instrs:
+                last = block.instrs[-1].op
+                if last == "call":
+                    kinds[gbid] = 1
+                    fall = block.fall_through
+                    if fall is not None:
+                        cont_gbid[gbid] = func.blocks[fall].gbid
+                elif last == "ret":
+                    kinds[gbid] = 2
+        edges: Counter = Counter()
+        stack: list[tuple[int, int]] = []
+        prev = -1
+        for gbid in self.block_seq:
+            if prev >= 0:
+                kind = kinds[prev]
+                if kind == 0:
+                    edges[(prev, gbid)] += 1
+                elif kind == 1:
+                    stack.append((prev, cont_gbid[prev]))
+                else:  # return
+                    if stack:
+                        call_block, cont = stack.pop()
+                        edges[(call_block, cont)] += 1
+            prev = gbid
+        return edges
+
+    def call_counts(self) -> Counter:
+        """Dynamic call count per callee function index."""
+        binary = self.binary
+        counts: Counter = Counter()
+        calls_by_block: dict[int, int] = {}
+        for gbid, (func_idx, blk_idx) in enumerate(binary.block_map):
+            block = binary.functions[func_idx].blocks[blk_idx]
+            if block.instrs and block.instrs[-1].op == "call":
+                calls_by_block[gbid] = block.instrs[-1].target
+        for gbid in self.block_seq:
+            target = calls_by_block.get(gbid)
+            if target is not None:
+                counts[target] += 1
+        return counts
+
+    def summary(self) -> dict:
+        """Compact description used in reports and tests."""
+        mix = self.instruction_mix()
+        return {
+            "instructions": self.instructions,
+            "blocks": len(self.block_seq),
+            "memory_accesses": len(self.mem_addrs),
+            "branches": len(self.branch_log),
+            "mix": mix.paper_mix(),
+            "exit": self.exit_value,
+        }

@@ -1,0 +1,62 @@
+"""Benchmark synthesis — the paper's primary contribution (§III-B).
+
+``synthesize(profile, target_instructions)`` turns a statistical profile
+into a synthetic mini-C benchmark:
+
+1. **Scale-down** (§III-B.1): choose the reduction factor R so the clone
+   executes roughly ``target_instructions``; divide all SFGL counts by R.
+2. **Skeleton** (§III-B.2/3): regenerate functions, (nested) ``for``
+   loops with the scaled trip counts, and conditional control flow.
+3. **Statements** (§III-B.4, Table II): populate blocks with C statements
+   via pattern recognition over the profiled instruction sequences, with
+   per-category compensation so the dynamic instruction mix matches.
+4. **Branches**: easy-to-predict branches become constant conditions with
+   a never-executed ``printf`` sink on the cold path; hard branches
+   become periodic mask tests on the innermost loop iterator.
+5. **Memory** (Table I): loads/stores get stride walks over pre-allocated
+   arrays sized to the access's measured working set.
+
+``synthesize_consolidated`` merges several profiles into one benchmark
+(§II-B.e); ``LinearSynthesizer`` is the prior-work baseline (a flat block
+sequence in one big loop, à la Bell & John) used for ablation.
+"""
+
+from repro.synthesis.memory import StreamPool, StreamKey
+from repro.synthesis.patterns import (
+    BlockTranslator,
+    PatternStats,
+    STATEMENT_COSTS,
+    category_counts,
+)
+from repro.synthesis.branches import BranchShaper
+from repro.synthesis.synthesizer import (
+    SyntheticBenchmark,
+    Synthesizer,
+    synthesize,
+    synthesize_consolidated,
+)
+from repro.synthesis.baseline import LinearSynthesizer, synthesize_linear
+from repro.synthesis.validation import (
+    FidelityReport,
+    synthesize_validated,
+    validate_clone,
+)
+
+__all__ = [
+    "FidelityReport",
+    "synthesize_validated",
+    "validate_clone",
+    "BlockTranslator",
+    "BranchShaper",
+    "LinearSynthesizer",
+    "PatternStats",
+    "STATEMENT_COSTS",
+    "StreamKey",
+    "StreamPool",
+    "SyntheticBenchmark",
+    "Synthesizer",
+    "category_counts",
+    "synthesize",
+    "synthesize_consolidated",
+    "synthesize_linear",
+]

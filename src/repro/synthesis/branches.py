@@ -1,0 +1,95 @@
+"""Branch behaviour synthesis (§III-B.4).
+
+Two branch classes, per the profiled transition rate (§III-A.2):
+
+* **easy** — modelled as always taken / always not-taken: the hot side is
+  emitted inline and the cold side sits behind a never-true guard whose
+  body prints previously computed results (the paper's defence against
+  the compiler optimizing the dead path away — Fig. 3's
+  ``if (mStream0[0] == 0x99) { ... printf ... }``);
+* **hard** — a periodic test on the innermost loop iterator.  The paper
+  uses a modulo; we use the equivalent power-of-two mask (same period and
+  taken rate, no spurious divide instructions): a branch with taken rate
+  ``p`` and transition rate ``t`` becomes ``(it & (P-1)) < K`` with
+  period ``P ~ 2/t`` and ``K ~ p*P``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.profiling.branch_profile import BranchStats
+
+# Never-true sentinel (the paper uses 0x99 == 153).
+SINK_SENTINEL = 153
+SINK_ARRAY = "mSink"
+SINK_WORDS = 64
+
+# -O0 costs of the generated conditions, for the accounting layer.
+GUARD_COST = Counter(load=1, ialu=1, branch=1)
+HARD_COST = Counter(load=2, ialu=4, branch=1)
+
+
+def _round_pow2(value: float, low: int = 2, high: int = 64) -> int:
+    """Nearest power of two within [low, high]."""
+    value = max(low, min(high, value))
+    power = 1
+    while power * 2 <= value:
+        power *= 2
+    return power if value / power < (power * 2) / value else power * 2
+
+
+@dataclass
+class BranchShaper:
+    """Generates branch conditions and cold-path sinks."""
+
+    sink_emitted: bool = False
+
+    def sink_declarations(self) -> list[str]:
+        """Globals backing the sink guard."""
+        return [f"unsigned {SINK_ARRAY}[{SINK_WORDS}];"]
+
+    def never_true_guard(self) -> str:
+        """A guard condition that always evaluates false at run time."""
+        return f"{SINK_ARRAY}[0] == {SINK_SENTINEL}u"
+
+    def always_true_guard(self) -> str:
+        """A load-cmp guard that always evaluates true at run time."""
+        return f"{SINK_ARRAY}[1] < {SINK_SENTINEL}u"
+
+    def sink_statements(self, iterator: str = "sj") -> list[str]:
+        """The never-executed printf body (keeps results observable)."""
+        return [
+            f"for (int {iterator} = 0; {iterator} < {SINK_WORDS}; {iterator}++) {{",
+            f'  printf("%u;", {SINK_ARRAY}[{iterator}]);',
+            "}",
+        ]
+
+    def hard_condition(self, iterator: str, stats: BranchStats) -> str:
+        """Data-like test reproducing taken + transition rates.
+
+        The paper uses a plain modulo on the iterator; a pure periodic
+        pattern is perfectly learnable by a history predictor, so we
+        scramble the iterator with a shifted xor first (same taken rate,
+        same average transition rate, far longer effective period).
+        """
+        transition = max(0.03, min(1.0, stats.transition_rate))
+        period = _round_pow2(2.0 / transition)
+        taken_rate = stats.taken_rate
+        k = int(round(taken_rate * period))
+        k = max(1, min(period - 1, k))
+        return (
+            f"(((({iterator} >> 2) ^ {iterator}) & {period - 1}u) < {k}u)"
+        )
+
+    def probability_condition(self, iterator: str, probability: float) -> str:
+        """Mask test firing with roughly *probability* per iteration."""
+        probability = max(0.0, min(1.0, probability))
+        if probability >= 0.97:
+            return self.always_true_guard()
+        if probability <= 0.03:
+            return self.never_true_guard()
+        period = 64
+        k = max(1, min(period - 1, int(round(probability * period))))
+        return f"(({iterator} & {period - 1}u) < {k}u)"

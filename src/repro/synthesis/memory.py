@@ -1,0 +1,125 @@
+"""Memory access synthesis: Table I stride streams.
+
+Every profiled memory instruction carries a miss-rate class (Table I) and
+a working-set estimate.  Class 0 (always hit) maps to the global scalar
+pool — exactly the paper's ``mStream0[4]`` constant-index accesses.
+Classes 1..8 map to *stride streams*: global arrays sized to twice the
+access's working set, walked by a per-(block, stream) global index that
+advances by the class's stride each time the block executes.  With
+32-byte lines and 4-byte words, a stride of ``s`` bytes produces a miss
+rate of ``s/32`` while the array exceeds the cache — reproducing the
+Table I mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.profiling.memory_profile import MISS_CLASS_STRIDES
+
+# Scalar pool sizes (ints and floats) for always-hit accesses.  Kept
+# small so that register promotion can cover the pool even on the
+# 8-register x86 target, the way the paper's clones (one stream array
+# plus a couple of globals, Fig. 3) behave under GCC -O2.
+SCALAR_POOL = 6
+FLOAT_POOL = 4
+
+
+@dataclass(frozen=True)
+class StreamKey:
+    """Identity of one stride stream."""
+
+    miss_class: int  # 1..8
+    working_set_bytes: int
+    kind: str  # 'i' or 'f'
+
+    @property
+    def stride_words(self) -> int:
+        return MISS_CLASS_STRIDES[self.miss_class] // 4
+
+    @property
+    def array_words(self) -> int:
+        # Twice the working set, in words; power of two for cheap masking.
+        return max(64, (self.working_set_bytes * 2) // 4)
+
+    @property
+    def array_name(self) -> str:
+        tag = "f" if self.kind == "f" else "m"
+        return f"{tag}S_c{self.miss_class}_w{self.working_set_bytes // 1024}k"
+
+
+@dataclass
+class _Walker:
+    """One per-(block, stream) walking index."""
+
+    name: str
+    key: StreamKey
+
+
+@dataclass
+class StreamPool:
+    """Allocates streams, walkers and scalar-pool names for a benchmark."""
+
+    streams: dict[StreamKey, StreamKey] = field(default_factory=dict)
+    walkers: dict[tuple[int, StreamKey], _Walker] = field(default_factory=dict)
+    _scalar_rr: int = 0
+    _float_rr: int = 0
+
+    # -- scalar pool -------------------------------------------------------
+
+    def scalar(self, kind: str) -> str:
+        """Next always-hit scalar variable (round-robin over the pool)."""
+        if kind == "f":
+            name = f"gF{self._float_rr % FLOAT_POOL}"
+            self._float_rr += 1
+        else:
+            name = f"gS{self._scalar_rr % SCALAR_POOL}"
+            self._scalar_rr += 1
+        return name
+
+    # -- streams -----------------------------------------------------------
+
+    def stream(self, miss_class: int, working_set_bytes: int, kind: str) -> StreamKey:
+        """Get or create the stream for a (class, working set, kind)."""
+        key = StreamKey(miss_class, working_set_bytes, kind)
+        self.streams.setdefault(key, key)
+        return key
+
+    def walker(self, block_id: int, key: StreamKey) -> str:
+        """Walking-index global for *key* used from block *block_id*."""
+        walker = self.walkers.get((block_id, key))
+        if walker is None:
+            walker = _Walker(name=f"gw{len(self.walkers)}", key=key)
+            self.walkers[(block_id, key)] = walker
+        return walker.name
+
+    def advance_statement(self, walker_name: str, key: StreamKey) -> str:
+        """C statement advancing a walker by the stream's stride."""
+        mask = key.array_words - 1
+        return f"{walker_name} = ({walker_name} + {key.stride_words}u) & {mask}u;"
+
+    def access_expr(self, key: StreamKey, walker_name: str, offset: int = 0) -> str:
+        """C lvalue/rvalue expression for one stream element."""
+        if offset:
+            return f"{key.array_name}[{walker_name} + {offset}u]"
+        return f"{key.array_name}[{walker_name}]"
+
+    # -- declarations --------------------------------------------------------
+
+    def declarations(self) -> list[str]:
+        """Global declarations for every allocated array/walker/scalar."""
+        lines: list[str] = []
+        for i in range(SCALAR_POOL):
+            lines.append(f"int gS{i} = {7 + 3 * i};")
+        for i in range(FLOAT_POOL):
+            lines.append(f"float gF{i} = {1.5 + 0.25 * i:.2f};")
+        for key in sorted(
+            self.streams, key=lambda k: (k.kind, k.miss_class, k.working_set_bytes)
+        ):
+            ctype = "float" if key.kind == "f" else "unsigned"
+            lines.append(f"{ctype} {key.array_name}[{key.array_words}];")
+        for (_block, key), walker in sorted(
+            self.walkers.items(), key=lambda item: item[1].name
+        ):
+            lines.append(f"unsigned {walker.name} = 0u;")
+        return lines

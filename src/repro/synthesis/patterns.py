@@ -1,0 +1,372 @@
+"""Pattern-based C statement generation (§III-B.4, Table II).
+
+Each profiled basic block is translated into a sequence of C statements
+whose -O0 compilation reproduces the block's instruction budget.  The
+statement shapes are exactly Table II's patterns:
+
+====================================  ===========================================
+pattern                               C statement
+====================================  ===========================================
+store                                 ``mem[i] = cst;``
+load-store                            ``mem[i] = mem[j];``
+load-arith-store                      ``mem[i] = mem[j] op cst;``
+load-load-arith-store                 ``mem[i] = mem[j] op mem[k];``
+load-load-arith-load-...-store        ``mem[i] = mem[j] op mem[k] op mem[l];``
+load-cmp-br                           ``if (mem[i] > cst)`` (see branches.py)
+====================================  ===========================================
+
+"mem" operands come from the block's own profiled accesses: always-hit
+accesses (Table I class 0) use the global scalar pool (the paper's
+``mStream0[4]`` constant-index form), missing accesses use stride streams
+sized to their working sets.
+
+Generation is budget-driven, which *is* the paper's compensation
+mechanism ("we keep track of the number of operations and types that have
+been translated so far, and we compensate on a later occasion"): the
+translator distributes the block's remaining loads/ops over its remaining
+stores when sizing each pattern, so the synthetic's dynamic mix converges
+to the original's.  Divisions always take constant divisors (a loaded
+stream word could be zero), and ``cos`` stands in for the trapping math
+builtins.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.profiling.memory_profile import MemoryProfile
+from repro.profiling.sfgl import InstrDescriptor, SFGLBlock
+from repro.synthesis.memory import StreamKey, StreamPool
+
+# klass -> accounting category (None = handled by the skeleton, not here).
+CATEGORY_OF_KLASS = {
+    "load": "load",
+    "store": "store",
+    "ialu": "ialu",
+    "imul": "imul",
+    "idiv": "idiv",
+    "falu": "falu",
+    "fmul": "fmul",
+    "fdiv": "fdiv",
+    "fmath": "fmath",
+    "branch": None,
+    "jump": None,
+    "call": None,
+    "ret": None,
+    "print": None,
+    "other": None,
+}
+
+INT_CATEGORIES = ("ialu", "imul", "idiv")
+FLOAT_CATEGORIES = ("falu", "fmul", "fdiv", "fmath")
+INT_OPS = ("+", "-", "^", "|", "&")
+FLOAT_OPS = ("+", "-")
+
+# Canonical -O0 costs of the emitted statement shapes; validated against
+# the real compiler in tests/synthesis/test_patterns.py.
+STATEMENT_COSTS = {
+    "store-const": Counter(store=1),
+    "load-store": Counter(load=1, store=1),
+    "load-arith-store": Counter(load=1, ialu=1, store=1),
+    "load-load-arith-store": Counter(load=2, ialu=1, store=1),
+    "load3-arith-store": Counter(load=3, ialu=2, store=1),
+    "walker-advance": Counter(load=1, ialu=2, store=1),
+}
+
+
+def category_counts(descriptors: list[InstrDescriptor]) -> Counter:
+    """Per-category instruction budget of one block (both value kinds)."""
+    counts: Counter = Counter()
+    for desc in descriptors:
+        category = CATEGORY_OF_KLASS.get(desc.klass)
+        if category is not None:
+            counts[category] += 1
+    return counts
+
+
+def split_budgets(descriptors: list[InstrDescriptor]) -> tuple[Counter, Counter]:
+    """(integer budget, float budget) for one block.
+
+    Loads/stores are attributed to the kind of the value they move; ALU
+    categories are intrinsically typed.
+    """
+    int_budget: Counter = Counter()
+    float_budget: Counter = Counter()
+    for desc in descriptors:
+        category = CATEGORY_OF_KLASS.get(desc.klass)
+        if category is None:
+            continue
+        if category in ("load", "store"):
+            (float_budget if desc.is_float else int_budget)[category] += 1
+        elif category in FLOAT_CATEGORIES:
+            float_budget[category] += 1
+        else:
+            int_budget[category] += 1
+    return int_budget, float_budget
+
+
+@dataclass
+class PatternStats:
+    """Coverage bookkeeping (the paper reports >95% pattern coverage)."""
+
+    target: Counter = field(default_factory=Counter)
+    emitted: Counter = field(default_factory=Counter)
+
+    def merge_block(self, target: Counter, emitted: Counter, weight: int = 1) -> None:
+        for key, value in target.items():
+            self.target[key] += value * weight
+        for key, value in emitted.items():
+            self.emitted[key] += value * weight
+
+    def coverage(self) -> float:
+        """Fraction of targeted instructions covered by emitted ones."""
+        total = sum(self.target.values())
+        if not total:
+            return 1.0
+        matched = sum(min(self.target[key], self.emitted[key]) for key in self.target)
+        return matched / total
+
+
+@dataclass
+class _MemBinding:
+    """Where one profiled memory access goes in the synthetic."""
+
+    kind: str  # 'i' or 'f'
+    scalar: str | None = None  # scalar-pool name (class 0)
+    stream: StreamKey | None = None
+    walker: str | None = None
+    offset: int = 0
+
+    def expr(self, pool: StreamPool) -> str:
+        if self.scalar is not None:
+            return self.scalar
+        return pool.access_expr(self.stream, self.walker, self.offset)
+
+    def read_cost(self) -> Counter:
+        """-O0 cost of reading this operand.
+
+        A scalar is one load; a stream element reloads its walking index
+        (second load) and pays an add when it carries an offset.
+        """
+        if self.scalar is not None:
+            return Counter(load=1)
+        cost = Counter(load=2)
+        if self.offset:
+            cost["ialu"] += 1
+        return cost
+
+    def write_cost(self) -> Counter:
+        """-O0 cost of storing to this operand (excluding the value)."""
+        if self.scalar is not None:
+            return Counter(store=1)
+        cost = Counter(store=1, load=1)
+        if self.offset:
+            cost["ialu"] += 1
+        return cost
+
+
+class BlockTranslator:
+    """Translates SFGL blocks into C statement lists."""
+
+    MAX_STATEMENTS_PER_BLOCK = 64  # safety net for degenerate profiles
+
+    def __init__(
+        self,
+        pool: StreamPool,
+        memory: MemoryProfile,
+        rng: random.Random | None = None,
+    ):
+        self.pool = pool
+        self.memory = memory
+        self.rng = rng or random.Random(20100612)
+        self.stats = PatternStats()
+
+    # -- memory binding ----------------------------------------------------
+
+    def _bind_memory(self, block: SFGLBlock) -> tuple[list[_MemBinding], list[str], Counter]:
+        """Assign every memory access of *block* a target location.
+
+        Returns (bindings in instruction order, walker-advance statements,
+        cost of those advances).
+        """
+        bindings: list[_MemBinding] = []
+        advances: dict[str, str] = {}
+        offsets: dict[StreamKey, int] = {}
+        for desc in block.instrs:
+            if not desc.is_memory:
+                continue
+            kind = "f" if desc.is_float else "i"
+            stats = self.memory.stats_for(desc.uid)
+            if stats is None or stats.miss_class == 0:
+                bindings.append(_MemBinding(kind=kind, scalar=self.pool.scalar(kind)))
+                continue
+            key = self.pool.stream(stats.miss_class, stats.working_set_bytes(), kind)
+            walker = self.pool.walker(block.gbid, key)
+            slot = offsets.get(key, 0)
+            offsets[key] = slot + 1
+            offset = slot * max(1, key.stride_words)
+            bindings.append(
+                _MemBinding(kind=kind, stream=key, walker=walker, offset=offset)
+            )
+            if walker not in advances:
+                advances[walker] = self.pool.advance_statement(walker, key)
+        cost: Counter = Counter()
+        for _ in advances:
+            cost.update(STATEMENT_COSTS["walker-advance"])
+        return bindings, list(advances.values()), cost
+
+    # -- statement emission --------------------------------------------------
+
+    def translate(
+        self, block: SFGLBlock, discount: Counter | None = None
+    ) -> tuple[list[str], Counter]:
+        """Translate one block; returns (statements, emitted-cost counter).
+
+        The trailing control transfer (branch/jump/call/ret) is *not*
+        represented here — the skeleton generator materializes it as the
+        loop / if / call construct enclosing this block (§III-B.4).
+        ``discount`` removes the instructions that construct will itself
+        contribute (e.g. the ``for`` condition replacing the loop
+        header's compare), so they are not generated twice.
+        """
+        int_budget, float_budget = split_budgets(block.instrs)
+        if discount is not None:
+            int_budget.subtract(discount)
+        bindings, statements, emitted = self._bind_memory(block)
+        statements = list(statements)
+        int_budget.subtract(emitted)
+        int_bindings = [b for b in bindings if b.kind != "f"]
+        float_bindings = [b for b in bindings if b.kind == "f"]
+        statements.extend(self._emit_kind(int_budget, int_bindings, emitted, "i"))
+        statements.extend(self._emit_kind(float_budget, float_bindings, emitted, "f"))
+        target = category_counts(block.instrs)
+        self.stats.merge_block(target, emitted, weight=max(1, block.count))
+        return statements, emitted
+
+    def _emit_kind(
+        self,
+        budget: Counter,
+        bindings: list[_MemBinding],
+        emitted: Counter,
+        kind: str,
+    ) -> list[str]:
+        """Emit statements of one value kind until the budget is spent."""
+        alu_keys = FLOAT_CATEGORIES if kind == "f" else INT_CATEGORIES
+        statements: list[str] = []
+        binding_iter = iter(bindings)
+
+        def next_read() -> tuple[str, Counter]:
+            binding = next(binding_iter, None)
+            if binding is not None:
+                return binding.expr(self.pool), binding.read_cost()
+            return self.pool.scalar(kind), Counter(load=1)
+
+        def next_write() -> tuple[str, Counter]:
+            binding = next(binding_iter, None)
+            if binding is not None:
+                return binding.expr(self.pool), binding.write_cost()
+            return self.pool.scalar(kind), Counter(store=1)
+
+        def alu_remaining() -> int:
+            return sum(max(0, budget[key]) for key in alu_keys)
+
+        while len(statements) < self.MAX_STATEMENTS_PER_BLOCK:
+            stores_left = budget["store"]
+            loads_left = budget["load"]
+            ops_left = alu_remaining()
+            if stores_left <= 0 and loads_left <= 1 and ops_left <= 1:
+                break
+            denominator = max(1, stores_left)
+            n_loads = min(3, max(0, -(-max(0, loads_left) // denominator)))
+            n_ops = min(
+                4,
+                max(n_loads - 1 if n_loads > 1 else 0,
+                    -(-ops_left // denominator)),
+            )
+            if n_loads == 0 and n_ops == 0:
+                statement, cost = self._store_const(next_write, kind)
+            else:
+                statement, cost = self._assignment(
+                    next_read, next_write, kind, max(1, n_loads), n_ops,
+                    budget, alu_keys,
+                )
+            statements.append(statement)
+            emitted.update(cost)
+            budget.subtract(cost)
+        return statements
+
+    def _store_const(self, next_write, kind: str) -> tuple[str, Counter]:
+        target, cost = next_write()
+        if kind == "f":
+            value = f"{self.rng.uniform(0.5, 9.5):.4f}"
+        else:
+            value = str(self.rng.randrange(1, 255))
+        return f"{target} = {value};", cost
+
+    def _assignment(
+        self,
+        next_read,
+        next_write,
+        kind: str,
+        n_loads: int,
+        n_ops: int,
+        budget: Counter,
+        alu_keys: tuple[str, ...],
+    ) -> tuple[str, Counter]:
+        """Build ``dst = src (op operand)*;`` with the requested shape.
+
+        The first operand is always a memory read (keeps the -O0 lowering
+        free of extra immediate-materialization instructions).
+        """
+        rng = self.rng
+        expression, cost = next_read()
+        loads_used = 1
+        ops_emitted = 0
+        while ops_emitted < n_ops:
+            op_category = self._pick_op_category(budget, cost, alu_keys)
+            if op_category == "fmath":
+                expression = f"cos({expression})"
+                cost["fmath"] += 1
+                ops_emitted += 1
+                continue
+            if kind == "f":
+                symbol = {"fmul": "*", "fdiv": "/"}.get(op_category)
+                if symbol is None:
+                    symbol = rng.choice(FLOAT_OPS)
+            else:
+                symbol = {"imul": "*", "idiv": "/"}.get(op_category)
+                if symbol is None:
+                    symbol = rng.choice(INT_OPS)
+            cost[op_category] += 1
+            if symbol != "/" and loads_used < n_loads:
+                operand, operand_cost = next_read()
+                cost.update(operand_cost)
+                loads_used += 1
+            elif kind == "f":
+                operand = f"{rng.uniform(1.001, 3.5):.3f}"
+            elif symbol == "/":
+                operand = str(rng.randrange(2, 9))
+            else:
+                operand = str(rng.randrange(1, 63))
+            # Explicit left association: never lets C precedence pair two
+            # constants (which would cost an extra immediate move at -O0).
+            expression = f"({expression} {symbol} {operand})"
+            ops_emitted += 1
+        destination, write_cost = next_write()
+        cost.update(write_cost)
+        return f"{destination} = {expression};", cost
+
+    def _pick_op_category(
+        self, budget: Counter, cost: Counter, alu_keys: tuple[str, ...]
+    ) -> str:
+        """Prefer whichever op category has the most unmet budget."""
+        best = alu_keys[0]
+        best_remaining = budget[best] - cost[best]
+        for key in alu_keys[1:]:
+            remaining = budget[key] - cost[key]
+            if remaining > best_remaining:
+                best = key
+                best_remaining = remaining
+        return best

@@ -1,0 +1,172 @@
+"""adpcm — IMA ADPCM encode/decode (MiBench telecomm/adpcm).
+
+Encodes a synthetic audio buffer to 4-bit ADPCM, decodes it back, and
+prints checksums of the code stream and the reconstructed signal.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import audio_samples, int_array_literal
+
+NAME = "adpcm"
+
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+    45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+    209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+    796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+    7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+]
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+_SIZES = {"small": 800, "large": 3600}
+
+_TEMPLATE = """\
+{samples_decl}
+{steps_decl}
+{index_decl}
+int codes[{n}];
+int decoded[{n}];
+
+int encode(int n) {{
+  int valpred = 0;
+  int index = 0;
+  int checksum = 0;
+  int i;
+  for (i = 0; i < n; i++) {{
+    int val = samples[i];
+    int step = stepTable[index];
+    int diff = val - valpred;
+    int sign = 0;
+    if (diff < 0) {{ sign = 8; diff = -diff; }}
+    int delta = 0;
+    int vpdiff = step >> 3;
+    if (diff >= step) {{ delta = 4; diff = diff - step; vpdiff = vpdiff + step; }}
+    step = step >> 1;
+    if (diff >= step) {{ delta = delta | 2; diff = diff - step; vpdiff = vpdiff + step; }}
+    step = step >> 1;
+    if (diff >= step) {{ delta = delta | 1; vpdiff = vpdiff + step; }}
+    if (sign) {{ valpred = valpred - vpdiff; }} else {{ valpred = valpred + vpdiff; }}
+    if (valpred > 32767) {{ valpred = 32767; }}
+    if (valpred < -32768) {{ valpred = -32768; }}
+    delta = delta | sign;
+    index = index + indexTable[delta];
+    if (index < 0) {{ index = 0; }}
+    if (index > 88) {{ index = 88; }}
+    codes[i] = delta;
+    checksum = checksum + delta;
+  }}
+  return checksum;
+}}
+
+int decode(int n) {{
+  int valpred = 0;
+  int index = 0;
+  int checksum = 0;
+  int i;
+  for (i = 0; i < n; i++) {{
+    int delta = codes[i];
+    int step = stepTable[index];
+    index = index + indexTable[delta];
+    if (index < 0) {{ index = 0; }}
+    if (index > 88) {{ index = 88; }}
+    int sign = delta & 8;
+    delta = delta & 7;
+    int vpdiff = step >> 3;
+    if (delta & 4) {{ vpdiff = vpdiff + step; }}
+    if (delta & 2) {{ vpdiff = vpdiff + (step >> 1); }}
+    if (delta & 1) {{ vpdiff = vpdiff + (step >> 2); }}
+    if (sign) {{ valpred = valpred - vpdiff; }} else {{ valpred = valpred + vpdiff; }}
+    if (valpred > 32767) {{ valpred = 32767; }}
+    if (valpred < -32768) {{ valpred = -32768; }}
+    decoded[i] = valpred;
+    checksum = checksum + (valpred & 255);
+  }}
+  return checksum;
+}}
+
+int main() {{
+  int enc = encode({n});
+  int dec = decode({n});
+  printf("adpcm %d %d\\n", enc, dec);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    n = _SIZES[input_name]
+    samples = audio_samples(n)
+    return _TEMPLATE.format(
+        samples_decl=int_array_literal("samples", samples),
+        steps_decl=int_array_literal("stepTable", _STEP_TABLE),
+        index_decl=int_array_literal("indexTable", _INDEX_TABLE),
+        n=n,
+    )
+
+
+def _encode(samples: list[int]) -> tuple[list[int], int]:
+    valpred = 0
+    index = 0
+    checksum = 0
+    codes: list[int] = []
+    for val in samples:
+        step = _STEP_TABLE[index]
+        diff = val - valpred
+        sign = 0
+        if diff < 0:
+            sign = 8
+            diff = -diff
+        delta = 0
+        vpdiff = step >> 3
+        if diff >= step:
+            delta = 4
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 2
+            diff -= step
+            vpdiff += step
+        step >>= 1
+        if diff >= step:
+            delta |= 1
+            vpdiff += step
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        delta |= sign
+        index = max(0, min(88, index + _INDEX_TABLE[delta]))
+        codes.append(delta)
+        checksum += delta
+    return codes, checksum
+
+
+def _decode(codes: list[int]) -> int:
+    valpred = 0
+    index = 0
+    checksum = 0
+    for delta in codes:
+        step = _STEP_TABLE[index]
+        index = max(0, min(88, index + _INDEX_TABLE[delta]))
+        sign = delta & 8
+        delta &= 7
+        vpdiff = step >> 3
+        if delta & 4:
+            vpdiff += step
+        if delta & 2:
+            vpdiff += step >> 1
+        if delta & 1:
+            vpdiff += step >> 2
+        valpred = valpred - vpdiff if sign else valpred + vpdiff
+        valpred = max(-32768, min(32767, valpred))
+        checksum += valpred & 255
+    return checksum
+
+
+def reference_output(input_name: str) -> str:
+    samples = audio_samples(_SIZES[input_name])
+    codes, enc = _encode(samples)
+    dec = _decode(codes)
+    return f"adpcm {enc} {dec}\n"

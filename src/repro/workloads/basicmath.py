@@ -1,0 +1,182 @@
+"""basicmath — cubic roots, integer square roots, angle conversion
+(MiBench auto/basicmath).
+
+Solves batches of cubic equations with the trigonometric Cardano method,
+computes integer square roots bit-by-bit, and converts angles, like the
+original's three kernels.  The oracle replays the same float ops.
+"""
+
+from __future__ import annotations
+
+import math
+
+NAME = "basicmath"
+
+_PARAMS = {"small": (60, 2000, 360), "large": (260, 9000, 1440)}
+_PI = 3.141592653589793
+
+
+_TEMPLATE = """\
+float roots[3];
+
+int solve_cubic(float a, float b, float c, float d) {{
+  float a1 = b / a;
+  float a2 = c / a;
+  float a3 = d / a;
+  float q = (a1 * a1 - 3.0 * a2) / 9.0;
+  float r = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0;
+  float r2 = r * r;
+  float q3 = q * q * q;
+  if (r2 < q3) {{
+    float ratio = r / sqrt(q3);
+    if (ratio > 1.0) {{ ratio = 1.0; }}
+    if (ratio < -1.0) {{ ratio = -1.0; }}
+    float theta = 0.0;
+    float lo = 0.0;
+    float hi = {pi};
+    int it;
+    for (it = 0; it < 30; it++) {{
+      theta = (lo + hi) / 2.0;
+      if (cos(theta) > ratio) {{ lo = theta; }} else {{ hi = theta; }}
+    }}
+    float sq = -2.0 * sqrt(q);
+    roots[0] = sq * cos(theta / 3.0) - a1 / 3.0;
+    roots[1] = sq * cos((theta + 2.0 * {pi}) / 3.0) - a1 / 3.0;
+    roots[2] = sq * cos((theta + 4.0 * {pi}) / 3.0) - a1 / 3.0;
+    return 3;
+  }}
+  float big = fabs(r) + sqrt(r2 - q3);
+  if (big < 0.000001) {{ big = 0.000001; }}
+  float e = exp(log(big) / 3.0);
+  if (r > 0.0) {{ e = -e; }}
+  float root = e;
+  if (e != 0.0) {{ root = e + q / e; }}
+  roots[0] = root - a1 / 3.0;
+  return 1;
+}}
+
+int isqrt(int x) {{
+  int result = 0;
+  int bit = 1 << 14;
+  while (bit > x) {{ bit = bit >> 2; }}
+  while (bit != 0) {{
+    if (x >= result + bit) {{
+      x = x - (result + bit);
+      result = (result >> 1) + bit;
+    }} else {{
+      result = result >> 1;
+    }}
+    bit = bit >> 2;
+  }}
+  return result;
+}}
+
+int main() {{
+  float root_sum = 0.0;
+  int count = 0;
+  int i;
+  for (i = 0; i < {cubics}; i++) {{
+    float a = 1.0;
+    float b = (float)(i % 40) - 20.0;
+    float c = (float)((i * 3) % 60) - 25.0;
+    float d = (float)((i * 7) % 30) - 15.0;
+    int n = solve_cubic(a, b, c, d);
+    count = count + n;
+    int j;
+    for (j = 0; j < n; j++) {{
+      root_sum = root_sum + roots[j];
+    }}
+  }}
+  int sq_sum = 0;
+  for (i = 1; i < {squares}; i = i + 7) {{
+    sq_sum = sq_sum + isqrt(i);
+  }}
+  float rad_sum = 0.0;
+  for (i = 0; i < {angles}; i++) {{
+    float rad = (float)i * {pi} / 180.0;
+    rad_sum = rad_sum + rad * rad;
+  }}
+  printf("basicmath %d %.3f %d %.3f\\n", count, root_sum, sq_sum, rad_sum);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    cubics, squares, angles = _PARAMS[input_name]
+    return _TEMPLATE.format(cubics=cubics, squares=squares, angles=angles, pi=_PI)
+
+
+def _solve_cubic(a: float, b: float, c: float, d: float) -> list[float]:
+    a1 = b / a
+    a2 = c / a
+    a3 = d / a
+    q = (a1 * a1 - 3.0 * a2) / 9.0
+    r = (2.0 * a1 * a1 * a1 - 9.0 * a1 * a2 + 27.0 * a3) / 54.0
+    r2 = r * r
+    q3 = q * q * q
+    if r2 < q3:
+        ratio = r / math.sqrt(q3)
+        ratio = min(1.0, max(-1.0, ratio))
+        lo = 0.0
+        hi = _PI
+        theta = 0.0
+        for _ in range(30):
+            theta = (lo + hi) / 2.0
+            if math.cos(theta) > ratio:
+                lo = theta
+            else:
+                hi = theta
+        sq = -2.0 * math.sqrt(q)
+        return [
+            sq * math.cos(theta / 3.0) - a1 / 3.0,
+            sq * math.cos((theta + 2.0 * _PI) / 3.0) - a1 / 3.0,
+            sq * math.cos((theta + 4.0 * _PI) / 3.0) - a1 / 3.0,
+        ]
+    big = abs(r) + math.sqrt(r2 - q3)
+    if big < 0.000001:
+        big = 0.000001
+    e = math.exp(math.log(big) / 3.0)
+    if r > 0.0:
+        e = -e
+    root = e + q / e if e != 0.0 else e
+    return [root - a1 / 3.0]
+
+
+def _isqrt(x: int) -> int:
+    result = 0
+    bit = 1 << 14
+    while bit > x:
+        bit >>= 2
+    while bit != 0:
+        if x >= result + bit:
+            x -= result + bit
+            result = (result >> 1) + bit
+        else:
+            result >>= 1
+        bit >>= 2
+    return result
+
+
+def reference_output(input_name: str) -> str:
+    cubics, squares, angles = _PARAMS[input_name]
+    root_sum = 0.0
+    count = 0
+    for i in range(cubics):
+        roots = _solve_cubic(
+            1.0,
+            float(i % 40) - 20.0,
+            float((i * 3) % 60) - 25.0,
+            float((i * 7) % 30) - 15.0,
+        )
+        count += len(roots)
+        for value in roots:
+            root_sum = root_sum + value
+    sq_sum = 0
+    for i in range(1, squares, 7):
+        sq_sum += _isqrt(i)
+    rad_sum = 0.0
+    for i in range(angles):
+        rad = float(i) * _PI / 180.0
+        rad_sum = rad_sum + rad * rad
+    return f"basicmath {count} {root_sum:.3f} {sq_sum} {rad_sum:.3f}\n"

@@ -1,0 +1,89 @@
+"""bitcount — bit-population counts via several methods (MiBench auto/bitcount).
+
+Four counting strategies (shift loop, Kernighan, nibble table, SWAR)
+applied to an LCG stream; the oracle uses Python's ``int.bit_count``.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import int_array_literal, lcg_stream
+
+NAME = "bitcount"
+
+_SIZES = {"small": 1200, "large": 4200}
+
+_NIBBLE_TABLE = [bin(i).count("1") for i in range(16)]
+
+_TEMPLATE = """\
+{data_decl}
+{nibble_decl}
+
+int count_shift(unsigned x) {{
+  int count = 0;
+  while (x) {{
+    count = count + (int)(x & 1u);
+    x = x >> 1;
+  }}
+  return count;
+}}
+
+int count_kernighan(unsigned x) {{
+  int count = 0;
+  while (x) {{
+    x = x & (x - 1u);
+    count++;
+  }}
+  return count;
+}}
+
+int count_nibbles(unsigned x) {{
+  int count = 0;
+  while (x) {{
+    count = count + nibbles[x & 15u];
+    x = x >> 4;
+  }}
+  return count;
+}}
+
+int count_swar(unsigned x) {{
+  x = x - ((x >> 1) & 1431655765u);
+  x = (x & 858993459u) + ((x >> 2) & 858993459u);
+  x = (x + (x >> 4)) & 252645135u;
+  return (int)((x * 16843009u) >> 24);
+}}
+
+int main() {{
+  int sums0 = 0;
+  int sums1 = 0;
+  int sums2 = 0;
+  int sums3 = 0;
+  int i;
+  for (i = 0; i < {n}; i++) {{
+    unsigned x = (unsigned)data[i];
+    sums0 = sums0 + count_shift(x);
+    sums1 = sums1 + count_kernighan(x);
+    sums2 = sums2 + count_nibbles(x);
+    sums3 = sums3 + count_swar(x);
+  }}
+  printf("bitcount %d %d %d %d\\n", sums0, sums1, sums2, sums3);
+  return 0;
+}}
+"""
+
+
+def _values(input_name: str) -> list[int]:
+    return lcg_stream(41, _SIZES[input_name])
+
+
+def get_source(input_name: str) -> str:
+    data = _values(input_name)
+    return _TEMPLATE.format(
+        data_decl=int_array_literal("data", data),
+        nibble_decl=int_array_literal("nibbles", _NIBBLE_TABLE),
+        n=len(data),
+    )
+
+
+def reference_output(input_name: str) -> str:
+    total = sum(v.bit_count() for v in _values(input_name))
+    return f"bitcount {total} {total} {total} {total}\n"

@@ -1,0 +1,75 @@
+"""crc32 — CRC-32 over a synthetic buffer (MiBench telecomm/crc32).
+
+Table-driven CRC-32 (the IEEE 802.3 polynomial, same as ``binascii``),
+computed over an LCG byte stream; the reference oracle is Python's
+``binascii.crc32``.
+"""
+
+from __future__ import annotations
+
+import binascii
+
+from repro.workloads.data import int_array_literal, lcg_stream
+
+NAME = "crc32"
+
+_SIZES = {"small": 6000, "large": 30000}
+
+_TEMPLATE = """\
+{data_decl}
+unsigned crcTable[256];
+
+void build_table() {{
+  unsigned c;
+  int n;
+  int k;
+  for (n = 0; n < 256; n++) {{
+    c = (unsigned)n;
+    for (k = 0; k < 8; k++) {{
+      if (c & 1u) {{
+        c = 3988292384u ^ (c >> 1);
+      }} else {{
+        c = c >> 1;
+      }}
+    }}
+    crcTable[n] = c;
+  }}
+}}
+
+unsigned crc_buffer(int n) {{
+  unsigned crc = 4294967295u;
+  int i;
+  for (i = 0; i < n; i++) {{
+    crc = crcTable[(crc ^ (unsigned)data[i]) & 255u] ^ (crc >> 8);
+  }}
+  return crc ^ 4294967295u;
+}}
+
+int main() {{
+  build_table();
+  unsigned crc = crc_buffer({n});
+  unsigned twice = crc ^ crc_buffer({half});
+  printf("crc32 %u %u\\n", crc, twice);
+  return 0;
+}}
+"""
+
+
+def _payload(input_name: str) -> list[int]:
+    return lcg_stream(97, _SIZES[input_name], 256)
+
+
+def get_source(input_name: str) -> str:
+    data = _payload(input_name)
+    return _TEMPLATE.format(
+        data_decl=int_array_literal("data", data),
+        n=len(data),
+        half=len(data) // 2,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    data = bytes(_payload(input_name))
+    crc = binascii.crc32(data) & 0xFFFFFFFF
+    twice = crc ^ (binascii.crc32(data[: len(data) // 2]) & 0xFFFFFFFF)
+    return f"crc32 {crc} {twice}\n"

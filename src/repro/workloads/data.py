@@ -1,0 +1,66 @@
+"""Deterministic input-data generators shared by workloads and oracles.
+
+A fixed linear congruential generator produces identical sequences in the
+embedded C arrays and the Python reference implementations, so checksums
+can be verified independently of the compiler/simulator under test.
+"""
+
+from __future__ import annotations
+
+_LCG_A = 1103515245
+_LCG_C = 12345
+_MASK = 0x7FFFFFFF
+
+
+def lcg_stream(seed: int, count: int, modulo: int | None = None) -> list[int]:
+    """Deterministic pseudo-random non-negative ints."""
+    values: list[int] = []
+    state = seed & _MASK
+    for _ in range(count):
+        state = (_LCG_A * state + _LCG_C) & _MASK
+        values.append(state % modulo if modulo else state)
+    return values
+
+
+def audio_samples(count: int, seed: int = 7) -> list[int]:
+    """Synthetic 16-bit audio: a rough waveform with noise."""
+    noise = lcg_stream(seed, count, 1200)
+    samples: list[int] = []
+    phase = 0
+    for i in range(count):
+        phase = (phase + 13) % 400
+        wave = (phase - 200) * 80
+        samples.append(max(-32768, min(32767, wave + noise[i] - 600)))
+    return samples
+
+
+def int_array_literal(name: str, values: list[int], ctype: str = "int") -> str:
+    """C global array declaration with an initializer list."""
+    items = ", ".join(str(v) for v in values)
+    return f"{ctype} {name}[{len(values)}] = {{{items}}};"
+
+
+def text_bytes(count: int, seed: int = 31) -> list[int]:
+    """Printable pseudo-text (codes 32..126) with word structure."""
+    raw = lcg_stream(seed, count, 96)
+    out: list[int] = []
+    for i, value in enumerate(raw):
+        if i % 6 == 5:
+            out.append(32)  # spaces create word boundaries
+        else:
+            out.append(97 + value % 26)
+    return out
+
+
+def image_pixels(width: int, height: int, seed: int = 11) -> list[int]:
+    """Synthetic 8-bit image: gradient + blobs + noise."""
+    noise = lcg_stream(seed, width * height, 40)
+    pixels: list[int] = []
+    for y in range(height):
+        for x in range(width):
+            value = (x * 3 + y * 2) % 200
+            if (x // 8 + y // 8) % 2 == 0:
+                value += 30
+            value += noise[y * width + x]
+            pixels.append(min(255, value))
+    return pixels

@@ -1,0 +1,119 @@
+"""dijkstra — all-pairs-ish shortest paths (MiBench network/dijkstra).
+
+Dijkstra with a linear-scan priority queue over a dense random weight
+matrix, from several source nodes.  The oracle mirrors the algorithm in
+Python (any correct implementation yields the same distances).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import int_array_literal, lcg_stream
+
+NAME = "dijkstra"
+
+_PARAMS = {"small": (40, 10), "large": (64, 18)}  # (nodes, sources)
+_INF = 1 << 28
+
+
+def _matrix(nodes: int) -> list[int]:
+    raw = lcg_stream(73, nodes * nodes, 100)
+    flat: list[int] = []
+    for i in range(nodes):
+        for j in range(nodes):
+            if i == j:
+                flat.append(0)
+            else:
+                weight = raw[i * nodes + j] + 1
+                flat.append(weight if weight < 95 else _INF)
+    return flat
+
+
+_TEMPLATE = """\
+{matrix_decl}
+int dist[{nodes}];
+int visited[{nodes}];
+
+int run_dijkstra(int source) {{
+  int i;
+  for (i = 0; i < {nodes}; i++) {{
+    dist[i] = {inf};
+    visited[i] = 0;
+  }}
+  dist[source] = 0;
+  int round;
+  for (round = 0; round < {nodes}; round++) {{
+    int best = -1;
+    int best_dist = {inf};
+    for (i = 0; i < {nodes}; i++) {{
+      if (!visited[i] && dist[i] < best_dist) {{
+        best = i;
+        best_dist = dist[i];
+      }}
+    }}
+    if (best < 0) {{ break; }}
+    visited[best] = 1;
+    for (i = 0; i < {nodes}; i++) {{
+      int w = adj[best * {nodes} + i];
+      if (w < {inf} && dist[best] + w < dist[i]) {{
+        dist[i] = dist[best] + w;
+      }}
+    }}
+  }}
+  int total = 0;
+  for (i = 0; i < {nodes}; i++) {{
+    if (dist[i] < {inf}) {{
+      total = total + dist[i];
+    }}
+  }}
+  return total;
+}}
+
+int main() {{
+  int checksum = 0;
+  int s;
+  for (s = 0; s < {sources}; s++) {{
+    checksum = checksum + run_dijkstra(s * {stride});
+  }}
+  printf("dijkstra %d\\n", checksum);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    nodes, sources = _PARAMS[input_name]
+    return _TEMPLATE.format(
+        matrix_decl=int_array_literal("adj", _matrix(nodes)),
+        nodes=nodes,
+        sources=sources,
+        stride=max(1, nodes // sources),
+        inf=_INF,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    nodes, sources = _PARAMS[input_name]
+    adj = _matrix(nodes)
+    stride = max(1, nodes // sources)
+    checksum = 0
+    for s in range(sources):
+        source = s * stride
+        dist = [_INF] * nodes
+        visited = [False] * nodes
+        dist[source] = 0
+        for _ in range(nodes):
+            best = -1
+            best_dist = _INF
+            for i in range(nodes):
+                if not visited[i] and dist[i] < best_dist:
+                    best = i
+                    best_dist = dist[i]
+            if best < 0:
+                break
+            visited[best] = True
+            for i in range(nodes):
+                w = adj[best * nodes + i]
+                if w < _INF and dist[best] + w < dist[i]:
+                    dist[i] = dist[best] + w
+        checksum += sum(d for d in dist if d < _INF)
+    return f"dijkstra {checksum}\n"

@@ -1,0 +1,173 @@
+"""fft — iterative radix-2 FFT (MiBench telecomm/FFT).
+
+In-place Cooley-Tukey with bit-reversal permutation and per-stage
+``sin``/``cos`` twiddles over a synthetic signal, plus an inverse pass;
+checksums are energy sums printed with fixed precision.  The Python
+oracle replays the identical floating-point operation sequence, so the
+values match bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.data import lcg_stream
+
+NAME = "fft"
+
+_SIZES = {"small": 128, "large": 512}
+_WAVES = 4
+
+
+def _signal(n: int) -> list[float]:
+    noise = lcg_stream(19, n, 1000)
+    return [
+        math.sin(2.0 * math.pi * 5.0 * i / n) * 100.0
+        + math.sin(2.0 * math.pi * 13.0 * i / n) * 40.0
+        + (noise[i] - 500) * 0.05
+        for i in range(n)
+    ]
+
+
+_TEMPLATE = """\
+float re[{n}];
+float im[{n}];
+{init_decl}
+
+void fft(int n, int inverse) {{
+  int i;
+  int j = 0;
+  for (i = 0; i < n - 1; i++) {{
+    if (i < j) {{
+      float tr = re[i];
+      re[i] = re[j];
+      re[j] = tr;
+      float ti = im[i];
+      im[i] = im[j];
+      im[j] = ti;
+    }}
+    int k = n >> 1;
+    while (k <= j) {{
+      j = j - k;
+      k = k >> 1;
+    }}
+    j = j + k;
+  }}
+  int len;
+  for (len = 2; len <= n; len = len << 1) {{
+    float ang = 6.283185307179586 / (float)len;
+    if (inverse) {{ ang = -ang; }}
+    int half = len >> 1;
+    for (i = 0; i < n; i = i + len) {{
+      int m;
+      for (m = 0; m < half; m++) {{
+        float wr = cos(ang * (float)m);
+        float wi = -sin(ang * (float)m);
+        int a = i + m;
+        int b = a + half;
+        float xr = re[b] * wr - im[b] * wi;
+        float xi = re[b] * wi + im[b] * wr;
+        re[b] = re[a] - xr;
+        im[b] = im[a] - xi;
+        re[a] = re[a] + xr;
+        im[a] = im[a] + xi;
+      }}
+    }}
+  }}
+  if (inverse) {{
+    for (i = 0; i < n; i++) {{
+      re[i] = re[i] / (float)n;
+      im[i] = im[i] / (float)n;
+    }}
+  }}
+}}
+
+int main() {{
+  int i;
+  for (i = 0; i < {n}; i++) {{
+    im[i] = 0.0;
+  }}
+  fft({n}, 0);
+  float energy = 0.0;
+  for (i = 0; i < {n}; i++) {{
+    energy = energy + re[i] * re[i] + im[i] * im[i];
+  }}
+  fft({n}, 1);
+  float drift = 0.0;
+  for (i = 0; i < {n}; i++) {{
+    drift = drift + fabs(re[i] - sig[i]);
+  }}
+  printf("fft %.2f %.4f\\n", energy, drift);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    n = _SIZES[input_name]
+    signal = _signal(n)
+    items = ", ".join(f"{v!r}" for v in signal)
+    init_decl = f"float sig[{n}] = {{{items}}};"
+    # re[] starts as a copy of the signal.
+    copy_loop = "\n".join(
+        ["void load_signal() {", "  int i;",
+         f"  for (i = 0; i < {n}; i++) {{", "    re[i] = sig[i];", "  }", "}"]
+    )
+    template = _TEMPLATE.replace(
+        "int main() {{\n  int i;",
+        "int main() {{\n  int i;\n  load_signal();",
+        1,
+    )
+    return copy_loop + "\n" + template.format(n=n, init_decl=init_decl)
+
+
+def _fft_py(re: list[float], im: list[float], n: int, inverse: bool) -> None:
+    j = 0
+    for i in range(n - 1):
+        if i < j:
+            re[i], re[j] = re[j], re[i]
+            im[i], im[j] = im[j], im[i]
+        k = n >> 1
+        while k <= j:
+            j -= k
+            k >>= 1
+        j += k
+    length = 2
+    while length <= n:
+        ang = 6.283185307179586 / float(length)
+        if inverse:
+            ang = -ang
+        half = length >> 1
+        for i in range(0, n, length):
+            for m in range(half):
+                wr = math.cos(ang * float(m))
+                wi = -math.sin(ang * float(m))
+                a = i + m
+                b = a + half
+                xr = re[b] * wr - im[b] * wi
+                xi = re[b] * wi + im[b] * wr
+                re[b] = re[a] - xr
+                im[b] = im[a] - xi
+                re[a] = re[a] + xr
+                im[a] = im[a] + xi
+        length <<= 1
+    if inverse:
+        for i in range(n):
+            re[i] /= float(n)
+            im[i] /= float(n)
+
+
+def reference_output(input_name: str) -> str:
+    n = _SIZES[input_name]
+    signal = _signal(n)
+    re = list(signal)
+    im = [0.0] * n
+    _fft_py(re, im, n, False)
+    energy = 0.0
+    for i in range(n):
+        energy = energy + re[i] * re[i] + im[i] * im[i]
+    _fft_py(re, im, n, True)
+    drift = 0.0
+    for i in range(n):
+        drift = drift + abs(re[i] - signal[i])
+    return f"fft {energy:.2f} {drift:.4f}\n"

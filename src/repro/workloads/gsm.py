@@ -1,0 +1,133 @@
+"""gsm — LPC short-term analysis (MiBench telecomm/gsm, simplified).
+
+The GSM 06.10 front end: per-frame autocorrelation over 160-sample
+windows followed by Schur recursion for eight reflection coefficients,
+in floating point; checksum aggregates quantized coefficients.  The
+oracle replays the identical arithmetic.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import audio_samples, int_array_literal
+
+NAME = "gsm"
+
+_FRAMES = {"small": 10, "large": 45}
+_FRAME_SIZE = 160
+_ORDER = 8
+
+_TEMPLATE = """\
+{samples_decl}
+float acf[{order_plus}];
+float refl[{order}];
+float pp[{order_plus}];
+float kk[{order_plus}];
+
+void autocorrelation(int frame) {{
+  int lag;
+  int i;
+  int base = frame * {frame_size};
+  for (lag = 0; lag <= {order}; lag++) {{
+    float sum = 0.0;
+    for (i = lag; i < {frame_size}; i++) {{
+      sum = sum + (float)samples[base + i] * (float)samples[base + i - lag];
+    }}
+    acf[lag] = sum;
+  }}
+}}
+
+void schur() {{
+  int i;
+  int m;
+  if (acf[0] == 0.0) {{
+    for (i = 0; i < {order}; i++) {{
+      refl[i] = 0.0;
+    }}
+    return;
+  }}
+  for (i = 0; i <= {order}; i++) {{
+    pp[i] = acf[i];
+    kk[i] = acf[i];
+  }}
+  for (m = 0; m < {order}; m++) {{
+    if (pp[0] == 0.0) {{
+      refl[m] = 0.0;
+      continue;
+    }}
+    float k = -kk[1] / pp[0];
+    refl[m] = k;
+    pp[0] = pp[0] + k * kk[1];
+    for (i = 1; i < {order} - m; i++) {{
+      pp[i] = pp[i + 1] + k * kk[i + 1];
+      kk[i] = kk[i] + k * pp[i + 1];
+    }}
+  }}
+}}
+
+int main() {{
+  int checksum = 0;
+  int frame;
+  int i;
+  for (frame = 0; frame < {frames}; frame++) {{
+    autocorrelation(frame);
+    schur();
+    for (i = 0; i < {order}; i++) {{
+      float r = refl[i];
+      if (r > 0.999) {{ r = 0.999; }}
+      if (r < -0.999) {{ r = -0.999; }}
+      checksum = checksum + (int)(r * 1000.0) + 1000;
+    }}
+  }}
+  printf("gsm %d\\n", checksum);
+  return 0;
+}}
+"""
+
+
+def _samples(input_name: str) -> list[int]:
+    return audio_samples(_FRAMES[input_name] * _FRAME_SIZE, seed=29)
+
+
+def get_source(input_name: str) -> str:
+    samples = _samples(input_name)
+    return _TEMPLATE.format(
+        samples_decl=int_array_literal("samples", samples),
+        frames=_FRAMES[input_name],
+        frame_size=_FRAME_SIZE,
+        order=_ORDER,
+        order_plus=_ORDER + 1,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    samples = _samples(input_name)
+    frames = _FRAMES[input_name]
+    checksum = 0
+    for frame in range(frames):
+        base = frame * _FRAME_SIZE
+        acf = []
+        for lag in range(_ORDER + 1):
+            total = 0.0
+            for i in range(lag, _FRAME_SIZE):
+                total = total + float(samples[base + i]) * float(
+                    samples[base + i - lag]
+                )
+            acf.append(total)
+        refl = [0.0] * _ORDER
+        if acf[0] != 0.0:
+            pp = list(acf)
+            kk = list(acf)
+            for m in range(_ORDER):
+                if pp[0] == 0.0:
+                    refl[m] = 0.0
+                    continue
+                k = -kk[1] / pp[0]
+                refl[m] = k
+                pp[0] = pp[0] + k * kk[1]
+                for i in range(1, _ORDER - m):
+                    pp[i] = pp[i + 1] + k * kk[i + 1]
+                    kk[i] = kk[i] + k * pp[i + 1]
+        for r in refl:
+            r = min(0.999, max(-0.999, r))
+            checksum += int(r * 1000.0) + 1000
+    return f"gsm {checksum}\n"

@@ -1,0 +1,170 @@
+"""jpeg — 8x8 forward DCT + quantization + zigzag RLE
+(MiBench consumer/jpeg's compute core).
+
+Processes an image block by block: separable 2-D DCT, quantization with
+the standard JPEG luminance table, zigzag scan and a run-length count.
+The oracle replays the same float pipeline.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import image_pixels, int_array_literal
+
+NAME = "jpeg"
+
+_DIMS = {"small": (32, 32), "large": (64, 64)}
+
+_QUANT = [
+    16, 11, 10, 16, 24, 40, 51, 61,
+    12, 12, 14, 19, 26, 58, 60, 55,
+    14, 13, 16, 24, 40, 57, 69, 56,
+    14, 17, 22, 29, 51, 87, 80, 62,
+    18, 22, 37, 56, 68, 109, 103, 77,
+    24, 35, 55, 64, 81, 104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101,
+    72, 92, 95, 98, 112, 100, 103, 99,
+]
+
+_ZIGZAG = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6, 7, 14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+]
+
+_TEMPLATE = """\
+{image_decl}
+{quant_decl}
+{zigzag_decl}
+float block[64];
+float temp[64];
+int coeffs[64];
+
+void dct_block() {{
+  int u;
+  int x;
+  int i;
+  for (i = 0; i < 64; i++) {{
+    temp[i] = 0.0;
+  }}
+  for (u = 0; u < 8; u++) {{
+    for (x = 0; x < 8; x++) {{
+      float sum = 0.0;
+      int v;
+      for (v = 0; v < 8; v++) {{
+        sum = sum + block[x * 8 + v] * cos((2.0 * (float)v + 1.0) * (float)u * 0.19634954084936207);
+      }}
+      temp[x * 8 + u] = sum;
+    }}
+  }}
+  for (u = 0; u < 8; u++) {{
+    for (x = 0; x < 8; x++) {{
+      float sum = 0.0;
+      int v;
+      for (v = 0; v < 8; v++) {{
+        sum = sum + temp[v * 8 + x] * cos((2.0 * (float)v + 1.0) * (float)u * 0.19634954084936207);
+      }}
+      float scale = 0.25;
+      if (u == 0) {{ scale = scale * 0.7071067811865476; }}
+      block[u * 8 + x] = sum * scale;
+    }}
+  }}
+}}
+
+int main() {{
+  int bx;
+  int by;
+  int checksum = 0;
+  int nonzero = 0;
+  for (by = 0; by < {height}; by = by + 8) {{
+    for (bx = 0; bx < {width}; bx = bx + 8) {{
+      int x;
+      int y;
+      for (y = 0; y < 8; y++) {{
+        for (x = 0; x < 8; x++) {{
+          block[y * 8 + x] = (float)image[(by + y) * {width} + bx + x] - 128.0;
+        }}
+      }}
+      dct_block();
+      int i;
+      for (i = 0; i < 64; i++) {{
+        coeffs[i] = (int)(block[i] / (float)quant[i]);
+      }}
+      int run = 0;
+      for (i = 0; i < 64; i++) {{
+        int c = coeffs[zigzag[i]];
+        if (c == 0) {{
+          run++;
+        }} else {{
+          nonzero++;
+          checksum = checksum + c * (i + 1) + run;
+          run = 0;
+        }}
+      }}
+    }}
+  }}
+  printf("jpeg %d %d\\n", checksum, nonzero);
+  return 0;
+}}
+"""
+
+
+def _image(input_name: str) -> tuple[list[int], int, int]:
+    width, height = _DIMS[input_name]
+    return image_pixels(width, height, seed=23), width, height
+
+
+def get_source(input_name: str) -> str:
+    pixels, width, height = _image(input_name)
+    return _TEMPLATE.format(
+        image_decl=int_array_literal("image", pixels),
+        quant_decl=int_array_literal("quant", _QUANT),
+        zigzag_decl=int_array_literal("zigzag", _ZIGZAG),
+        width=width,
+        height=height,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    import math
+
+    pixels, width, height = _image(input_name)
+    checksum = 0
+    nonzero = 0
+    for by in range(0, height, 8):
+        for bx in range(0, width, 8):
+            block = [0.0] * 64
+            for y in range(8):
+                for x in range(8):
+                    block[y * 8 + x] = float(pixels[(by + y) * width + bx + x]) - 128.0
+            temp = [0.0] * 64
+            for u in range(8):
+                for x in range(8):
+                    total = 0.0
+                    for v in range(8):
+                        total = total + block[x * 8 + v] * math.cos(
+                            (2.0 * float(v) + 1.0) * float(u) * 0.19634954084936207
+                        )
+                    temp[x * 8 + u] = total
+            for u in range(8):
+                for x in range(8):
+                    total = 0.0
+                    for v in range(8):
+                        total = total + temp[v * 8 + x] * math.cos(
+                            (2.0 * float(v) + 1.0) * float(u) * 0.19634954084936207
+                        )
+                    scale = 0.25
+                    if u == 0:
+                        scale = scale * 0.7071067811865476
+                    block[u * 8 + x] = total * scale
+            coeffs = [int(block[i] / float(_QUANT[i])) for i in range(64)]
+            run = 0
+            for i in range(64):
+                c = coeffs[_ZIGZAG[i]]
+                if c == 0:
+                    run += 1
+                else:
+                    nonzero += 1
+                    checksum += c * (i + 1) + run
+                    run = 0
+    return f"jpeg {checksum} {nonzero}\n"

@@ -1,0 +1,240 @@
+"""patricia — PATRICIA trie insert/lookup (MiBench network/patricia).
+
+A binary digital trie over 32-bit keys stored in parallel arrays (mini-C
+has no structs), exercising pointer-chasing-style dependent loads and
+data-dependent branches.  Lookups are verified against a Python set
+(the membership answer is implementation-independent).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import int_array_literal, lcg_stream
+
+NAME = "patricia"
+
+_PARAMS = {"small": (300, 1800), "large": (1200, 8000)}  # (inserts, lookups)
+_KEY_BITS = 16
+
+
+def _keys(input_name: str) -> tuple[list[int], list[int]]:
+    inserts, lookups = _PARAMS[input_name]
+    insert_keys = lcg_stream(83, inserts, 1 << _KEY_BITS)
+    lookup_keys = lcg_stream(89, lookups, 1 << _KEY_BITS)
+    return insert_keys, lookup_keys
+
+
+_TEMPLATE = """\
+{insert_decl}
+{lookup_decl}
+int node_key[{max_nodes}];
+int node_bit[{max_nodes}];
+int node_left[{max_nodes}];
+int node_right[{max_nodes}];
+int node_count;
+
+int bit_of(int key, int bit) {{
+  return (key >> bit) & 1;
+}}
+
+int trie_find(int key) {{
+  if (node_count == 0) {{ return -1; }}
+  int current = 0;
+  int prev = 0;
+  int bit = {key_bits};
+  while (node_bit[current] < bit) {{
+    prev = current;
+    bit = node_bit[current];
+    if (bit_of(key, bit)) {{
+      current = node_right[current];
+    }} else {{
+      current = node_left[current];
+    }}
+  }}
+  return current;
+}}
+
+void trie_insert(int key) {{
+  if (node_count == 0) {{
+    node_key[0] = key;
+    node_bit[0] = {key_bits};
+    node_left[0] = 0;
+    node_right[0] = 0;
+    node_count = 1;
+    return;
+  }}
+  int found = trie_find(key);
+  if (node_key[found] == key) {{ return; }}
+  int diff = {key_bits} - 1;
+  while (bit_of(key, diff) == bit_of(node_key[found], diff)) {{
+    diff--;
+  }}
+  int current = 0;
+  int prev = -1;
+  int bit = {key_bits};
+  while (node_bit[current] < bit && node_bit[current] > diff) {{
+    prev = current;
+    bit = node_bit[current];
+    if (bit_of(key, bit)) {{
+      current = node_right[current];
+    }} else {{
+      current = node_left[current];
+    }}
+  }}
+  int fresh = node_count;
+  node_count = node_count + 1;
+  node_key[fresh] = key;
+  node_bit[fresh] = diff;
+  if (bit_of(key, diff)) {{
+    node_left[fresh] = current;
+    node_right[fresh] = fresh;
+  }} else {{
+    node_left[fresh] = fresh;
+    node_right[fresh] = current;
+  }}
+  if (prev < 0) {{
+    // New root handling: re-point the search entry.
+    if (node_bit[0] < {key_bits}) {{
+      // splice before old root by swapping contents
+      int k0 = node_key[0];
+      int b0 = node_bit[0];
+      int l0 = node_left[0];
+      int r0 = node_right[0];
+      node_key[0] = node_key[fresh];
+      node_bit[0] = node_bit[fresh];
+      node_left[0] = node_left[fresh];
+      node_right[0] = node_right[fresh];
+      node_key[fresh] = k0;
+      node_bit[fresh] = b0;
+      node_left[fresh] = l0;
+      node_right[fresh] = r0;
+      // fix self links after the swap
+      if (node_left[0] == 0) {{ node_left[0] = fresh; }}
+      if (node_right[0] == 0) {{ node_right[0] = fresh; }}
+      if (node_left[fresh] == fresh) {{ node_left[fresh] = 0; }}
+      if (node_right[fresh] == fresh) {{ node_right[fresh] = 0; }}
+    }}
+  }} else {{
+    if (bit_of(key, node_bit[prev])) {{
+      node_right[prev] = fresh;
+    }} else {{
+      node_left[prev] = fresh;
+    }}
+  }}
+}}
+
+int main() {{
+  node_count = 0;
+  int i;
+  for (i = 0; i < {inserts}; i++) {{
+    trie_insert(ikeys[i]);
+  }}
+  int hits = 0;
+  for (i = 0; i < {lookups}; i++) {{
+    int found = trie_find(lkeys[i]);
+    if (found >= 0 && node_key[found] == lkeys[i]) {{
+      hits++;
+    }}
+  }}
+  printf("patricia %d %d\\n", node_count, hits);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    insert_keys, lookup_keys = _keys(input_name)
+    return _TEMPLATE.format(
+        insert_decl=int_array_literal("ikeys", insert_keys),
+        lookup_decl=int_array_literal("lkeys", lookup_keys),
+        max_nodes=len(insert_keys) + 2,
+        inserts=len(insert_keys),
+        lookups=len(lookup_keys),
+        key_bits=_KEY_BITS,
+    )
+
+
+class _PyTrie:
+    """Python mirror of the mini-C trie (same array algorithm)."""
+
+    def __init__(self, capacity: int):
+        self.key = [0] * capacity
+        self.bit = [0] * capacity
+        self.left = [0] * capacity
+        self.right = [0] * capacity
+        self.count = 0
+
+    @staticmethod
+    def _bit_of(key: int, bit: int) -> int:
+        return (key >> bit) & 1
+
+    def find(self, key: int) -> int:
+        if self.count == 0:
+            return -1
+        current = 0
+        bit = _KEY_BITS
+        while self.bit[current] < bit:
+            bit = self.bit[current]
+            current = self.right[current] if self._bit_of(key, bit) else self.left[current]
+        return current
+
+    def insert(self, key: int) -> None:
+        if self.count == 0:
+            self.key[0] = key
+            self.bit[0] = _KEY_BITS
+            self.count = 1
+            return
+        found = self.find(key)
+        if self.key[found] == key:
+            return
+        diff = _KEY_BITS - 1
+        while self._bit_of(key, diff) == self._bit_of(self.key[found], diff):
+            diff -= 1
+        current = 0
+        prev = -1
+        bit = _KEY_BITS
+        while self.bit[current] < bit and self.bit[current] > diff:
+            prev = current
+            bit = self.bit[current]
+            current = self.right[current] if self._bit_of(key, bit) else self.left[current]
+        fresh = self.count
+        self.count += 1
+        self.key[fresh] = key
+        self.bit[fresh] = diff
+        if self._bit_of(key, diff):
+            self.left[fresh] = current
+            self.right[fresh] = fresh
+        else:
+            self.left[fresh] = fresh
+            self.right[fresh] = current
+        if prev < 0:
+            if self.bit[0] < _KEY_BITS:
+                self.key[0], self.key[fresh] = self.key[fresh], self.key[0]
+                self.bit[0], self.bit[fresh] = self.bit[fresh], self.bit[0]
+                self.left[0], self.left[fresh] = self.left[fresh], self.left[0]
+                self.right[0], self.right[fresh] = self.right[fresh], self.right[0]
+                if self.left[0] == 0:
+                    self.left[0] = fresh
+                if self.right[0] == 0:
+                    self.right[0] = fresh
+                if self.left[fresh] == fresh:
+                    self.left[fresh] = 0
+                if self.right[fresh] == fresh:
+                    self.right[fresh] = 0
+        else:
+            if self._bit_of(key, self.bit[prev]):
+                self.right[prev] = fresh
+            else:
+                self.left[prev] = fresh
+
+
+def reference_output(input_name: str) -> str:
+    insert_keys, lookup_keys = _keys(input_name)
+    trie = _PyTrie(len(insert_keys) + 2)
+    for key in insert_keys:
+        trie.insert(key)
+    hits = 0
+    for key in lookup_keys:
+        found = trie.find(key)
+        if found >= 0 and trie.key[found] == key:
+            hits += 1
+    return f"patricia {trie.count} {hits}\n"

@@ -1,0 +1,98 @@
+"""qsort — recursive quicksort (MiBench auto/qsort).
+
+Median-of-three quicksort with an insertion-sort tail over an LCG array,
+exercising recursion (the simulator's call stack) and data-dependent
+branches.  The oracle sorts in Python.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import int_array_literal, lcg_stream
+
+NAME = "qsort"
+
+_SIZES = {"small": 900, "large": 4200}
+
+_TEMPLATE = """\
+{data_decl}
+
+void swap(int a[], int i, int j) {{
+  int t = a[i];
+  a[i] = a[j];
+  a[j] = t;
+}}
+
+void insertion(int a[], int lo, int hi) {{
+  int i;
+  for (i = lo + 1; i <= hi; i++) {{
+    int key = a[i];
+    int j = i - 1;
+    while (j >= lo && a[j] > key) {{
+      a[j + 1] = a[j];
+      j--;
+    }}
+    a[j + 1] = key;
+  }}
+}}
+
+void quicksort(int a[], int lo, int hi) {{
+  if (hi - lo < 12) {{
+    insertion(a, lo, hi);
+    return;
+  }}
+  int mid = lo + (hi - lo) / 2;
+  if (a[mid] < a[lo]) {{ swap(a, mid, lo); }}
+  if (a[hi] < a[lo]) {{ swap(a, hi, lo); }}
+  if (a[hi] < a[mid]) {{ swap(a, hi, mid); }}
+  int pivot = a[mid];
+  int i = lo;
+  int j = hi;
+  while (i <= j) {{
+    while (a[i] < pivot) {{ i++; }}
+    while (a[j] > pivot) {{ j--; }}
+    if (i <= j) {{
+      swap(a, i, j);
+      i++;
+      j--;
+    }}
+  }}
+  quicksort(a, lo, j);
+  quicksort(a, i, hi);
+}}
+
+int main() {{
+  quicksort(data, 0, {last});
+  int checksum = 0;
+  int i;
+  for (i = 0; i < {n}; i++) {{
+    checksum = checksum + ((data[i] & 65535) ^ i);
+  }}
+  printf("qsort %d %d %d\\n", checksum, data[0] & 65535, data[{last}] & 65535);
+  return 0;
+}}
+"""
+
+
+def _values(input_name: str) -> list[int]:
+    return lcg_stream(59, _SIZES[input_name])
+
+
+def get_source(input_name: str) -> str:
+    data = _values(input_name)
+    return _TEMPLATE.format(
+        data_decl=int_array_literal("data", data),
+        n=len(data),
+        last=len(data) - 1,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    data = sorted(_values(input_name))
+    checksum = sum((v & 65535) ^ i for i, v in enumerate(data))
+    # Keep the checksum in signed 32-bit range like the simulator.
+    checksum &= 0xFFFFFFFF
+    if checksum >= 0x80000000:
+        checksum -= 0x100000000
+    return (
+        f"qsort {checksum} {data[0] & 65535} {data[-1] & 65535}\n"
+    )

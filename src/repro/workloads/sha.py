@@ -1,0 +1,137 @@
+"""sha — SHA-1 digest of a synthetic message (MiBench security/sha).
+
+A full SHA-1 (padding, 80-round schedule) over pseudo-text; the oracle is
+``hashlib.sha1`` on the identical byte stream.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.workloads.data import int_array_literal, text_bytes
+
+NAME = "sha"
+
+_SIZES = {"small": 2048, "large": 10240}
+
+_TEMPLATE = """\
+{msg_decl}
+unsigned H0;
+unsigned H1;
+unsigned H2;
+unsigned H3;
+unsigned H4;
+unsigned W[80];
+unsigned block[16];
+
+unsigned rotl(unsigned x, int n) {{
+  return (x << n) | (x >> (32 - n));
+}}
+
+void process_block() {{
+  int t;
+  for (t = 0; t < 16; t++) {{
+    W[t] = block[t];
+  }}
+  for (t = 16; t < 80; t++) {{
+    W[t] = rotl(W[t - 3] ^ W[t - 8] ^ W[t - 14] ^ W[t - 16], 1);
+  }}
+  unsigned a = H0;
+  unsigned b = H1;
+  unsigned c = H2;
+  unsigned d = H3;
+  unsigned e = H4;
+  unsigned f;
+  unsigned k;
+  for (t = 0; t < 80; t++) {{
+    if (t < 20) {{
+      f = (b & c) | ((~b) & d);
+      k = 1518500249u;
+    }} else if (t < 40) {{
+      f = b ^ c ^ d;
+      k = 1859775393u;
+    }} else if (t < 60) {{
+      f = (b & c) | (b & d) | (c & d);
+      k = 2400959708u;
+    }} else {{
+      f = b ^ c ^ d;
+      k = 3395469782u;
+    }}
+    unsigned temp = rotl(a, 5) + f + e + k + W[t];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = temp;
+  }}
+  H0 = H0 + a;
+  H1 = H1 + b;
+  H2 = H2 + c;
+  H3 = H3 + d;
+  H4 = H4 + e;
+}}
+
+int main() {{
+  H0 = 1732584193u;
+  H1 = 4023233417u;
+  H2 = 2562383102u;
+  H3 = 271733878u;
+  H4 = 3285377520u;
+  int msg_len = {n};
+  int total = {padded};
+  int i;
+  int j;
+  for (i = 0; i < total; i = i + 64) {{
+    for (j = 0; j < 16; j++) {{
+      int base = i + j * 4;
+      unsigned w = 0u;
+      int k2;
+      for (k2 = 0; k2 < 4; k2++) {{
+        int pos = base + k2;
+        unsigned byte = 0u;
+        if (pos < msg_len) {{
+          byte = (unsigned)message[pos];
+        }} else if (pos == msg_len) {{
+          byte = 128u;
+        }}
+        w = (w << 8) | byte;
+      }}
+      block[j] = w;
+    }}
+    if (i + 64 >= total) {{
+      block[14] = (unsigned)({n} >> 29);
+      block[15] = (unsigned)({n} * 8);
+    }}
+    process_block();
+  }}
+  printf("sha %u %u %u %u %u\\n", H0, H1, H2, H3, H4);
+  return 0;
+}}
+"""
+
+
+def _message(input_name: str) -> list[int]:
+    return text_bytes(_SIZES[input_name], seed=53)
+
+
+def _padded_length(n: int) -> int:
+    # Message + 0x80 + zero pad + 8-byte length, rounded to 64.
+    return ((n + 1 + 8 + 63) // 64) * 64
+
+
+def get_source(input_name: str) -> str:
+    message = _message(input_name)
+    n = len(message)
+    return _TEMPLATE.format(
+        msg_decl=int_array_literal("message", message),
+        n=n,
+        padded=_padded_length(n),
+    )
+
+
+def reference_output(input_name: str) -> str:
+    digest = hashlib.sha1(bytes(_message(input_name))).digest()
+    words = [
+        int.from_bytes(digest[i : i + 4], "big") for i in range(0, 20, 4)
+    ]
+    return "sha " + " ".join(str(w) for w in words) + "\n"

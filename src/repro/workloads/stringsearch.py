@@ -1,0 +1,113 @@
+"""stringsearch — Boyer-Moore-Horspool search (MiBench office/stringsearch).
+
+Searches pseudo-text for a set of patterns using the Horspool bad-
+character rule, counting (possibly overlapping) matches.  The oracle
+replays the identical algorithm in Python.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import int_array_literal, text_bytes
+
+NAME = "stringsearch"
+
+_SIZES = {"small": 4000, "large": 20000}
+_PATTERNS = ("the", "ing", "qzx", "abab", "search", "ne")
+
+
+def _text(input_name: str) -> list[int]:
+    text = text_bytes(_SIZES[input_name], seed=67)
+    # Plant some pattern occurrences so matches exist deterministically.
+    for i, pattern in enumerate(_PATTERNS):
+        step = 97 + 13 * i
+        pos = 11 * (i + 3)
+        while pos + len(pattern) < len(text):
+            for k, ch in enumerate(pattern):
+                text[pos + k] = ord(ch)
+            pos += step
+    return text
+
+
+def _patterns_flat() -> tuple[list[int], list[int]]:
+    flat: list[int] = []
+    offsets: list[int] = []
+    for pattern in _PATTERNS:
+        offsets.append(len(flat))
+        flat.extend(ord(ch) for ch in pattern)
+    offsets.append(len(flat))
+    return flat, offsets
+
+
+_TEMPLATE = """\
+{text_decl}
+{pat_decl}
+{off_decl}
+int shift[128];
+
+int horspool(int pat_off, int pat_len, int text_len) {{
+  int i;
+  for (i = 0; i < 128; i++) {{
+    shift[i] = pat_len;
+  }}
+  for (i = 0; i < pat_len - 1; i++) {{
+    shift[pats[pat_off + i] & 127] = pat_len - 1 - i;
+  }}
+  int matches = 0;
+  int pos = 0;
+  while (pos + pat_len <= text_len) {{
+    int k = pat_len - 1;
+    while (k >= 0 && text[pos + k] == pats[pat_off + k]) {{
+      k--;
+    }}
+    if (k < 0) {{
+      matches++;
+    }}
+    pos = pos + shift[text[pos + pat_len - 1] & 127];
+  }}
+  return matches;
+}}
+
+int main() {{
+  int total = 0;
+  int p;
+  for (p = 0; p < {num_patterns}; p++) {{
+    int off = offsets[p];
+    int len = offsets[p + 1] - off;
+    total = total + horspool(off, len, {text_len});
+  }}
+  printf("stringsearch %d\\n", total);
+  return 0;
+}}
+"""
+
+
+def get_source(input_name: str) -> str:
+    text = _text(input_name)
+    flat, offsets = _patterns_flat()
+    return _TEMPLATE.format(
+        text_decl=int_array_literal("text", text),
+        pat_decl=int_array_literal("pats", flat),
+        off_decl=int_array_literal("offsets", offsets),
+        num_patterns=len(_PATTERNS),
+        text_len=len(text),
+    )
+
+
+def reference_output(input_name: str) -> str:
+    text = _text(input_name)
+    total = 0
+    for pattern in _PATTERNS:
+        pat = [ord(ch) for ch in pattern]
+        pat_len = len(pat)
+        shift = [pat_len] * 128
+        for i in range(pat_len - 1):
+            shift[pat[i] & 127] = pat_len - 1 - i
+        pos = 0
+        while pos + pat_len <= len(text):
+            k = pat_len - 1
+            while k >= 0 and text[pos + k] == pat[k]:
+                k -= 1
+            if k < 0:
+                total += 1
+            pos += shift[text[pos + pat_len - 1] & 127]
+    return f"stringsearch {total}\n"

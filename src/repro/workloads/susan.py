@@ -1,0 +1,131 @@
+"""susan — SUSAN-style image smoothing and corner response
+(MiBench auto/susan, simplified to its two hot kernels).
+
+Pass 1 smooths with a brightness-similarity-weighted 3x3 window (the
+USAN principle: only pixels within a brightness threshold contribute);
+pass 2 computes a corner-strength count per pixel.  The oracle replays
+the integer arithmetic exactly.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.data import image_pixels, int_array_literal
+
+NAME = "susan"
+
+_DIMS = {"small": (40, 30), "large": (72, 56)}
+_THRESHOLD = 27
+
+_TEMPLATE = """\
+{image_decl}
+int smoothed[{pixels}];
+
+int main() {{
+  int x;
+  int y;
+  int checksum = 0;
+  for (y = 1; y < {height} - 1; y++) {{
+    for (x = 1; x < {width} - 1; x++) {{
+      int center = image[y * {width} + x];
+      int total = 0;
+      int weight = 0;
+      int dy;
+      for (dy = -1; dy <= 1; dy++) {{
+        int dx;
+        for (dx = -1; dx <= 1; dx++) {{
+          int value = image[(y + dy) * {width} + x + dx];
+          int diff = value - center;
+          if (diff < 0) {{ diff = -diff; }}
+          if (diff < {threshold}) {{
+            total = total + value;
+            weight++;
+          }}
+        }}
+      }}
+      smoothed[y * {width} + x] = total / weight;
+    }}
+  }}
+  int corners = 0;
+  for (y = 2; y < {height} - 2; y++) {{
+    for (x = 2; x < {width} - 2; x++) {{
+      int center = smoothed[y * {width} + x];
+      int usan = 0;
+      int dy;
+      for (dy = -2; dy <= 2; dy++) {{
+        int dx;
+        for (dx = -2; dx <= 2; dx++) {{
+          int value = smoothed[(y + dy) * {width} + x + dx];
+          int diff = value - center;
+          if (diff < 0) {{ diff = -diff; }}
+          if (diff < {threshold}) {{
+            usan++;
+          }}
+        }}
+      }}
+      if (usan < 13) {{
+        corners++;
+        checksum = checksum + usan * (x + y);
+      }}
+    }}
+  }}
+  int sum = 0;
+  for (y = 1; y < {height} - 1; y++) {{
+    for (x = 1; x < {width} - 1; x++) {{
+      sum = sum + smoothed[y * {width} + x];
+    }}
+  }}
+  printf("susan %d %d %d\\n", sum, corners, checksum);
+  return 0;
+}}
+"""
+
+
+def _image(input_name: str) -> tuple[list[int], int, int]:
+    width, height = _DIMS[input_name]
+    return image_pixels(width, height, seed=37), width, height
+
+
+def get_source(input_name: str) -> str:
+    pixels, width, height = _image(input_name)
+    return _TEMPLATE.format(
+        image_decl=int_array_literal("image", pixels),
+        pixels=width * height,
+        width=width,
+        height=height,
+        threshold=_THRESHOLD,
+    )
+
+
+def reference_output(input_name: str) -> str:
+    pixels, width, height = _image(input_name)
+    smoothed = [0] * (width * height)
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            center = pixels[y * width + x]
+            total = 0
+            weight = 0
+            for dy in (-1, 0, 1):
+                for dx in (-1, 0, 1):
+                    value = pixels[(y + dy) * width + x + dx]
+                    if abs(value - center) < _THRESHOLD:
+                        total += value
+                        weight += 1
+            smoothed[y * width + x] = total // weight
+    corners = 0
+    checksum = 0
+    for y in range(2, height - 2):
+        for x in range(2, width - 2):
+            center = smoothed[y * width + x]
+            usan = 0
+            for dy in range(-2, 3):
+                for dx in range(-2, 3):
+                    if abs(smoothed[(y + dy) * width + x + dx] - center) < _THRESHOLD:
+                        usan += 1
+            if usan < 13:
+                corners += 1
+                checksum += usan * (x + y)
+    total = 0
+    for y in range(1, height - 1):
+        for x in range(1, width - 1):
+            total += smoothed[y * width + x]
+    return f"susan {total} {corners} {checksum}\n"

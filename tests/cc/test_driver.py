@@ -1,0 +1,82 @@
+"""Compiler driver tests."""
+
+import pytest
+
+from repro.cc.driver import compile_program, compile_to_ir
+from repro.isa.targets import X86, X86_64
+from tests.conftest import run_source
+
+
+class TestDriver:
+    def test_accepts_isa_by_name_or_object(self, fib_source):
+        by_name = compile_program(fib_source, "x86", 0)
+        by_object = compile_program(fib_source, X86, 0)
+        assert by_name.binary.isa_name == by_object.binary.isa_name == "x86"
+
+    def test_rejects_bad_level(self, fib_source):
+        with pytest.raises(ValueError):
+            compile_program(fib_source, "x86", 5)
+
+    def test_result_carries_artifacts(self, fib_source):
+        result = compile_program(fib_source, "x86_64", 2)
+        assert result.binary is not None
+        assert result.ir.functions
+        assert result.ast.functions
+        assert isinstance(result.opt_stats, dict)
+
+    def test_opt_stats_populated_at_o2(self, loopy_source):
+        result = compile_program(loopy_source, "x86_64", 2)
+        assert result.opt_stats.get("dce", 0) >= 0
+        assert "fold" in result.opt_stats
+
+    def test_o0_runs_no_passes(self, loopy_source):
+        result = compile_program(loopy_source, "x86_64", 0)
+        assert result.opt_stats == {}
+
+    def test_compile_to_ir_standalone(self, fib_source):
+        program, ir, stats = compile_to_ir(fib_source, opt_level=1)
+        assert "fib" in ir.functions
+
+    def test_binary_records_level_and_isa(self, fib_source):
+        result = compile_program(fib_source, "ia64", 3)
+        assert result.binary.opt_level == 3
+        assert result.binary.isa_name == "ia64"
+
+
+class TestOptimizationLevels:
+    """Each level must preserve semantics and never regress much."""
+
+    PROGRAM = """
+    int table[128];
+    int f(int x) { return x * x + 1; }
+    int main() {
+      int i;
+      int total = 0;
+      for (i = 0; i < 128; i++) {
+        table[i] = f(i) & 1023;
+      }
+      for (i = 0; i < 128; i++) {
+        total = total + table[i];
+        if (table[i] > 900) { total = total - 900; }
+      }
+      printf("%d", total);
+      return 0;
+    }
+    """
+
+    def test_all_levels_agree(self):
+        outputs = {
+            run_source(self.PROGRAM, isa=isa, opt_level=level).output
+            for isa in ("x86", "x86_64", "ia64")
+            for level in (0, 1, 2, 3)
+        }
+        assert len(outputs) == 1
+
+    def test_levels_monotone_enough(self):
+        counts = [
+            run_source(self.PROGRAM, isa="x86_64", opt_level=level).instructions
+            for level in (0, 1, 2, 3)
+        ]
+        assert counts[1] < counts[0]
+        assert counts[2] <= counts[1] * 1.10
+        assert counts[3] <= counts[2] * 1.10

@@ -1,0 +1,71 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.sim.functional import run_binary
+
+FIB_SOURCE = r"""
+int fib(int n) {
+  int a = 0;
+  int b = 1;
+  int i;
+  int sum = 0;
+  for (i = 0; i < n; i++) {
+    sum = a + b;
+    if (sum < 0) { printf("overflow"); break; }
+    a = b;
+    b = sum;
+  }
+  return sum;
+}
+
+int main() {
+  printf("%d\n", fib(20));
+  return 0;
+}
+"""
+
+LOOPY_SOURCE = r"""
+int data[64];
+
+int work(int rounds) {
+  int acc = 0;
+  int r;
+  for (r = 0; r < rounds; r++) {
+    int i;
+    for (i = 0; i < 64; i++) {
+      acc = acc + data[i];
+      if ((acc & 7) == 0) { acc = acc + 3; }
+    }
+  }
+  return acc;
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    data[i] = i * 3 - 17;
+  }
+  printf("%d\n", work(50));
+  return 0;
+}
+"""
+
+
+def run_source(source: str, isa: str = "x86", opt_level: int = 0):
+    """Compile and simulate, returning the execution trace."""
+    result = compile_program(source, isa, opt_level)
+    return run_binary(result.binary)
+
+
+@pytest.fixture(scope="session")
+def fib_source() -> str:
+    return FIB_SOURCE
+
+
+@pytest.fixture(scope="session")
+def loopy_source() -> str:
+    return LOOPY_SOURCE

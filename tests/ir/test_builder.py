@@ -1,0 +1,182 @@
+"""AST -> IR lowering tests."""
+
+import pytest
+
+from repro.ir.builder import lower_program
+from repro.ir.instructions import (
+    BinOp,
+    Branch,
+    Call,
+    Load,
+    LoadConst,
+    Print,
+    Ret,
+    Store,
+    UnOp,
+)
+from repro.ir.verify import verify_program
+from repro.lang.parser import parse_program
+from repro.lang.semantics import analyze
+
+
+def lower(source: str, promote: bool = False):
+    program = parse_program(source)
+    analyzer = analyze(program)
+    ir = lower_program(program, analyzer, promote_scalars=promote)
+    verify_program(ir)
+    return ir
+
+
+def instrs_of(ir, name="main"):
+    return [i for blk in ir.functions[name].blocks for i in blk.instrs]
+
+
+class TestO0Lowering:
+    def test_scalar_locals_live_in_memory(self):
+        ir = lower("int main() { int x = 3; return x + 1; }")
+        ops = instrs_of(ir)
+        assert any(isinstance(i, Store) for i in ops)
+        assert any(isinstance(i, Load) for i in ops)
+
+    def test_load_arith_store_shape(self):
+        """The Table II pattern: x = y + 1 at O0 is ld/add/st."""
+        ir = lower("int main() { int x = 0; int y = 5; x = y + 1; return x; }")
+        ops = instrs_of(ir)
+        kinds = [type(i).__name__ for i in ops]
+        # Find the ld -> add -> st subsequence for the assignment.
+        for i in range(len(ops) - 2):
+            if (
+                isinstance(ops[i], Load)
+                and isinstance(ops[i + 1], BinOp)
+                and ops[i + 1].op == "add"
+                and isinstance(ops[i + 2], Store)
+            ):
+                break
+        else:
+            pytest.fail(f"no load-arith-store found in {kinds}")
+
+    def test_params_spilled_to_slots(self):
+        ir = lower("int f(int n) { return n; } int main() { return f(1); }")
+        entry_ops = ir.functions["f"].blocks[0].instrs
+        assert isinstance(entry_ops[0], Store)  # param saved to its slot
+
+
+class TestPromotedLowering:
+    def test_scalars_stay_in_registers(self):
+        ir = lower("int main() { int x = 3; return x + 1; }", promote=True)
+        ops = instrs_of(ir)
+        assert not any(isinstance(i, Load) for i in ops)
+        assert not any(isinstance(i, Store) for i in ops)
+
+    def test_globals_still_in_memory(self):
+        ir = lower("int g; int main() { g = 4; return g; }", promote=True)
+        ops = instrs_of(ir)
+        assert any(isinstance(i, Store) for i in ops)
+        assert any(isinstance(i, Load) for i in ops)
+
+    def test_arrays_still_in_memory(self):
+        ir = lower(
+            "int main() { int a[4]; a[0] = 1; return a[0]; }", promote=True
+        )
+        ops = instrs_of(ir)
+        assert any(isinstance(i, Store) for i in ops)
+
+
+class TestControlFlow:
+    def test_if_creates_branch(self):
+        ir = lower("int main() { if (1 < 2) { return 1; } return 0; }")
+        ops = instrs_of(ir)
+        assert any(isinstance(i, Branch) for i in ops)
+
+    def test_short_circuit_and_creates_two_branches(self):
+        ir = lower("int main() { int a = 1; int b = 2; if (a && b) { return 1; } return 0; }")
+        branches = [i for i in instrs_of(ir) if isinstance(i, Branch)]
+        assert len(branches) >= 2
+
+    def test_while_loop_block_structure(self):
+        ir = lower("int main() { int i = 0; while (i < 3) { i = i + 1; } return i; }")
+        labels = [blk.label for blk in ir.functions["main"].blocks]
+        assert any(label.startswith("while") for label in labels)
+        assert any(label.startswith("body") for label in labels)
+
+    def test_break_terminates_reachable_code(self):
+        ir = lower(
+            "int main() { while (1) { break; } return 7; }"
+        )
+        verify_program(ir)  # no dangling blocks
+
+    def test_unreachable_code_after_return_dropped(self):
+        ir = lower("int main() { return 1; int x = 2; return x; }")
+        ops = instrs_of(ir)
+        rets = [i for i in ops if isinstance(i, Ret)]
+        assert len(rets) == 1
+
+
+class TestOperatorSelection:
+    def _find_binops(self, source):
+        ir = lower(source)
+        return [i.op for i in instrs_of(ir) if isinstance(i, BinOp)]
+
+    def test_signed_division(self):
+        assert "div" in self._find_binops(
+            "int main() { int a = 7; int b = 2; return a / b; }"
+        )
+
+    def test_unsigned_division(self):
+        assert "udiv" in self._find_binops(
+            "int main() { unsigned a = 7u; unsigned b = 2u; return (int)(a / b); }"
+        )
+
+    def test_signed_right_shift_is_sar(self):
+        assert "sar" in self._find_binops(
+            "int main() { int a = -8; return a >> 1; }"
+        )
+
+    def test_unsigned_right_shift_is_shr(self):
+        assert "shr" in self._find_binops(
+            "int main() { unsigned a = 8u; return (int)(a >> 1); }"
+        )
+
+    def test_unsigned_comparison(self):
+        assert "cmpltu" in self._find_binops(
+            "int main() { unsigned a = 1u; unsigned b = 2u; return a < b; }"
+        )
+
+    def test_float_ops(self):
+        ops = self._find_binops(
+            "int main() { float a = 1.0; float b = 2.0; return (int)(a * b + a / b); }"
+        )
+        assert "fmul" in ops
+        assert "fdiv" in ops
+        assert "fadd" in ops
+
+    def test_mixed_int_float_promotes(self):
+        ops = self._find_binops(
+            "int main() { float a = 1.0; return (int)(a + 1); }"
+        )
+        assert "fadd" in ops
+
+    def test_call_lowering(self):
+        ir = lower("int f(int x) { return x; } int main() { return f(3); }")
+        calls = [i for i in instrs_of(ir) if isinstance(i, Call)]
+        assert len(calls) == 1
+        assert calls[0].func == "f"
+
+    def test_printf_lowering(self):
+        ir = lower('int main() { printf("%d", 42); return 0; }')
+        prints = [i for i in instrs_of(ir) if isinstance(i, Print)]
+        assert len(prints) == 1
+        assert prints[0].fmt == "%d"
+
+
+class TestGlobals:
+    def test_global_layout_and_init(self):
+        ir = lower("int a = 5; float f = 2.5; int t[3] = {1, 2}; "
+                   "int main() { return a; }")
+        assert ir.globals["a"].init == [5]
+        assert ir.globals["f"].init == [2.5]
+        assert ir.globals["t"].init == [1, 2, 0]
+
+    def test_negative_global_init_wraps_unsigned(self):
+        ir = lower("int a = -1; int main() { return a; }")
+        assert ir.globals["a"].init == [0xFFFFFFFF]

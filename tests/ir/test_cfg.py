@@ -1,0 +1,142 @@
+"""CFG analysis tests: dominators, RPO, natural loops."""
+
+from repro.ir.cfg import (
+    ControlFlowGraph,
+    compute_dominators,
+    find_natural_loops,
+    loop_of_block,
+    reverse_postorder,
+)
+from repro.ir.instructions import (
+    BasicBlockRef,
+    Branch,
+    Const,
+    IRFunction,
+    Jump,
+    Ret,
+    Temp,
+    UnOp,
+)
+
+
+def _block(label: str, terminator) -> BasicBlockRef:
+    return BasicBlockRef(label, [terminator])
+
+
+def _branch_block(label: str, then_label: str, other_label: str) -> BasicBlockRef:
+    cond = Temp(999, "i")
+    return BasicBlockRef(
+        label, [UnOp("mov", cond, Const(1)), Branch(cond, then_label, other_label)]
+    )
+
+
+def diamond() -> IRFunction:
+    func = IRFunction("diamond", next_temp=1000)
+    func.blocks = [
+        _branch_block("entry", "left", "right"),
+        _block("left", Jump("merge")),
+        _block("right", Jump("merge")),
+        _block("merge", Ret()),
+    ]
+    return func
+
+
+def loop_function() -> IRFunction:
+    func = IRFunction("loop", next_temp=1000)
+    func.blocks = [
+        _block("entry", Jump("head")),
+        _branch_block("head", "body", "exit"),
+        _block("body", Jump("head")),
+        _block("exit", Ret()),
+    ]
+    return func
+
+
+def nested_loops() -> IRFunction:
+    func = IRFunction("nested", next_temp=1000)
+    func.blocks = [
+        _block("entry", Jump("outer")),
+        _branch_block("outer", "inner", "exit"),
+        _branch_block("inner", "inner_body", "outer_latch"),
+        _block("inner_body", Jump("inner")),
+        _block("outer_latch", Jump("outer")),
+        _block("exit", Ret()),
+    ]
+    return func
+
+
+class TestCFGBasics:
+    def test_successors_and_predecessors(self):
+        cfg = ControlFlowGraph(diamond())
+        assert set(cfg.successors["entry"]) == {"left", "right"}
+        assert set(cfg.predecessors["merge"]) == {"left", "right"}
+
+    def test_reachable_excludes_orphans(self):
+        func = diamond()
+        func.blocks.append(_block("orphan", Ret()))
+        cfg = ControlFlowGraph(func)
+        assert "orphan" not in cfg.reachable()
+
+    def test_rpo_starts_at_entry(self):
+        cfg = ControlFlowGraph(diamond())
+        order = reverse_postorder(cfg)
+        assert order[0] == "entry"
+        assert order[-1] == "merge"
+        assert set(order) == {"entry", "left", "right", "merge"}
+
+    def test_rpo_visits_before_successors_in_dag(self):
+        cfg = ControlFlowGraph(diamond())
+        order = reverse_postorder(cfg)
+        assert order.index("entry") < order.index("left")
+        assert order.index("left") < order.index("merge")
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = ControlFlowGraph(diamond())
+        dom = compute_dominators(cfg)
+        for label in ("left", "right", "merge"):
+            assert "entry" in dom[label]
+
+    def test_sides_do_not_dominate_merge(self):
+        cfg = ControlFlowGraph(diamond())
+        dom = compute_dominators(cfg)
+        assert "left" not in dom["merge"]
+        assert "right" not in dom["merge"]
+
+    def test_loop_header_dominates_body(self):
+        cfg = ControlFlowGraph(loop_function())
+        dom = compute_dominators(cfg)
+        assert "head" in dom["body"]
+
+
+class TestNaturalLoops:
+    def test_simple_loop_found(self):
+        loops = find_natural_loops(ControlFlowGraph(loop_function()))
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header == "head"
+        assert loop.body == {"head", "body"}
+        assert loop.back_edges == ["body"]
+
+    def test_diamond_has_no_loops(self):
+        assert find_natural_loops(ControlFlowGraph(diamond())) == []
+
+    def test_nested_loop_structure(self):
+        loops = find_natural_loops(ControlFlowGraph(nested_loops()))
+        assert len(loops) == 2
+        outer = next(lp for lp in loops if lp.header == "outer")
+        inner = next(lp for lp in loops if lp.header == "inner")
+        assert inner.parent is outer
+        assert inner in outer.children
+        assert inner.body < outer.body
+        assert outer.depth == 1
+        assert inner.depth == 2
+
+    def test_loop_of_block_innermost(self):
+        loops = find_natural_loops(ControlFlowGraph(nested_loops()))
+        inner = loop_of_block(loops, "inner_body")
+        assert inner.header == "inner"
+        outer = loop_of_block(loops, "outer_latch")
+        assert outer.header == "outer"
+        assert loop_of_block(loops, "exit") is None

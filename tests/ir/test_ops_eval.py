@@ -1,0 +1,158 @@
+"""Property tests for the shared operator semantics (ops_eval).
+
+These are the single source of truth for both the constant folder and
+the interpreter, so they get their own exhaustive checks against
+Python-as-ground-truth with explicit 32-bit wrapping.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.ops_eval import (
+    BINOPS,
+    UNOPS,
+    c_cos,
+    c_exp,
+    c_ftoi,
+    c_log,
+    c_sqrt,
+    to_signed,
+    to_unsigned,
+)
+
+WORD = 0xFFFFFFFF
+u32 = st.integers(min_value=0, max_value=WORD)
+nonzero_u32 = st.integers(min_value=1, max_value=WORD)
+
+
+class TestConversions:
+    @given(u32)
+    @settings(max_examples=200, deadline=None)
+    def test_signed_unsigned_roundtrip(self, value):
+        assert to_unsigned(to_signed(value)) == value
+
+    def test_sign_boundaries(self):
+        assert to_signed(0x7FFFFFFF) == 2**31 - 1
+        assert to_signed(0x80000000) == -(2**31)
+        assert to_signed(WORD) == -1
+        assert to_unsigned(-1) == WORD
+
+
+class TestIntegerBinops:
+    @given(u32, u32)
+    @settings(max_examples=200, deadline=None)
+    def test_add_sub_inverse(self, a, b):
+        total = BINOPS["add"](a, b)
+        assert BINOPS["sub"](total, b) == a
+
+    @given(u32, u32)
+    @settings(max_examples=200, deadline=None)
+    def test_xor_self_inverse(self, a, b):
+        assert BINOPS["xor"](BINOPS["xor"](a, b), b) == a
+
+    @given(u32, nonzero_u32)
+    @settings(max_examples=200, deadline=None)
+    def test_signed_division_identity(self, a, b):
+        """C guarantees (a/b)*b + a%b == a (when defined)."""
+        sa, sb = to_signed(a), to_signed(b)
+        if sa == -(2**31) and sb == -1:
+            return  # overflow case, UB in C
+        q = to_signed(BINOPS["div"](a, b))
+        r = to_signed(BINOPS["mod"](a, b))
+        assert q * sb + r == sa
+        assert abs(r) < abs(sb)
+
+    @given(u32, nonzero_u32)
+    @settings(max_examples=200, deadline=None)
+    def test_unsigned_division_identity(self, a, b):
+        q = BINOPS["udiv"](a, b)
+        r = BINOPS["umod"](a, b)
+        assert q * b + r == a
+        assert r < b
+
+    @given(u32, st.integers(0, 31))
+    @settings(max_examples=200, deadline=None)
+    def test_shift_roundtrip_low_bits(self, a, s):
+        shifted = BINOPS["shl"](a, s)
+        back = BINOPS["shr"](shifted, s)
+        mask = WORD >> s
+        assert back == (a & mask)
+
+    @given(u32, st.integers(0, 31))
+    @settings(max_examples=200, deadline=None)
+    def test_sar_sign_fill(self, a, s):
+        result = to_signed(BINOPS["sar"](a, s))
+        assert result == to_signed(a) >> s
+
+    @given(u32, u32)
+    @settings(max_examples=100, deadline=None)
+    def test_comparisons_consistent(self, a, b):
+        assert BINOPS["cmplt"](a, b) == (1 if to_signed(a) < to_signed(b) else 0)
+        assert BINOPS["cmpltu"](a, b) == (1 if a < b else 0)
+        assert BINOPS["cmpeq"](a, b) == (1 if a == b else 0)
+        # Trichotomy.
+        assert (
+            BINOPS["cmplt"](a, b) + BINOPS["cmpeq"](a, b) + BINOPS["cmpgt"](a, b)
+            == 1
+        )
+
+
+class TestCMathSemantics:
+    def test_sqrt_negative_is_nan(self):
+        assert math.isnan(c_sqrt(-1.0))
+
+    def test_sqrt_positive(self):
+        assert c_sqrt(4.0) == 2.0
+
+    def test_cos_infinity_is_nan(self):
+        assert math.isnan(c_cos(float("inf")))
+
+    def test_log_zero_is_neg_inf(self):
+        assert c_log(0.0) == float("-inf")
+
+    def test_log_negative_is_nan(self):
+        assert math.isnan(c_log(-1.0))
+
+    def test_exp_overflow_is_inf(self):
+        assert c_exp(10000.0) == float("inf")
+
+    def test_ftoi_truncates(self):
+        assert to_signed(c_ftoi(-2.9)) == -2
+        assert c_ftoi(2.9) == 2
+
+    def test_ftoi_nan_sentinel(self):
+        assert c_ftoi(float("nan")) == 0x80000000
+        assert c_ftoi(float("inf")) == 0x80000000
+
+    @given(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_ftoi_matches_c_truncation(self, value):
+        assert to_signed(c_ftoi(value)) == int(value)
+
+    def test_fdiv_by_zero_gives_inf(self):
+        assert BINOPS["fdiv"](1.0, 0.0) == float("inf")
+        assert BINOPS["fdiv"](-1.0, 0.0) == float("-inf")
+        assert math.isnan(BINOPS["fdiv"](0.0, 0.0))
+
+
+class TestUnops:
+    @given(u32)
+    @settings(max_examples=100, deadline=None)
+    def test_neg_involution(self, a):
+        assert UNOPS["neg"](UNOPS["neg"](a)) == a
+
+    @given(u32)
+    @settings(max_examples=100, deadline=None)
+    def test_not_involution(self, a):
+        assert UNOPS["not"](UNOPS["not"](a)) == a
+
+    @given(u32)
+    @settings(max_examples=100, deadline=None)
+    def test_lognot_boolean(self, a):
+        assert UNOPS["lognot"](a) == (0 if a else 1)
+
+    def test_absi_most_negative(self):
+        # |INT_MIN| wraps back to INT_MIN on hardware... our absi keeps
+        # the Python value masked to 32 bits.
+        assert UNOPS["absi"](0x80000000) == 0x80000000

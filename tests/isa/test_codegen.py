@@ -1,0 +1,140 @@
+"""Code generation and linking tests."""
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.isa.linker import LinkError, link_program
+from repro.isa.targets import IA64, ISA_BY_NAME, X86, X86_64
+from repro.ir.builder import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.semantics import analyze
+from tests.conftest import run_source
+
+
+class TestTargets:
+    def test_three_isas_registered(self):
+        assert set(ISA_BY_NAME) == {"x86", "x86_64", "ia64"}
+
+    def test_register_budgets(self):
+        assert X86.int_regs == 8
+        assert X86_64.int_regs == 16
+        assert IA64.int_regs == 32
+        assert X86.allocatable_int == 6
+
+    def test_scratch_registers_reserved(self):
+        assert X86.int_scratch == (6, 7)
+        assert IA64.float_scratch == (30, 31)
+
+    def test_only_cisc_targets_fuse(self):
+        assert X86.cisc_fusion
+        assert X86_64.cisc_fusion
+        assert not IA64.cisc_fusion
+
+
+class TestBinaryStructure:
+    def test_uids_unique_and_dense(self, fib_source):
+        binary = compile_program(fib_source).binary
+        uids = [
+            ins.uid
+            for func in binary.functions
+            for blk in func.blocks
+            for ins in blk.instrs
+        ]
+        assert sorted(uids) == list(range(len(uids)))
+        assert binary.total_static_instructions == len(uids)
+
+    def test_gbids_unique_and_dense(self, fib_source):
+        binary = compile_program(fib_source).binary
+        gbids = [blk.gbid for func in binary.functions for blk in func.blocks]
+        assert sorted(gbids) == list(range(len(gbids)))
+
+    def test_uid_map_roundtrip(self, fib_source):
+        binary = compile_program(fib_source).binary
+        for func in binary.functions:
+            for blk in func.blocks:
+                for ins in blk.instrs:
+                    assert binary.instr_by_uid(ins.uid) is ins
+
+    def test_calls_terminate_blocks(self, fib_source):
+        """Pin-style BBLs: a call is always the last instruction."""
+        binary = compile_program(fib_source).binary
+        for func in binary.functions:
+            for blk in func.blocks:
+                for ins in blk.instrs[:-1]:
+                    assert ins.op != "call"
+
+    def test_globals_have_addresses(self):
+        binary = compile_program(
+            "int a; int t[10]; int main() { return a + t[0]; }"
+        ).binary
+        assert binary.globals_layout["a"] >= binary.data_base
+        assert (
+            binary.globals_layout["t"] != binary.globals_layout["a"]
+        )
+        assert binary.stack_base > binary.globals_layout["t"] + 10
+
+    def test_missing_main_rejected(self):
+        program = parse_program("int main() { return 0; }")
+        analyzer = analyze(program)
+        ir = lower_program(program, analyzer)
+        del ir.functions["main"]
+        with pytest.raises(LinkError, match="main"):
+            link_program(ir, X86)
+
+
+class TestCrossISA:
+    def test_same_output_everywhere(self, loopy_source):
+        outputs = {
+            run_source(loopy_source, isa=isa, opt_level=level).output
+            for isa in ("x86", "x86_64", "ia64")
+            for level in (0, 1, 2, 3)
+        }
+        assert len(outputs) == 1
+
+    def test_instruction_counts_differ_per_isa(self, loopy_source):
+        """Fusion and register pressure make the ISAs distinguishable."""
+        counts = {
+            isa: run_source(loopy_source, isa=isa, opt_level=2).instructions
+            for isa in ("x86", "x86_64", "ia64")
+        }
+        assert len(set(counts.values())) >= 2
+
+    def test_o0_instruction_counts_equal_across_isas(self, loopy_source):
+        """At -O0 (no fusion, no pressure: everything is in memory), the
+        three ISAs execute the same instruction stream."""
+        counts = {
+            isa: run_source(loopy_source, isa=isa, opt_level=0).instructions
+            for isa in ("x86", "x86_64", "ia64")
+        }
+        assert len(set(counts.values())) == 1
+
+    def test_optimization_reduces_instructions(self, loopy_source):
+        o0 = run_source(loopy_source, isa="x86_64", opt_level=0).instructions
+        o1 = run_source(loopy_source, isa="x86_64", opt_level=1).instructions
+        o2 = run_source(loopy_source, isa="x86_64", opt_level=2).instructions
+        assert o1 < o0
+        assert o2 <= o1 * 1.05
+
+
+class TestBranchEncoding:
+    def test_conditional_branch_has_fallthrough(self, fib_source):
+        binary = compile_program(fib_source).binary
+        for func in binary.functions:
+            for blk in func.blocks:
+                if blk.instrs and blk.instrs[-1].op in ("bt", "bf"):
+                    assert blk.fall_through is not None
+                    assert blk.instrs[-1].target is not None
+
+    def test_fused_ops_count_as_memory(self):
+        binary = compile_program(
+            "int g; int main() { int a = 5; return a + g; }", "x86", 1
+        ).binary
+        fused = [
+            ins
+            for func in binary.functions
+            for blk in func.blocks
+            for ins in blk.instrs
+            if ins.addr is not None and ins.klass == "ialu" and ins.op == "add"
+        ]
+        assert fused
+        assert all(ins.is_memory for ins in fused)

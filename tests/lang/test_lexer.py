@@ -1,0 +1,165 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof_only(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        tokens = tokenize("foo_bar99")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[0].value == "foo_bar99"
+
+    def test_keywords_are_not_identifiers(self):
+        assert kinds("int unsigned float void if else for while do") == [
+            TokenKind.KW_INT,
+            TokenKind.KW_UNSIGNED,
+            TokenKind.KW_FLOAT,
+            TokenKind.KW_VOID,
+            TokenKind.KW_IF,
+            TokenKind.KW_ELSE,
+            TokenKind.KW_FOR,
+            TokenKind.KW_WHILE,
+            TokenKind.KW_DO,
+        ]
+
+    def test_double_maps_to_own_keyword(self):
+        assert kinds("double")[0] is TokenKind.KW_DOUBLE
+
+    def test_keyword_prefix_identifier(self):
+        tokens = tokenize("integer iffy")
+        assert tokens[0].kind is TokenKind.IDENT
+        assert tokens[1].kind is TokenKind.IDENT
+
+
+class TestNumbers:
+    def test_decimal_int(self):
+        assert tokenize("12345")[0].value == 12345
+
+    def test_hex_int(self):
+        assert tokenize("0xFF")[0].value == 255
+
+    def test_unsigned_suffix(self):
+        token = tokenize("42u")[0]
+        assert token.value == 42
+        assert token.text.endswith("u")
+
+    def test_unsigned_capital_suffix(self):
+        assert tokenize("42U")[0].text.endswith("u")
+
+    def test_float_with_fraction(self):
+        token = tokenize("3.25")[0]
+        assert token.kind is TokenKind.FLOAT_LIT
+        assert token.value == 3.25
+
+    def test_float_with_exponent(self):
+        assert tokenize("1e3")[0].value == 1000.0
+
+    def test_float_negative_exponent(self):
+        assert tokenize("2.5e-2")[0].value == pytest.approx(0.025)
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+    def test_integer_then_member_like_dot_is_error(self):
+        with pytest.raises(LexError):
+            tokenize("1 . @")
+
+
+class TestStringsAndChars:
+    def test_simple_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_string_escapes(self):
+        assert tokenize(r'"a\nb\tc"')[0].value == "a\nb\tc"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"abc')
+
+    def test_string_with_unknown_escape(self):
+        with pytest.raises(LexError):
+            tokenize(r'"\q"')
+
+    def test_char_literal(self):
+        token = tokenize("'a'")[0]
+        assert token.kind is TokenKind.CHAR_LIT
+        assert token.value == ord("a")
+
+    def test_char_escape(self):
+        assert tokenize(r"'\n'")[0].value == ord("\n")
+
+    def test_unterminated_char(self):
+        with pytest.raises(LexError):
+            tokenize("'a")
+
+
+class TestOperators:
+    def test_maximal_munch_shift_assign(self):
+        assert kinds("a <<= 2") == [
+            TokenKind.IDENT,
+            TokenKind.LSHIFT_ASSIGN,
+            TokenKind.INT_LIT,
+        ]
+
+    def test_shift_vs_relational(self):
+        assert kinds("a << b < c") == [
+            TokenKind.IDENT,
+            TokenKind.LSHIFT,
+            TokenKind.IDENT,
+            TokenKind.LT,
+            TokenKind.IDENT,
+        ]
+
+    def test_increment_vs_plus(self):
+        assert kinds("a++ + b") == [
+            TokenKind.IDENT,
+            TokenKind.PLUS_PLUS,
+            TokenKind.PLUS,
+            TokenKind.IDENT,
+        ]
+
+    def test_logical_operators(self):
+        assert kinds("a && b || !c") == [
+            TokenKind.IDENT,
+            TokenKind.AND_AND,
+            TokenKind.IDENT,
+            TokenKind.OR_OR,
+            TokenKind.BANG,
+            TokenKind.IDENT,
+        ]
+
+    def test_unknown_character(self):
+        with pytest.raises(LexError):
+            tokenize("@")
+
+
+class TestCommentsAndPositions:
+    def test_line_comment_skipped(self):
+        assert kinds("a // comment\n b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* x\n y */ b") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never closed")
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb\n  c")
+        assert tokens[0].line == 1
+        assert tokens[1].line == 2
+        assert tokens[2].line == 3
+        assert tokens[2].column == 3

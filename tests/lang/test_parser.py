@@ -1,0 +1,184 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast_nodes as ast
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_program
+
+
+def parse_main(body: str) -> ast.FuncDecl:
+    program = parse_program("int main() {" + body + "}")
+    return program.function("main")
+
+
+def parse_expr(expr: str) -> ast.Expr:
+    func = parse_main(f"return {expr};")
+    return func.body.stmts[0].value
+
+
+class TestTopLevel:
+    def test_globals_and_functions_separate(self):
+        program = parse_program(
+            "int g; int f() { return 1; } float h[4]; int main() { return 0; }"
+        )
+        assert [d.name for d in program.globals] == ["g", "h"]
+        assert [f.name for f in program.functions] == ["f", "main"]
+
+    def test_global_array_with_initializer(self):
+        program = parse_program("int t[3] = {1, 2, 3}; int main() { return 0; }")
+        decl = program.globals[0]
+        assert decl.array_length == 3
+        assert [item.value for item in decl.init] == [1, 2, 3]
+
+    def test_trailing_comma_in_initializer(self):
+        program = parse_program("int t[2] = {1, 2,}; int main() { return 0; }")
+        assert len(program.globals[0].init) == 2
+
+    def test_function_params(self):
+        program = parse_program("int f(int a, float b, int c[]) { return a; }")
+        params = program.function("f").params
+        assert [p.name for p in params] == ["a", "b", "c"]
+        assert [p.is_array for p in params] == [False, False, True]
+
+    def test_void_param_list(self):
+        program = parse_program("int f(void) { return 1; }")
+        assert program.function("f").params == []
+
+    def test_unsigned_int_synonym(self):
+        program = parse_program("unsigned int x; int main() { return 0; }")
+        assert str(program.globals[0].base_type) == "unsigned"
+
+    def test_stray_token_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("garbage")
+
+
+class TestStatements:
+    def test_if_else_binding(self):
+        func = parse_main("if (1) if (2) return 1; else return 2; return 3;")
+        outer = func.body.stmts[0]
+        assert isinstance(outer, ast.If)
+        assert outer.other is None  # else binds to the inner if
+        inner = outer.then
+        assert isinstance(inner, ast.If)
+        assert inner.other is not None
+
+    def test_for_with_decl_init(self):
+        func = parse_main("for (int i = 0; i < 4; i++) { } return 0;")
+        loop = func.body.stmts[0]
+        assert isinstance(loop.init, ast.Decl)
+        assert loop.init.name == "i"
+
+    def test_for_headless(self):
+        func = parse_main("for (;;) { break; } return 0;")
+        loop = func.body.stmts[0]
+        assert loop.init is None
+        assert loop.cond is None
+        assert loop.step is None
+
+    def test_do_while(self):
+        func = parse_main("int i = 0; do { i++; } while (i < 3); return i;")
+        loop = func.body.stmts[1]
+        assert isinstance(loop, ast.DoWhile)
+
+    def test_empty_statement(self):
+        func = parse_main("; return 0;")
+        assert isinstance(func.body.stmts[0], ast.Block)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_main("int x = 1 return x;")
+
+    def test_unterminated_block(self):
+        with pytest.raises(ParseError):
+            parse_program("int main() { return 0;")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expr("1 + 2 * 3")
+        assert isinstance(expr, ast.BinOp)
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_shift_below_add(self):
+        expr = parse_expr("1 << 2 + 3")
+        assert expr.op == "<<"
+        assert expr.right.op == "+"
+
+    def test_precedence_bitand_below_equality(self):
+        expr = parse_expr("a == b & c == d")
+        # & binds looser than ==: (a==b) & (c==d)
+        assert expr.op == "&"
+        assert expr.left.op == "=="
+        assert expr.right.op == "=="
+
+    def test_logical_lowest(self):
+        expr = parse_expr("a + 1 && b | c")
+        assert expr.op == "&&"
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus_and_not(self):
+        expr = parse_expr("-~x")
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+        assert expr.operand.op == "~"
+
+    def test_unary_plus_is_noop(self):
+        expr = parse_expr("+x")
+        assert isinstance(expr, ast.Ident)
+
+    def test_cast(self):
+        expr = parse_expr("(float)x")
+        assert isinstance(expr, ast.Cast)
+        assert str(expr.target) == "float"
+
+    def test_parenthesized_expr_is_not_cast(self):
+        expr = parse_expr("(x) + 1")
+        assert isinstance(expr, ast.BinOp)
+
+    def test_ternary(self):
+        expr = parse_expr("a ? b : c ? d : e")
+        assert isinstance(expr, ast.Ternary)
+        assert isinstance(expr.other, ast.Ternary)  # right associative
+
+    def test_assignment_right_associative(self):
+        func = parse_main("int a; int b; a = b = 3; return a;")
+        assign = func.body.stmts[2].expr
+        assert isinstance(assign, ast.Assign)
+        assert isinstance(assign.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        func = parse_main("int a = 1; a += 2; return a;")
+        assign = func.body.stmts[1].expr
+        assert assign.op == "+="
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_main("1 = 2;")
+
+    def test_incdec_prefix_postfix(self):
+        pre = parse_expr("++x")
+        post = parse_expr("x--")
+        assert pre.prefix is True
+        assert post.prefix is False
+        assert post.op == "--"
+
+    def test_call_with_args(self):
+        expr = parse_expr("f(1, x + 2)")
+        assert isinstance(expr, ast.Call)
+        assert len(expr.args) == 2
+
+    def test_array_reference(self):
+        expr = parse_expr("t[i + 1]")
+        assert isinstance(expr, ast.ArrayRef)
+        assert expr.base == "t"
+
+    def test_incdec_requires_lvalue(self):
+        with pytest.raises(ParseError):
+            parse_expr("++(a + b)")

@@ -1,0 +1,104 @@
+"""Printer statement-level tests (round-trips live in test_roundtrip)."""
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_expr, format_program
+from repro.lang import ast_nodes as ast
+
+
+def reformat(source: str) -> str:
+    return format_program(parse_program(source))
+
+
+class TestExpressions:
+    def test_precedence_parens_added(self):
+        expr = ast.BinOp(
+            op="*",
+            left=ast.BinOp(op="+", left=ast.IntLit(value=1), right=ast.IntLit(value=2)),
+            right=ast.IntLit(value=3),
+        )
+        assert format_expr(expr) == "(1 + 2) * 3"
+
+    def test_no_redundant_parens(self):
+        expr = ast.BinOp(
+            op="+",
+            left=ast.IntLit(value=1),
+            right=ast.BinOp(op="*", left=ast.IntLit(value=2), right=ast.IntLit(value=3)),
+        )
+        assert format_expr(expr) == "1 + 2 * 3"
+
+    def test_left_assoc_subtraction_parenthesized_on_right(self):
+        expr = ast.BinOp(
+            op="-",
+            left=ast.IntLit(value=1),
+            right=ast.BinOp(op="-", left=ast.IntLit(value=2), right=ast.IntLit(value=3)),
+        )
+        assert format_expr(expr) == "1 - (2 - 3)"
+
+    def test_unsigned_suffix_kept(self):
+        text = reformat("unsigned x = 42u; int main() { return 0; }")
+        assert "42u" in text
+
+    def test_big_unsigned_as_hex(self):
+        text = reformat("unsigned x = 3988292384u; int main() { return 0; }")
+        assert "0xedb88320u" in text
+
+    def test_float_formatting(self):
+        text = reformat("float x = 2.5; int main() { return 0; }")
+        assert "2.5" in text
+
+    def test_string_escapes_roundtrip(self):
+        source = 'int main() { printf("a\\n\\tb"); return 0; }'
+        assert reformat(reformat(source)) == reformat(source)
+
+    def test_char_literal(self):
+        text = reformat("int main() { int c = 'x'; return c; }")
+        assert "'x'" in text
+
+    def test_double_unary_minus_spaced(self):
+        expr = ast.UnaryOp(
+            op="-", operand=ast.UnaryOp(op="-", operand=ast.Ident(name="x"))
+        )
+        assert format_expr(expr) == "- -x"
+
+
+class TestStatements:
+    def test_else_if_chain(self):
+        source = (
+            "int main() { int x = 1; "
+            "if (x == 0) { return 0; } else if (x == 1) { return 1; } "
+            "else { return 2; } }"
+        )
+        text = reformat(source)
+        assert text.count("if (") == 2
+        assert "else" in text
+
+    def test_for_with_empty_heads(self):
+        text = reformat("int main() { for (;;) { break; } return 0; }")
+        assert "for (; ; )" in text
+
+    def test_do_while(self):
+        text = reformat(
+            "int main() { int i = 0; do { i++; } while (i < 3); return i; }"
+        )
+        assert "do {" in text
+        assert "} while (i < 3);" in text
+
+    def test_array_initializer(self):
+        text = reformat("int t[3] = {1, 2, 3}; int main() { return t[0]; }")
+        assert "int t[3] = {1, 2, 3};" in text
+
+    def test_array_param(self):
+        text = reformat(
+            "int f(int a[], int n) { return a[n]; } "
+            "int t[2]; int main() { return f(t, 1); }"
+        )
+        assert "int f(int a[], int n)" in text
+
+    def test_nested_blocks_indent(self):
+        text = reformat(
+            "int main() { int i; for (i = 0; i < 2; i++) { "
+            "if (i) { printf(\"x\"); } } return 0; }"
+        )
+        lines = text.splitlines()
+        printf_line = next(line for line in lines if "printf" in line)
+        assert printf_line.startswith("      ")  # three levels deep

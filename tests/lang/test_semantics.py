@@ -1,0 +1,171 @@
+"""Semantic analysis tests."""
+
+import pytest
+
+from repro.lang.errors import SemanticError
+from repro.lang.parser import parse_program
+from repro.lang.semantics import analyze
+from repro.lang.types import FLOAT, INT, UNSIGNED
+
+
+def check(source: str):
+    return analyze(parse_program(source))
+
+
+def check_main(body: str):
+    return check("int main() {" + body + "}")
+
+
+class TestDeclarations:
+    def test_undefined_variable(self):
+        with pytest.raises(SemanticError, match="undefined variable"):
+            check_main("return x;")
+
+    def test_redefinition_same_scope(self):
+        with pytest.raises(SemanticError, match="redefinition"):
+            check_main("int x; int x; return 0;")
+
+    def test_shadowing_in_inner_scope_allowed(self):
+        check_main("int x = 1; { int x = 2; } return x;")
+
+    def test_void_variable_rejected(self):
+        with pytest.raises(SemanticError):
+            check("void x; int main() { return 0; }")
+
+    def test_global_initializer_must_be_constant(self):
+        with pytest.raises(SemanticError, match="constant"):
+            check("int h; int g = h + 1; int main() { return 0; }")
+
+    def test_global_constant_folding_allowed(self):
+        check("int g = 3 * 4 + (1 << 2); int main() { return g; }")
+
+    def test_array_needs_positive_length(self):
+        with pytest.raises(SemanticError):
+            check("int a[0]; int main() { return 0; }")
+
+    def test_too_many_initializers(self):
+        with pytest.raises(SemanticError):
+            check("int a[2] = {1, 2, 3}; int main() { return 0; }")
+
+    def test_missing_main(self):
+        with pytest.raises(SemanticError, match="main"):
+            check("int f() { return 1; }")
+
+
+class TestTypes:
+    def test_int_plus_float_is_float(self):
+        analyzer = check_main("float y = 1 + 2.0; return 0;")
+        assert analyzer is not None
+
+    def test_arithmetic_types_annotated(self):
+        program = parse_program("int main() { int x = 1; return x + 2u; }")
+        analyze(program)
+        ret = program.function("main").body.stmts[1]
+        assert ret.value.ctype == UNSIGNED
+
+    def test_float_annotated(self):
+        program = parse_program("int main() { float f = 0.5; return (int)(f * 2.0); }")
+        analyze(program)
+        ret = program.function("main").body.stmts[1]
+        assert ret.value.ctype == INT
+
+    def test_modulo_requires_integers(self):
+        check_main("float f = 1.0; return 3 % ((int)f + 2);")  # ok once cast
+        with pytest.raises(SemanticError):
+            check_main("return 3.0 % 2;")
+
+    def test_shift_requires_integers(self):
+        with pytest.raises(SemanticError):
+            check_main("return 1.0 << 2;")
+
+    def test_bitnot_requires_integer(self):
+        with pytest.raises(SemanticError):
+            check_main("return ~1.5;")
+
+    def test_comparison_yields_int(self):
+        program = parse_program("int main() { return 1.5 < 2.5; }")
+        analyze(program)
+        ret = program.function("main").body.stmts[0]
+        assert ret.value.ctype == INT
+
+    def test_incdec_requires_integer(self):
+        with pytest.raises(SemanticError):
+            check_main("float f = 1.0; f++; return 0;")
+
+
+class TestFunctions:
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError, match="takes"):
+            check("int f(int a) { return a; } int main() { return f(); }")
+
+    def test_undefined_function(self):
+        with pytest.raises(SemanticError, match="undefined function"):
+            check_main("return nope(1);")
+
+    def test_array_argument_passed_by_name(self):
+        check(
+            "int sum(int a[], int n) { return a[0] + n; }"
+            "int t[4]; int main() { return sum(t, 4); }"
+        )
+
+    def test_array_argument_element_mismatch(self):
+        with pytest.raises(SemanticError):
+            check(
+                "int sum(int a[]) { return a[0]; }"
+                "float t[4]; int main() { return sum(t); }"
+            )
+
+    def test_scalar_where_array_expected(self):
+        with pytest.raises(SemanticError):
+            check("int f(int a[]) { return a[0]; } int main() { return f(3); }")
+
+    def test_void_return_with_value(self):
+        with pytest.raises(SemanticError):
+            check("void f() { return 3; } int main() { return 0; }")
+
+    def test_nonvoid_return_without_value(self):
+        with pytest.raises(SemanticError):
+            check("int f() { return; } int main() { return 0; }")
+
+    def test_recursion_allowed(self):
+        check("int f(int n) { if (n) { return f(n - 1); } return 0; }"
+              "int main() { return f(3); }")
+
+
+class TestControlAndBuiltins:
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError, match="break"):
+            check_main("break; return 0;")
+
+    def test_continue_outside_loop(self):
+        with pytest.raises(SemanticError, match="continue"):
+            check_main("continue; return 0;")
+
+    def test_break_inside_loop_ok(self):
+        check_main("while (1) { break; } return 0;")
+
+    def test_printf_needs_format(self):
+        with pytest.raises(SemanticError):
+            check_main("int x = 0; printf(x); return 0;")
+
+    def test_printf_arity_mismatch(self):
+        with pytest.raises(SemanticError, match="printf format"):
+            check_main('printf("%d %d", 1); return 0;')
+
+    def test_printf_float_conversion_type(self):
+        with pytest.raises(SemanticError, match="%f"):
+            check_main('printf("%f", 1); return 0;')
+
+    def test_printf_int_conversion_type(self):
+        with pytest.raises(SemanticError):
+            check_main('printf("%d", 1.5); return 0;')
+
+    def test_printf_percent_literal_ok(self):
+        check_main('printf("100%%"); return 0;')
+
+    def test_math_builtin_types(self):
+        check_main("float y = sqrt(2.0) + sin(1.0) * cos(0.5); return (int)y;")
+
+    def test_string_outside_printf_rejected(self):
+        with pytest.raises(SemanticError):
+            check_main('int x = "abc"; return 0;')

@@ -1,0 +1,131 @@
+"""O3 source-to-source transforms: inlining and unrolling."""
+
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.opt.inline import inline_small_functions
+from repro.opt.unroll import unroll_loops
+from tests.conftest import run_source
+
+
+class TestInlining:
+    SOURCE = """
+    int square(int x) { return x * x; }
+    int main() {
+      int total = 0;
+      int i;
+      for (i = 0; i < 10; i++) {
+        total = total + square(i);
+      }
+      printf("%d", total);
+      return 0;
+    }
+    """
+
+    def test_call_disappears(self):
+        program = inline_small_functions(parse_program(self.SOURCE))
+        text = format_program(program)
+        main_text = text[text.index("int main") :]
+        assert "square(" not in main_text
+
+    def test_original_ast_untouched(self):
+        program = parse_program(self.SOURCE)
+        inline_small_functions(program)
+        assert "square" in format_program(program)
+
+    def test_behaviour_preserved(self):
+        assert run_source(self.SOURCE, opt_level=0).output == run_source(
+            self.SOURCE, opt_level=3
+        ).output
+
+    def test_impure_argument_not_inlined(self):
+        source = """
+        int twice(int x) { return x + x; }
+        int main() {
+          int i = 3;
+          printf("%d", twice(i++));
+          return 0;
+        }
+        """
+        program = inline_small_functions(parse_program(source))
+        text = format_program(program)
+        assert "twice(" in text[text.index("int main") :]
+
+    def test_multi_statement_function_not_inlined(self):
+        source = """
+        int f(int x) { int y = x + 1; return y; }
+        int main() { return f(3); }
+        """
+        program = inline_small_functions(parse_program(source))
+        assert "f(3)" in format_program(program)
+
+
+class TestUnrolling:
+    SOURCE = """
+    int data[32];
+    int main() {
+      int i;
+      for (i = 0; i < 31; i++) {
+        data[i] = i * 2;
+      }
+      int total = 0;
+      for (i = 0; i < 32; i++) {
+        total = total + data[i];
+      }
+      printf("%d", total);
+      return 0;
+    }
+    """
+
+    def test_unroll_produces_while_pair(self):
+        program = unroll_loops(parse_program(self.SOURCE))
+        text = format_program(program)
+        assert text.count("while (") >= 2
+
+    def test_behaviour_preserved_even_and_odd_trip(self):
+        # 31 iterations (odd -> remainder loop used) and 32 (even).
+        assert run_source(self.SOURCE, opt_level=0).output == run_source(
+            self.SOURCE, opt_level=3
+        ).output
+
+    def test_loop_with_break_not_unrolled(self):
+        source = """
+        int main() {
+          int i;
+          int total = 0;
+          for (i = 0; i < 10; i++) {
+            if (i == 5) { break; }
+            total = total + i;
+          }
+          printf("%d", total);
+          return 0;
+        }
+        """
+        program = unroll_loops(parse_program(source))
+        assert "for (" in format_program(program)
+        assert run_source(source, opt_level=3).output == "10"
+
+    def test_bound_written_in_body_not_unrolled(self):
+        source = """
+        int main() {
+          int n = 10;
+          int i;
+          int total = 0;
+          for (i = 0; i < n; i++) {
+            if (i == 4) { n = 6; }
+            total++;
+          }
+          printf("%d", total);
+          return 0;
+        }
+        """
+        program = unroll_loops(parse_program(source))
+        assert "for (" in format_program(program)
+        assert run_source(source, opt_level=0).output == run_source(
+            source, opt_level=3
+        ).output
+
+    def test_dynamic_branch_count_drops(self):
+        # x86_64: unrolling is gated off on the register-starved x86.
+        o2 = run_source(self.SOURCE, isa="x86_64", opt_level=2)
+        o3 = run_source(self.SOURCE, isa="x86_64", opt_level=3)
+        assert len(o3.branch_log) < len(o2.branch_log)

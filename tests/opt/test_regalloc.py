@@ -1,0 +1,97 @@
+"""Linear-scan register allocation tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir.builder import lower_program
+from repro.lang.parser import parse_program
+from repro.lang.semantics import analyze
+from repro.opt.regalloc import allocate_registers
+from tests.conftest import run_source
+
+
+def build_func(source: str, name: str = "main"):
+    program = parse_program(source)
+    analyzer = analyze(program)
+    ir = lower_program(program, analyzer, promote_scalars=True)
+    return ir.functions[name]
+
+
+MANY_LIVE = """
+int main() {
+  int a = 1; int b = 2; int c = 3; int d = 4; int e = 5;
+  int f = 6; int g = 7; int h = 8; int i = 9; int j = 10;
+  int total = a + b + c + d + e + f + g + h + i + j;
+  total = total + a * b + c * d + e * f + g * h + i * j;
+  printf("%d", total);
+  return 0;
+}
+"""
+
+
+class TestAllocation:
+    def test_no_overlapping_assignments(self):
+        """Temps with overlapping intervals never share a register."""
+        func = build_func(MANY_LIVE)
+        allocation = allocate_registers(func, 6, 6)
+        # Rebuild intervals and check pairwise disjointness per register.
+        from repro.opt.regalloc import _build_intervals
+
+        intervals = {iv.temp: iv for iv in _build_intervals(func)}
+        by_register: dict[int, list] = {}
+        for temp, reg in allocation.registers.items():
+            by_register.setdefault(reg, []).append(intervals[temp])
+        for reg, ivs in by_register.items():
+            ivs.sort(key=lambda iv: iv.start)
+            for first, second in zip(ivs, ivs[1:]):
+                assert first.end <= second.start or first.start >= second.end, (
+                    f"register {reg} double-booked"
+                )
+
+    def test_spills_on_tiny_register_file(self):
+        func = build_func(MANY_LIVE)
+        allocation = allocate_registers(func, 4, 4)
+        assert allocation.spill_count > 0
+
+    def test_no_spills_on_huge_register_file(self):
+        func = build_func(MANY_LIVE)
+        allocation = allocate_registers(func, 64, 64)
+        assert allocation.spill_count == 0
+
+    def test_every_temp_gets_a_location(self):
+        func = build_func(MANY_LIVE)
+        allocation = allocate_registers(func, 6, 6)
+        for blk in func.blocks:
+            for instr in blk.instrs:
+                for temp in instr.uses():
+                    allocation.location(temp)  # raises KeyError if missing
+                if instr.defs() is not None:
+                    allocation.location(instr.defs())
+
+
+class TestSpillCorrectness:
+    """High-pressure programs must compute the same on every ISA."""
+
+    def test_many_live_correct_everywhere(self):
+        outputs = {
+            run_source(MANY_LIVE, isa=isa, opt_level=level).output
+            for isa in ("x86", "x86_64", "ia64")
+            for level in (0, 1, 2, 3)
+        }
+        assert len(outputs) == 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 200), min_size=8, max_size=8))
+    def test_pressure_expression_matches_python(self, values):
+        names = "abcdefgh"
+        decls = " ".join(
+            f"int {name} = {value};" for name, value in zip(names, values)
+        )
+        expr = "a*b + c*d + e*f + g*h + (a+b+c+d)*(e+f+g+h) + a - b"
+        source = f'int main() {{ {decls} printf("%d", {expr}); return 0; }}'
+        a, b, c, d, e, f, g, h = values
+        expected = a * b + c * d + e * f + g * h + (a + b + c + d) * (
+            e + f + g + h
+        ) + a - b
+        for isa in ("x86", "ia64"):
+            trace = run_source(source, isa=isa, opt_level=1)
+            assert trace.output == str(expected)

@@ -1,0 +1,92 @@
+"""Machine-level natural-loop detection tests."""
+
+from repro.cc.driver import compile_program
+from repro.profiling.loops import find_machine_loops, machine_cfg
+
+
+def machine_func(source: str, name: str = "main"):
+    binary = compile_program(source).binary
+    return binary.function(name)
+
+
+class TestMachineCFG:
+    def test_successors_cover_all_blocks(self):
+        func = machine_func(
+            "int main() { int i; int t = 0; "
+            "for (i = 0; i < 5; i++) { t = t + i; } "
+            'printf("%d", t); return 0; }'
+        )
+        succs = machine_cfg(func)
+        assert set(succs) == set(range(len(func.blocks)))
+
+    def test_ret_block_has_no_successors(self):
+        func = machine_func("int main() { return 3; }")
+        succs = machine_cfg(func)
+        last_with_ret = [
+            i for i, blk in enumerate(func.blocks)
+            if blk.instrs and blk.instrs[-1].op == "ret"
+        ]
+        for idx in last_with_ret:
+            assert succs[idx] == []
+
+    def test_call_block_falls_through(self):
+        func = machine_func(
+            "int f() { return 1; } int main() { return f(); }"
+        )
+        succs = machine_cfg(func)
+        for i, blk in enumerate(func.blocks):
+            if blk.instrs and blk.instrs[-1].op == "call":
+                assert succs[i] == [blk.fall_through]
+
+
+class TestLoopDetection:
+    def test_single_loop(self):
+        func = machine_func(
+            "int main() { int i; int t = 0; "
+            "for (i = 0; i < 5; i++) { t = t + i; } "
+            'printf("%d", t); return 0; }'
+        )
+        loops = find_machine_loops(func)
+        assert len(loops) == 1
+        assert loops[0].back_edges
+
+    def test_nested_loops_nest(self):
+        func = machine_func(
+            "int main() { int i; int j; int t = 0; "
+            "for (i = 0; i < 5; i++) { for (j = 0; j < 5; j++) { t++; } } "
+            'printf("%d", t); return 0; }'
+        )
+        loops = find_machine_loops(func)
+        assert len(loops) == 2
+        inner = min(loops, key=lambda lp: len(lp.body))
+        outer = max(loops, key=lambda lp: len(lp.body))
+        assert inner.parent is outer
+        assert inner.depth == 2
+
+    def test_sequential_loops_independent(self):
+        func = machine_func(
+            "int main() { int i; int t = 0; "
+            "for (i = 0; i < 5; i++) { t++; } "
+            "for (i = 0; i < 7; i++) { t--; } "
+            'printf("%d", t); return 0; }'
+        )
+        loops = find_machine_loops(func)
+        assert len(loops) == 2
+        assert all(lp.parent is None for lp in loops)
+        assert not (loops[0].body & loops[1].body)
+
+    def test_while_loop_detected(self):
+        func = machine_func(
+            "int main() { int i = 10; while (i) { i--; } return i; }"
+        )
+        assert len(find_machine_loops(func)) == 1
+
+    def test_do_while_detected(self):
+        func = machine_func(
+            "int main() { int i = 0; do { i++; } while (i < 5); return i; }"
+        )
+        assert len(find_machine_loops(func)) == 1
+
+    def test_straight_line_no_loops(self):
+        func = machine_func("int main() { int a = 1; return a + 2; }")
+        assert find_machine_loops(func) == []

@@ -1,0 +1,151 @@
+"""SFGL construction and scale-down tests (§III-A.1, §III-B.1, Fig. 2)."""
+
+import pytest
+
+from repro.profiling.profile import profile_workload
+from repro.profiling.sfgl import SFGL, SFGLBlock, SFGLLoop
+
+NESTED_LOOPS = """
+int data[64];
+int main() {
+  int i;
+  int j;
+  int total = 0;
+  for (i = 0; i < 50; i++) {
+    for (j = 0; j < 20; j++) {
+      total = total + data[j];
+    }
+    data[i & 63] = total & 255;
+  }
+  printf("%d", total);
+  return 0;
+}
+"""
+
+CALLS = """
+int helper(int x) { return x * 2 + 1; }
+int main() {
+  int total = 0;
+  int i;
+  for (i = 0; i < 30; i++) {
+    total = total + helper(i);
+  }
+  printf("%d", total);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def nested_profile():
+    profile, _trace = profile_workload(NESTED_LOOPS)
+    return profile
+
+
+@pytest.fixture(scope="module")
+def calls_profile():
+    profile, _trace = profile_workload(CALLS)
+    return profile
+
+
+class TestConstruction:
+    def test_block_counts_sum_to_trace(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        assert sfgl.total_instructions() == nested_profile.total_instructions
+
+    def test_two_nested_loops_found(self, nested_profile):
+        loops = nested_profile.sfgl.loops
+        assert len(loops) == 2
+        inner = max(loops, key=lambda lp: lp.iterations)
+        outer = min(loops, key=lambda lp: lp.iterations)
+        assert inner.parent is outer
+        assert outer.parent is None
+
+    def test_loop_trip_counts(self, nested_profile):
+        loops = nested_profile.sfgl.loops
+        inner = max(loops, key=lambda lp: lp.iterations)
+        outer = min(loops, key=lambda lp: lp.iterations)
+        # for i in 0..50: header executes 51 times per entry.
+        assert outer.average_trip == pytest.approx(51, abs=1)
+        assert inner.average_trip == pytest.approx(21, abs=1)
+
+    def test_edges_have_counts(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        assert sfgl.edges
+        assert all(count >= 1 for count in sfgl.edges.values())
+
+    def test_edge_probabilities_sum_to_one(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        sources = {src for (src, _dst) in sfgl.edges}
+        for src in sources:
+            total = sum(
+                sfgl.edge_probability(src, dst)
+                for (s, dst) in sfgl.edges
+                if s == src
+            )
+            assert total == pytest.approx(1.0)
+
+    def test_call_counts(self, calls_profile):
+        sfgl = calls_profile.sfgl
+        helper_index = next(
+            idx for idx, name in sfgl.function_names.items() if name == "helper"
+        )
+        assert sfgl.call_counts[helper_index] == 30
+
+
+class TestScaleDown:
+    def test_counts_divided(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        scaled = sfgl.scale_down(10)
+        for gbid, block in scaled.blocks.items():
+            assert block.count == sfgl.blocks[gbid].count // 10
+
+    def test_cold_blocks_removed(self, nested_profile):
+        """The paper's Fig. 2: block C (count < R) disappears."""
+        sfgl = nested_profile.sfgl
+        scaled = sfgl.scale_down(100)
+        removed = set(sfgl.blocks) - set(scaled.blocks)
+        assert removed  # main's once-executed setup blocks vanish
+        for gbid in removed:
+            assert sfgl.blocks[gbid].count < 100
+
+    def test_total_shrinks_by_factor(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        scaled = sfgl.scale_down(10)
+        ratio = sfgl.total_instructions() / max(1, scaled.total_instructions())
+        assert 8 < ratio < 14
+
+    def test_loop_iterations_scaled(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        scaled = sfgl.scale_down(10)
+        inner_orig = max(sfgl.loops, key=lambda lp: lp.iterations)
+        inner_scaled = max(scaled.loops, key=lambda lp: lp.iterations)
+        assert inner_scaled.iterations == pytest.approx(
+            inner_orig.iterations // 10, abs=1
+        )
+
+    def test_reduction_factor_one_is_identity_counts(self, nested_profile):
+        sfgl = nested_profile.sfgl
+        scaled = sfgl.scale_down(1)
+        assert scaled.total_instructions() == sfgl.total_instructions()
+
+    def test_invalid_reduction_rejected(self, nested_profile):
+        with pytest.raises(ValueError):
+            nested_profile.sfgl.scale_down(0)
+
+    def test_paper_example_shape(self):
+        """Fig. 2 numerically: counts /100, B survives as 4, C dies."""
+        sfgl = SFGL()
+        counts = {"A": 500, "B": 420, "C": 80, "D": 500, "E": 5000,
+                  "F": 1000, "G": 4000, "H": 5000, "I": 500}
+        for i, (name, count) in enumerate(counts.items()):
+            sfgl.blocks[i] = SFGLBlock(
+                gbid=i, func_index=0, block_index=i, count=count, instrs=[]
+            )
+        scaled = sfgl.scale_down(100)
+        by_name = {name: i for i, name in enumerate(counts)}
+        assert scaled.blocks[by_name["A"]].count == 5
+        assert scaled.blocks[by_name["B"]].count == 4
+        assert by_name["C"] not in scaled.blocks  # removed, like the paper
+        assert scaled.blocks[by_name["E"]].count == 50
+        assert scaled.blocks[by_name["G"]].count == 40

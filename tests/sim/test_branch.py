@@ -1,0 +1,91 @@
+"""Branch predictor tests."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.branch import (
+    BimodalPredictor,
+    GsharePredictor,
+    HybridPredictor,
+    simulate_predictor,
+)
+
+
+def make_log(outcomes, pc=17):
+    return [(pc << 1) | int(taken) for taken in outcomes]
+
+
+class TestBimodal:
+    def test_learns_always_taken(self):
+        result = simulate_predictor(make_log([True] * 100), BimodalPredictor())
+        assert result.accuracy > 0.95
+
+    def test_learns_always_not_taken(self):
+        result = simulate_predictor(make_log([False] * 100), BimodalPredictor())
+        assert result.accuracy > 0.95
+
+    def test_fails_on_alternating(self):
+        outcomes = [i % 2 == 0 for i in range(200)]
+        result = simulate_predictor(make_log(outcomes), BimodalPredictor())
+        assert result.accuracy < 0.7
+
+    def test_counter_saturation(self):
+        predictor = BimodalPredictor(16)
+        for _ in range(10):
+            predictor.update(3, True)
+        assert predictor.table[3] == 3
+        predictor.update(3, False)
+        assert predictor.predict(3) is True  # still weakly taken
+
+
+class TestGshare:
+    def test_learns_alternating_pattern(self):
+        outcomes = [i % 2 == 0 for i in range(300)]
+        result = simulate_predictor(make_log(outcomes), GsharePredictor())
+        assert result.accuracy > 0.9
+
+    def test_learns_short_period(self):
+        outcomes = [(i % 4) < 2 for i in range(400)]
+        result = simulate_predictor(make_log(outcomes), GsharePredictor())
+        assert result.accuracy > 0.85
+
+    def test_history_distinguishes_contexts(self):
+        predictor = GsharePredictor(256, 4)
+        before = predictor.history
+        predictor.update(1, True)
+        assert predictor.history != before
+
+
+class TestHybrid:
+    def test_beats_bimodal_on_patterns(self):
+        outcomes = [(i % 4) < 2 for i in range(400)]
+        log = make_log(outcomes)
+        hybrid = simulate_predictor(log, HybridPredictor())
+        bimodal = simulate_predictor(log, BimodalPredictor())
+        assert hybrid.accuracy >= bimodal.accuracy
+
+    def test_matches_bimodal_on_biased(self):
+        outcomes = [True] * 500
+        log = make_log(outcomes)
+        hybrid = simulate_predictor(log, HybridPredictor())
+        assert hybrid.accuracy > 0.95
+
+    def test_multiple_branch_sites(self):
+        log = []
+        for i in range(300):
+            log.append((10 << 1) | 1)  # always taken
+            log.append((20 << 1) | 0)  # never taken
+            log.append((30 << 1) | (i % 2))  # alternating
+        result = simulate_predictor(log, HybridPredictor())
+        assert result.accuracy > 0.9
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.booleans(), min_size=1, max_size=400))
+    def test_accuracy_bounds(self, outcomes):
+        result = simulate_predictor(make_log(outcomes), HybridPredictor())
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.branches == len(outcomes)
+        assert result.correct + result.misses == result.branches
+
+    def test_default_predictor_is_hybrid(self):
+        result = simulate_predictor(make_log([True] * 10))
+        assert result.branches == 10

@@ -1,0 +1,95 @@
+"""Trace-level analysis tests: edge replay, call counts, mixes."""
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.sim.functional import run_binary
+from tests.conftest import run_source
+
+CALL_HEAVY = """
+int leaf(int x) { return x * 3 + 1; }
+int middle(int x) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 4; i++) { acc = acc + leaf(x + i); }
+  return acc;
+}
+int main() {
+  int total = 0;
+  int k;
+  for (k = 0; k < 25; k++) { total = total + middle(k); }
+  printf("%d", total);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def call_trace():
+    return run_source(CALL_HEAVY)
+
+
+class TestEdgeCounts:
+    def test_edges_conserve_flow(self, call_trace):
+        """Within a function, in-flow == out-flow for interior blocks."""
+        edges = call_trace.edge_counts()
+        binary = call_trace.binary
+        counts = call_trace.block_counts()
+        # For the loop header of `middle`, in == executions.
+        for gbid, count in counts.items():
+            func_idx, blk_idx = binary.block_map[gbid]
+            func = binary.functions[func_idx]
+            if blk_idx == 0:
+                continue  # entries come from calls, not edges
+            in_flow = sum(c for (s, d), c in edges.items() if d == gbid)
+            assert in_flow == count, (func.name, blk_idx, in_flow, count)
+
+    def test_edges_are_intra_function(self, call_trace):
+        binary = call_trace.binary
+        for (src, dst), _count in call_trace.edge_counts().items():
+            src_func = binary.block_map[src][0]
+            dst_func = binary.block_map[dst][0]
+            assert src_func == dst_func
+
+    def test_call_continuation_edge_recorded(self, call_trace):
+        """call-block -> continuation edges keep caller flow connected."""
+        binary = call_trace.binary
+        edges = call_trace.edge_counts()
+        call_blocks = {
+            blk.gbid
+            for func in binary.functions
+            for blk in func.blocks
+            if blk.instrs and blk.instrs[-1].op == "call"
+        }
+        assert any(src in call_blocks for (src, _d) in edges)
+
+
+class TestCallCounts:
+    def test_exact_call_counts(self, call_trace):
+        binary = call_trace.binary
+        counts = call_trace.call_counts()
+        by_name = {
+            binary.functions[idx].name: count for idx, count in counts.items()
+        }
+        assert by_name["middle"] == 25
+        assert by_name["leaf"] == 100
+
+    def test_main_never_called(self, call_trace):
+        binary = call_trace.binary
+        counts = call_trace.call_counts()
+        assert binary.entry not in counts
+
+
+class TestSummary:
+    def test_summary_fields(self, call_trace):
+        summary = call_trace.summary()
+        assert summary["instructions"] == call_trace.instructions
+        assert abs(sum(summary["mix"].values()) - 1.0) < 1e-9
+        assert summary["branches"] == len(call_trace.branch_log)
+
+    def test_output_isolated_per_run(self):
+        binary = compile_program(CALL_HEAVY).binary
+        first = run_binary(binary)
+        second = run_binary(binary)
+        assert first.output == second.output
+        assert first.block_seq == second.block_seq

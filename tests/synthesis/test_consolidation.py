@@ -1,0 +1,105 @@
+"""Consolidation namespace and behaviour tests (§II-B.e)."""
+
+import re
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.profiling.profile import profile_workload
+from repro.sim.functional import run_binary
+from repro.synthesis.synthesizer import synthesize, synthesize_consolidated
+
+KERNEL_A = """
+int a[512];
+int main() {
+  int t = 0; int i; int r;
+  for (r = 0; r < 40; r++) {
+    for (i = 0; i < 512; i++) { t = t + a[i]; }
+  }
+  printf("%d", t);
+  return 0;
+}
+"""
+
+KERNEL_B = """
+int main() {
+  float x = 1.0; float acc = 0.0; int i;
+  for (i = 0; i < 6000; i++) {
+    acc = acc + sin(x) * 0.5;
+    x = x + 0.001;
+  }
+  printf("%.2f", acc);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    pa, _ = profile_workload(KERNEL_A)
+    pb, _ = profile_workload(KERNEL_B)
+    return [pa, pb]
+
+
+class TestNamespaceFusion:
+    def test_single_main(self, profiles):
+        merged = synthesize_consolidated(profiles, 16_000)
+        assert merged.source.count("int main()") == 1
+
+    def test_workload_prefixes_disjoint(self, profiles):
+        merged = synthesize_consolidated(profiles, 16_000)
+        # Every synthetic identifier is prefixed; no bare collisions left.
+        bare = re.findall(r"(?<![\w])(?:gS\d+|gF\d+|gw\d+|mSink|sf\d+)\b",
+                          merged.source)
+        assert not bare, bare[:5]
+
+    def test_each_piece_invoked(self, profiles):
+        merged = synthesize_consolidated(profiles, 16_000)
+        assert "w0_main();" in merged.source
+        assert "w1_main();" in merged.source
+
+    def test_metadata_aggregated(self, profiles):
+        merged = synthesize_consolidated(profiles, 16_000)
+        assert merged.original_instructions == sum(
+            p.total_instructions for p in profiles
+        )
+        assert merged.estimated_instructions > 0
+
+
+class TestConsolidatedBehaviour:
+    def test_runs_on_every_isa_level(self, profiles):
+        merged = synthesize_consolidated(profiles, 16_000)
+        for isa in ("x86", "x86_64", "ia64"):
+            for level in (0, 2):
+                trace = run_binary(compile_program(merged.source, isa, level).binary)
+                assert trace.instructions > 1000
+
+    def test_blends_float_and_int_behaviour(self, profiles):
+        """A consolidated clone inherits float work from B, loops from A."""
+        merged = synthesize_consolidated(profiles, 16_000)
+        trace = run_binary(compile_program(merged.source, "x86", 0).binary)
+        mix = trace.instruction_mix().by_klass
+        float_ops = (
+            mix.get("falu", 0) + mix.get("fmul", 0) + mix.get("fmath", 0)
+        )
+        assert float_ops > 0  # from kernel B
+        assert mix.get("load", 0) > 0.15 * trace.instructions  # from A
+
+    def test_size_share_split(self, profiles):
+        merged_small = synthesize_consolidated(profiles, 8_000)
+        merged_large = synthesize_consolidated(profiles, 40_000)
+        small = run_binary(
+            compile_program(merged_small.source, "x86", 0).binary
+        ).instructions
+        large = run_binary(
+            compile_program(merged_large.source, "x86", 0).binary
+        ).instructions
+        assert large > 2 * small
+
+    def test_individual_clone_sources_embedded_obfuscated(self, profiles):
+        """Consolidation preserves each piece's obfuscation."""
+        from repro.obfuscation.report import compare_sources
+
+        merged = synthesize_consolidated(profiles, 16_000)
+        report = compare_sources(KERNEL_A, merged.source)
+        assert not report.flagged

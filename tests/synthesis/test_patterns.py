@@ -1,0 +1,157 @@
+"""Table II pattern generation and cost-model tests."""
+
+from collections import Counter
+
+import pytest
+
+from repro.profiling.profile import profile_workload
+from repro.synthesis.memory import StreamPool
+from repro.synthesis.patterns import (
+    BlockTranslator,
+    STATEMENT_COSTS,
+    category_counts,
+    split_budgets,
+)
+from tests.conftest import run_source
+
+
+def costs_of_statements(statements: list[str]) -> Counter:
+    """Ground truth: compile the statements at -O0 and count classes."""
+    decls = ["unsigned mSink[64];"]
+    body = []
+    # Provide every identifier the statements reference.
+    import re
+
+    text = "\n".join(statements)
+    for name in sorted(set(re.findall(r"\bgS\d+\b", text))):
+        decls.append(f"int {name} = 5;")
+    for name in sorted(set(re.findall(r"\bgF\d+\b", text))):
+        decls.append(f"float {name} = 1.5;")
+    for name in sorted(set(re.findall(r"\bgw\d+\b", text))):
+        decls.append(f"unsigned {name} = 0u;")
+    for name in sorted(set(re.findall(r"\b[mf]S_c\d+_w\d+k\b", text))):
+        ctype = "float" if name.startswith("f") else "unsigned"
+        decls.append(f"{ctype} {name}[4096];")
+    source = "\n".join(decls) + "\nint main() {\n" + text + "\nreturn 0;\n}\n"
+    trace = run_source(source, opt_level=0)
+    mix = trace.instruction_mix().by_klass
+    return Counter(
+        {
+            "load": mix.get("load", 0),
+            "store": mix.get("store", 0),
+            "ialu": mix.get("ialu", 0),
+            "imul": mix.get("imul", 0),
+            "idiv": mix.get("idiv", 0),
+            "falu": mix.get("falu", 0),
+            "fmul": mix.get("fmul", 0),
+            "fdiv": mix.get("fdiv", 0),
+            "fmath": mix.get("fmath", 0),
+        }
+    )
+
+
+@pytest.fixture(scope="module")
+def profiled_block():
+    source = """
+    int data[512];
+    int main() {
+      int total = 0;
+      int i;
+      for (i = 0; i < 400; i++) {
+        total = total + data[i & 511] * 3;
+        data[(i * 5) & 511] = total & 1023;
+      }
+      printf("%d", total);
+      return 0;
+    }
+    """
+    profile, _ = profile_workload(source)
+    hot = max(profile.sfgl.blocks.values(), key=lambda b: b.count * b.size)
+    return profile, hot
+
+
+class TestCostModel:
+    """STATEMENT_COSTS must match what the real compiler emits at -O0."""
+
+    def test_store_const(self):
+        assert costs_of_statements(["gS0 = 42;"]) == STATEMENT_COSTS["store-const"]
+
+    def test_load_store(self):
+        assert costs_of_statements(["gS0 = gS1;"]) == STATEMENT_COSTS["load-store"]
+
+    def test_load_arith_store(self):
+        assert (
+            costs_of_statements(["gS0 = gS1 + 3;"])
+            == STATEMENT_COSTS["load-arith-store"]
+        )
+
+    def test_load_load_arith_store(self):
+        assert (
+            costs_of_statements(["gS0 = gS1 ^ gS2;"])
+            == STATEMENT_COSTS["load-load-arith-store"]
+        )
+
+    def test_load3_arith_store(self):
+        assert (
+            costs_of_statements(["gS0 = gS1 + gS2 + gS3;"])
+            == STATEMENT_COSTS["load3-arith-store"]
+        )
+
+    def test_walker_advance(self):
+        assert (
+            costs_of_statements(["gw0 = (gw0 + 4u) & 4095u;"])
+            == STATEMENT_COSTS["walker-advance"]
+        )
+
+
+class TestTranslation:
+    def test_emitted_matches_budget(self, profiled_block):
+        profile, hot = profiled_block
+        translator = BlockTranslator(StreamPool(), profile.memory)
+        statements, emitted = translator.translate(hot)
+        target = category_counts(hot.instrs)
+        # Within a few instructions per category (compensation rounds up).
+        for key in ("load", "store", "ialu"):
+            assert abs(emitted[key] - target[key]) <= 4, (key, emitted, target)
+
+    def test_emitted_cost_matches_real_compile(self, profiled_block):
+        """The translator's self-reported cost equals the actual -O0 cost."""
+        profile, hot = profiled_block
+        translator = BlockTranslator(StreamPool(), profile.memory)
+        statements, emitted = translator.translate(hot)
+        actual = costs_of_statements(statements)
+        assert actual == emitted
+
+    def test_statements_use_table_ii_shapes(self, profiled_block):
+        profile, hot = profiled_block
+        translator = BlockTranslator(StreamPool(), profile.memory)
+        statements, _ = translator.translate(hot)
+        for statement in statements:
+            assert statement.endswith(";")
+            assert "=" in statement
+
+    def test_coverage_tracked(self, profiled_block):
+        profile, hot = profiled_block
+        translator = BlockTranslator(StreamPool(), profile.memory)
+        translator.translate(hot)
+        assert translator.stats.coverage() > 0.8
+
+    def test_split_budgets_partitions(self, profiled_block):
+        _, hot = profiled_block
+        int_budget, float_budget = split_budgets(hot.instrs)
+        combined = Counter(int_budget)
+        combined.update(float_budget)
+        assert combined == category_counts(hot.instrs)
+
+    def test_divisions_never_use_loaded_divisor(self, profiled_block):
+        """Divide-by-loaded-stream-word would trap on zero-initialized
+        arrays; the generator must always use constant divisors."""
+        profile, hot = profiled_block
+        translator = BlockTranslator(StreamPool(), profile.memory)
+        statements, _ = translator.translate(hot)
+        import re
+
+        for statement in statements:
+            for match in re.finditer(r"/\s*([A-Za-z0-9_.\[\]]+)", statement):
+                divisor = match.group(1)
+                assert divisor[0].isdigit(), statement

@@ -1,0 +1,93 @@
+"""Fidelity validation tests (the paper's §III-D future-work extension)."""
+
+import pytest
+
+from repro.profiling.profile import profile_workload
+from repro.synthesis.synthesizer import synthesize
+from repro.synthesis.validation import (
+    FidelityReport,
+    synthesize_validated,
+    validate_clone,
+)
+
+WORKLOAD = """
+int buf[1024];
+int main() {
+  int total = 0;
+  int i;
+  int r;
+  for (r = 0; r < 60; r++) {
+    for (i = 0; i < 1024; i = i + 2) {
+      total = total + buf[i] * 3;
+      buf[i] = (total >> 2) & 2047;
+    }
+  }
+  printf("%d", total);
+  return 0;
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def profile_and_trace():
+    return profile_workload(WORKLOAD)
+
+
+class TestFidelityReport:
+    def test_perfect_report_scores_one(self):
+        report = FidelityReport(0.0, 0.0, 0.0, 1000)
+        assert report.score == 1.0
+        assert report.acceptable()
+
+    def test_bad_mix_tanks_score(self):
+        report = FidelityReport(0.5, 0.0, 0.0, 1000)
+        assert report.score == 0.0
+        assert not report.acceptable()
+
+    def test_weighting_order(self):
+        mix_bad = FidelityReport(0.1, 0.0, 0.0, 0).score
+        cache_bad = FidelityReport(0.0, 0.1, 0.0, 0).score
+        branch_bad = FidelityReport(0.0, 0.0, 0.1, 0).score
+        assert mix_bad < cache_bad < branch_bad
+
+
+class TestValidateClone:
+    def test_reasonable_clone_scores_well(self, profile_and_trace):
+        profile, trace = profile_and_trace
+        clone = synthesize(profile, target_instructions=15_000)
+        report = validate_clone(profile, clone, original_trace=trace)
+        assert report.score > 0.6, report
+        assert report.instructions > 1000
+
+    def test_report_axes_bounded(self, profile_and_trace):
+        profile, trace = profile_and_trace
+        clone = synthesize(profile, target_instructions=15_000)
+        report = validate_clone(profile, clone, original_trace=trace)
+        assert 0.0 <= report.mix_distance <= 1.0
+        assert 0.0 <= report.cache_distance <= 1.0
+        assert 0.0 <= report.branch_distance <= 1.0
+
+
+class TestSynthesizeValidated:
+    def test_returns_acceptable_or_best(self, profile_and_trace):
+        profile, trace = profile_and_trace
+        clone, report = synthesize_validated(
+            profile,
+            threshold=0.6,
+            initial_target=4_000,
+            max_target=32_000,
+            original_trace=trace,
+        )
+        assert clone.source
+        assert report.score > 0.4
+
+    def test_low_threshold_stops_at_first_size(self, profile_and_trace):
+        profile, trace = profile_and_trace
+        clone, report = synthesize_validated(
+            profile,
+            threshold=0.0,
+            initial_target=4_000,
+            original_trace=trace,
+        )
+        # threshold 0 accepts immediately: the smallest target is used.
+        assert report.instructions < 20_000

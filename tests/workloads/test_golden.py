@@ -1,0 +1,86 @@
+"""Golden tests: every workload's simulated output equals its
+independently-computed Python reference (small inputs, -O0 and -O2)."""
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.sim.functional import run_binary
+from repro.workloads import WORKLOADS, all_pairs, workload_names
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_small_input_matches_reference_o0(name):
+    workload = WORKLOADS[name]
+    source = workload.source_for("small")
+    expected = workload.expected_output("small")
+    trace = run_binary(compile_program(source, "x86", 0).binary)
+    assert trace.output == expected
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_small_input_matches_reference_o2_x86_64(name):
+    workload = WORKLOADS[name]
+    source = workload.source_for("small")
+    expected = workload.expected_output("small")
+    trace = run_binary(compile_program(source, "x86_64", 2).binary)
+    assert trace.output == expected
+
+
+@pytest.mark.parametrize("name", workload_names())
+def test_small_input_matches_reference_o3_ia64(name):
+    workload = WORKLOADS[name]
+    source = workload.source_for("small")
+    expected = workload.expected_output("small")
+    trace = run_binary(compile_program(source, "ia64", 3).binary)
+    assert trace.output == expected
+
+
+class TestSuiteShape:
+    def test_thirteen_workloads(self):
+        assert len(workload_names()) == 13
+
+    def test_mibench_names_present(self):
+        expected = {
+            "adpcm", "basicmath", "bitcount", "crc32", "dijkstra", "fft",
+            "gsm", "jpeg", "patricia", "qsort", "sha", "stringsearch",
+            "susan",
+        }
+        assert set(workload_names()) == expected
+
+    def test_all_pairs_has_small_and_large(self):
+        pairs = all_pairs()
+        assert len(pairs) == 26
+        assert ("sha", "large") in pairs
+
+    def test_large_bigger_than_small(self):
+        for name in ("crc32", "sha", "qsort"):
+            workload = WORKLOADS[name]
+            small = run_binary(
+                compile_program(workload.source_for("small"), "x86", 0).binary
+            )
+            large = run_binary(
+                compile_program(workload.source_for("large"), "x86", 0).binary
+            )
+            assert large.instructions > 2 * small.instructions
+
+    def test_unknown_input_rejected(self):
+        with pytest.raises(KeyError):
+            WORKLOADS["sha"].source_for("gigantic")
+
+    def test_fft_is_float_heavy(self):
+        trace = run_binary(
+            compile_program(WORKLOADS["fft"].source_for("small"), "x86", 0).binary
+        )
+        mix = trace.instruction_mix().by_klass
+        float_ops = (
+            mix.get("falu", 0) + mix.get("fmul", 0)
+            + mix.get("fdiv", 0) + mix.get("fmath", 0)
+        )
+        assert float_ops / trace.instructions > 0.10
+
+    def test_sha_is_alu_heavy(self):
+        trace = run_binary(
+            compile_program(WORKLOADS["sha"].source_for("small"), "x86", 0).binary
+        )
+        mix = trace.instruction_mix().by_klass
+        assert mix.get("ialu", 0) / trace.instructions > 0.3
