@@ -3,24 +3,40 @@
 Each benchmark regenerates one of the paper's tables/figures end to end
 (compile originals, profile, synthesize clones, compile and measure both
 sides) and asserts the paper's qualitative findings.  A session-scoped
-:class:`ExperimentRunner` memoizes compilations and traces so later
-figures reuse the earlier ones' work, exactly like the paper's one-pass
-profiling methodology.
+:class:`ExperimentRunner` delegates to the engine, whose in-process memo
+and persistent artifact store let later figures reuse earlier figures'
+work, exactly like the paper's one-pass profiling methodology.
+
+Every timed run records the engine's cache hit/miss/put deltas in
+``benchmark.extra_info`` (so ``--benchmark-json`` output — the
+``BENCH_*.json`` baselines — can attribute speedups to caching vs
+compute), and the terminal summary prints the session totals.
 
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
-regenerated tables.
+regenerated tables.  Set ``REPRO_CACHE_DIR`` to relocate the store, or
+``REPRO_BENCH_NO_CACHE=1`` to benchmark pure compute.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
+from repro.engine.api import Engine
 from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS
+
+_SESSION_RUNNER: ExperimentRunner | None = None
 
 
 @pytest.fixture(scope="session")
 def runner() -> ExperimentRunner:
-    return ExperimentRunner()
+    global _SESSION_RUNNER
+    use_cache = not os.environ.get("REPRO_BENCH_NO_CACHE")
+    _SESSION_RUNNER = ExperimentRunner(
+        engine=Engine(use_cache=use_cache),
+    )
+    return _SESSION_RUNNER
 
 
 @pytest.fixture(scope="session")
@@ -28,7 +44,38 @@ def pairs():
     return QUICK_PAIRS
 
 
+def _stats_snapshot() -> dict:
+    if _SESSION_RUNNER is None:
+        return {}
+    return dict(_SESSION_RUNNER.cache_stats.as_dict())
+
+
 def run_once(benchmark, func, *args, **kwargs):
-    """Run *func* exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
-                              iterations=1)
+    """Run *func* exactly once under pytest-benchmark timing.
+
+    Cache-counter deltas for the timed call land in
+    ``benchmark.extra_info["cache"]``.
+    """
+    before = _stats_snapshot()
+    result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
+                                iterations=1)
+    after = _stats_snapshot()
+    if after:
+        benchmark.extra_info["cache"] = {
+            counter: after[counter] - before.get(counter, 0)
+            for counter in after
+        }
+    return result
+
+
+def pytest_terminal_summary(terminalreporter):
+    if _SESSION_RUNNER is None:
+        return
+    stats = _SESSION_RUNNER.cache_stats
+    store = _SESSION_RUNNER.engine.store
+    root = store.root if store is not None else "(disabled)"
+    terminalreporter.write_line(
+        f"repro.engine cache [{root}]: {stats.hits} hits, "
+        f"{stats.misses} misses, {stats.puts} puts, "
+        f"{stats.evictions} evictions"
+    )

@@ -18,6 +18,7 @@ Quickstart::
 """
 
 from repro.cc.driver import CompileResult, compile_program
+from repro.engine import ArtifactStore, Engine, StoreStats
 from repro.obfuscation.report import SimilarityReport, compare_sources
 from repro.profiling.profile import (
     StatisticalProfile,
@@ -38,12 +39,15 @@ from repro.workloads import WORKLOADS, all_pairs, workload_names
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArtifactStore",
     "CompileResult",
+    "Engine",
     "ExecutionTrace",
     "MACHINES",
     "Machine",
     "SimTrap",
     "SimilarityReport",
+    "StoreStats",
     "Simulator",
     "StatisticalProfile",
     "SyntheticBenchmark",

@@ -1,0 +1,43 @@
+"""repro.engine — parallel experiment engine with a persistent store.
+
+Three pieces:
+
+* :mod:`repro.engine.store` — content-addressed on-disk artifact cache
+  (``~/.cache/repro`` by default, ``REPRO_CACHE_DIR`` to relocate,
+  ``repro-cache`` CLI to inspect/clear);
+* :mod:`repro.engine.tasks` / :mod:`repro.engine.scheduler` — the
+  paper's pipeline as a DAG of pure stages plus a topological scheduler
+  that fans independent nodes over a multiprocessing pool;
+* :mod:`repro.engine.api` — the :class:`Engine` facade that
+  ``ExperimentRunner`` and the report/benchmark harnesses delegate to.
+"""
+
+from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.engine.scheduler import GraphError, run_graph, topological_order
+from repro.engine.store import (
+    CACHE_DIR_ENV,
+    SCHEMA_VERSION,
+    ArtifactStore,
+    StoreStats,
+    canonical_key,
+    default_cache_root,
+    source_fingerprint,
+)
+from repro.engine.tasks import Task, build_pipeline_graph
+
+__all__ = [
+    "ArtifactStore",
+    "CACHE_DIR_ENV",
+    "DEFAULT_TARGET_INSTRUCTIONS",
+    "Engine",
+    "GraphError",
+    "SCHEMA_VERSION",
+    "StoreStats",
+    "Task",
+    "build_pipeline_graph",
+    "canonical_key",
+    "default_cache_root",
+    "run_graph",
+    "source_fingerprint",
+    "topological_order",
+]

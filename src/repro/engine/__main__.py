@@ -1,0 +1,5 @@
+"""``python -m repro.engine`` — the ``repro-cache`` CLI without install."""
+
+from repro.engine.store import main
+
+raise SystemExit(main())

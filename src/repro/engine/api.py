@@ -1,0 +1,193 @@
+"""`Engine` — the facade the experiment layer runs on.
+
+Combines three layers of reuse:
+
+* an in-process memo (same-object returns within one Engine, like the
+  old ``ExperimentRunner`` dicts);
+* the persistent content-addressed :class:`ArtifactStore` (results
+  survive across processes and invocations);
+* the DAG scheduler (:meth:`warm` fans the whole experiment grid out
+  over a worker pool before the figures read anything).
+
+``ExperimentRunner`` delegates every pipeline step here, so all figure
+modules, the report generator, and the benchmark harness get caching
+and parallelism without code changes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.engine import tasks as _tasks
+from repro.engine.scheduler import run_graph
+from repro.engine.store import ArtifactStore, StoreStats
+from repro.engine.tasks import (
+    DEFAULT_TARGET_INSTRUCTIONS,
+    REF_ISA,
+    REF_OPT,
+    Task,
+    build_pipeline_graph,
+    key_fields,
+    run_stage,
+)
+
+_MISS = object()
+
+
+class Engine:
+    """Cached, parallel executor for the paper's experiment pipeline."""
+
+    def __init__(
+        self,
+        target_instructions: int = DEFAULT_TARGET_INSTRUCTIONS,
+        workers: int = 1,
+        store: ArtifactStore | None = None,
+        use_cache: bool = True,
+        cache_dir=None,
+    ) -> None:
+        self.target_instructions = target_instructions
+        self.workers = max(1, workers)
+        if store is not None:
+            self.store = store
+        elif use_cache:
+            self.store = ArtifactStore(root=cache_dir)
+        else:
+            self.store = None
+        self._memo: dict[str, Any] = {}
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def stats(self) -> StoreStats:
+        """Store counters (zeros when caching is disabled)."""
+        return self.store.stats if self.store is not None else StoreStats()
+
+    def _probe(self, task: Task):
+        """Resolve *task* without computing (memo → store) or ``_MISS``."""
+        if task.id in self._memo:
+            return self._memo[task.id]
+        if self.store is not None:
+            key = self.store.key_for(task.stage, **key_fields(task))
+            cached = self.store.get(key, _MISS)
+            if cached is not _MISS:
+                self._memo[task.id] = cached
+            return cached
+        return _MISS
+
+    def _materialize(self, task: Task, probed_miss: bool = False) -> Any:
+        """Memo → store → compute-inline resolution for one node.
+
+        Mirrors the cache discipline of the scheduler's inline path
+        (``scheduler._run_inline``); both must agree on key recipe and
+        hit/miss accounting.  *probed_miss* skips the store lookup when
+        the caller already observed (and counted) the miss.
+        """
+        if task.id in self._memo:
+            return self._memo[task.id]
+        if not probed_miss:
+            value = self._probe(task)
+            if value is not _MISS:
+                return value
+        deps = {dep: self._memo[dep] for dep in task.deps} if task.deps \
+            else {}
+        value = run_stage(task, deps)
+        if self.store is not None:
+            self.store.put(self.store.key_for(task.stage, **key_fields(task)),
+                           value)
+        self._memo[task.id] = value
+        return value
+
+    def _chain(self, *chain: Task) -> Any:
+        """Materialize a linear dependency chain, deepest-cached first.
+
+        Keys are computable before execution (see tasks.key_fields), so
+        probing walks backward from the terminal: a cached terminal
+        costs one load, and any cached intermediate cuts off everything
+        upstream of it — nothing is recompiled just to feed a stage the
+        store can already serve.
+        """
+        probed_missed: set[str] = set()
+        start = 0
+        for i in range(len(chain) - 1, -1, -1):
+            value = self._probe(chain[i])
+            if value is not _MISS:
+                if i == len(chain) - 1:
+                    return value
+                start = i + 1
+                break
+            probed_missed.add(chain[i].id)
+        for task in chain[start:]:
+            self._materialize(task, probed_miss=task.id in probed_missed)
+        return self._memo[chain[-1].id]
+
+    # -- pipeline steps (the old ExperimentRunner surface) -----------------
+
+    def source(self, workload: str, input_name: str) -> str:
+        key = f"source:{workload}/{input_name}"
+        if key not in self._memo:
+            from repro.workloads import WORKLOADS
+
+            self._memo[key] = WORKLOADS[workload].source_for(input_name)
+        return self._memo[key]
+
+    def original_trace(self, workload: str, input_name: str,
+                       isa: str = REF_ISA, opt_level: int = REF_OPT):
+        return self._chain(
+            _tasks.compile_task(workload, input_name, isa, opt_level),
+            _tasks.run_task(workload, input_name, isa, opt_level),
+        )
+
+    def _reference_chain(self, workload: str, input_name: str) -> list[Task]:
+        return [
+            _tasks.compile_task(workload, input_name, REF_ISA, REF_OPT),
+            _tasks.run_task(workload, input_name, REF_ISA, REF_OPT),
+            _tasks.profile_task(workload, input_name),
+        ]
+
+    def profile(self, workload: str, input_name: str):
+        return self._chain(*self._reference_chain(workload, input_name))
+
+    def clone(self, workload: str, input_name: str):
+        return self._chain(
+            *self._reference_chain(workload, input_name),
+            _tasks.synthesize_task(workload, input_name,
+                                   self.target_instructions),
+        )
+
+    def synthetic_trace(self, workload: str, input_name: str,
+                        isa: str = REF_ISA, opt_level: int = REF_OPT):
+        return self._chain(
+            *self._reference_chain(workload, input_name),
+            _tasks.synthesize_task(workload, input_name,
+                                   self.target_instructions),
+            _tasks.compile_clone_task(workload, input_name, isa, opt_level,
+                                      self.target_instructions),
+            _tasks.run_clone_task(workload, input_name, isa, opt_level,
+                                  self.target_instructions),
+        )
+
+    # -- bulk execution ----------------------------------------------------
+
+    def warm(
+        self,
+        pairs: Iterable[tuple[str, str]],
+        coords: Iterable[tuple[str, int]] = ((REF_ISA, REF_OPT),),
+        workers: int | None = None,
+    ) -> int:
+        """Materialize the full pipeline grid for *pairs* × *coords*.
+
+        Independent nodes fan out over ``workers`` processes (default:
+        the engine's configured worker count); every result lands in the
+        memo and, when enabled, the persistent store.  Returns the
+        number of graph nodes.
+        """
+        graph = build_pipeline_graph(
+            tuple(pairs), tuple(coords),
+            target_instructions=self.target_instructions,
+        )
+        if any(task_id not in self._memo for task_id in graph):
+            results = run_graph(graph, workers=workers or self.workers,
+                                store=self.store, preloaded=self._memo)
+            for task_id, value in results.items():
+                self._memo.setdefault(task_id, value)
+        return len(graph)

@@ -1,0 +1,181 @@
+"""Topological DAG scheduler with optional multiprocessing fan-out.
+
+:func:`run_graph` executes a ``{task_id: Task}`` graph in dependency
+order.  With ``workers=1`` everything runs inline in deterministic
+(Kahn + sorted-ready) order.  With ``workers>1`` independent ready
+nodes are fanned out over a process pool; dependency results are
+shipped to workers by pickle and each worker writes what it computes
+into the shared on-disk store, so artifacts persist no matter which
+process produced them.
+
+Cache discipline: the parent consults the store once per node before
+dispatch (a hit skips execution entirely and counts toward
+``store.stats.hits``; a miss counts toward ``misses``), so a warm run
+reports zero misses and performs zero compiles/runs.  Workers use their
+own store handle only to persist results, keeping the parent's counters
+an accurate account of the whole run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any
+
+from repro.engine.store import ArtifactStore, toolchain_fingerprint
+from repro.engine.tasks import Task, key_fields, run_stage
+
+_MISS = object()
+
+
+class GraphError(ValueError):
+    """Raised for cyclic graphs or dangling dependency references."""
+
+
+def topological_order(graph: dict[str, Task]) -> list[Task]:
+    """Deterministic topological order (Kahn's algorithm, sorted ties)."""
+    indegree: dict[str, int] = {}
+    dependents: dict[str, list[str]] = {task_id: [] for task_id in graph}
+    for task in graph.values():
+        count = 0
+        for dep in task.deps:
+            if dep not in graph:
+                raise GraphError(f"{task.id} depends on unknown task {dep!r}")
+            dependents[dep].append(task.id)
+            count += 1
+        indegree[task.id] = count
+
+    ready = sorted(task_id for task_id, deg in indegree.items() if deg == 0)
+    order: list[Task] = []
+    while ready:
+        task_id = ready.pop(0)
+        order.append(graph[task_id])
+        newly_ready = []
+        for child in dependents[task_id]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                newly_ready.append(child)
+        if newly_ready:
+            ready = sorted(ready + newly_ready)
+    if len(order) != len(graph):
+        unreached = sorted(set(graph) - {task.id for task in order})
+        raise GraphError(f"dependency cycle involving: {', '.join(unreached)}")
+    return order
+
+
+def _lookup(store: ArtifactStore | None, task: Task, keyer):
+    if store is None:
+        return None, _MISS
+    key = store.key_for(task.stage, **keyer(task))
+    return key, store.get(key, _MISS)
+
+
+def _worker_execute(task: Task, deps: dict[str, Any], store_spec,
+                    runner, keyer):
+    """Run one task in a pool worker, persisting the result if possible."""
+    value = runner(task, deps)
+    if store_spec is not None:
+        root, schema_version, toolchain = store_spec
+        store = ArtifactStore(root=root, schema_version=schema_version,
+                              toolchain=toolchain)
+        store.put(store.key_for(task.stage, **keyer(task)), value)
+    return value
+
+
+def _run_inline(order: list[Task], store: ArtifactStore | None,
+                results: dict[str, Any], runner, keyer) -> dict[str, Any]:
+    for task in order:
+        if task.id in results:
+            continue
+        key, cached = _lookup(store, task, keyer)
+        if cached is not _MISS:
+            results[task.id] = cached
+            continue
+        deps = {dep: results[dep] for dep in task.deps}
+        value = runner(task, deps)
+        if store is not None:
+            store.put(key, value)
+        results[task.id] = value
+    return results
+
+
+def run_graph(
+    graph: dict[str, Task],
+    workers: int = 1,
+    store: ArtifactStore | None = None,
+    preloaded: dict[str, Any] | None = None,
+    runner=run_stage,
+    keyer=key_fields,
+) -> dict[str, Any]:
+    """Execute *graph*; returns ``{task_id: result}`` for every node.
+
+    Nodes whose ids appear in *preloaded* are taken as already resolved
+    (no store lookup, no execution) — the engine seeds these from its
+    in-process memo.  *runner* and *keyer* default to the experiment
+    pipeline's stage executor and content-address recipe; tests (or
+    future non-pipeline graphs) may substitute any picklable pair.
+    """
+    order = topological_order(graph)
+    results: dict[str, Any] = {
+        task_id: value for task_id, value in (preloaded or {}).items()
+        if task_id in graph
+    }
+    if workers <= 1 or len(graph) <= 1:
+        return _run_inline(order, store, results, runner, keyer)
+
+    indegree = {task.id: len(task.deps) for task in graph.values()}
+    dependents: dict[str, list[str]] = {task_id: [] for task_id in graph}
+    for task in graph.values():
+        for dep in task.deps:
+            dependents[dep].append(task.id)
+
+    def resolve(task_id: str, value: Any, ready: list[str]) -> None:
+        results[task_id] = value
+        for child in dependents[task_id]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                ready.append(child)
+
+    ready = sorted(task_id for task_id, deg in indegree.items() if deg == 0)
+    futures: dict = {}
+    ctx = multiprocessing.get_context()
+    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
+        while ready or futures:
+            # Drain the ready list: preloaded nodes and cache hits
+            # resolve immediately (and may ready further nodes), misses
+            # go to the pool.
+            while ready:
+                task_id = ready.pop(0)
+                task = graph[task_id]
+                if task_id in results:
+                    resolve(task_id, results[task_id], ready)
+                    ready.sort()
+                    continue
+                _, cached = _lookup(store, task, keyer)
+                if cached is not _MISS:
+                    resolve(task_id, cached, ready)
+                    ready.sort()
+                    continue
+                deps = {dep: results[dep] for dep in task.deps}
+                # Resolve the toolchain digest here so workers don't
+                # each re-hash the whole package (and can't diverge if
+                # a source file changes mid-run).
+                store_spec = None if store is None else (
+                    store.root, store.schema_version,
+                    store.toolchain or toolchain_fingerprint())
+                future = pool.submit(_worker_execute, task, deps, store_spec,
+                                     runner, keyer)
+                futures[future] = task_id
+            if not futures:
+                break
+            done, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in done:
+                task_id = futures.pop(future)
+                value = future.result()
+                if store is not None:
+                    # The worker performed the actual write; account for
+                    # it here so the parent's counters cover the run.
+                    store.stats.puts += 1
+                resolve(task_id, value, ready)
+            ready.sort()
+    return results

@@ -1,0 +1,298 @@
+"""Content-addressed on-disk artifact store.
+
+Every pipeline artifact (compile results, execution traces, statistical
+profiles, synthesized clones) is keyed by the SHA-256 of a canonical
+JSON record: the source fingerprint, ISA, optimization level, pipeline
+stage, stage-specific parameters, and the engine schema version.  Equal
+inputs therefore map to the same on-disk entry across processes and
+across runs, which is what makes warm-cache report generation skip every
+compile/run/profile/synthesize step.
+
+Layout: ``<root>/objects/<key[:2]>/<key>.pkl`` with atomic writes
+(temp file + ``os.replace``), so concurrent writers — the scheduler's
+worker processes — can race on the same key safely: last write wins and
+both wrote identical bytes.
+
+The root directory resolves, in order: explicit ``root=`` argument, the
+``REPRO_CACHE_DIR`` environment variable, ``$XDG_CACHE_HOME/repro``,
+``~/.cache/repro``.
+
+``repro-cache`` (console script, also ``python -m repro.engine.store``)
+exposes ``info`` / ``clear`` / ``evict`` against that same resolution.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Bump whenever the pickled artifact layout or the key recipe changes;
+#: old entries then become unreachable instead of silently wrong.
+SCHEMA_VERSION = 1
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_MISS = object()
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro"
+
+
+def source_fingerprint(source: str) -> str:
+    """SHA-256 of a source text, the ``source_sha`` field of every key."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+_TOOLCHAIN_FINGERPRINT: str | None = None
+
+
+def toolchain_fingerprint() -> str:
+    """SHA-256 over the ``repro`` package sources (computed once).
+
+    Folded into every key so artifacts produced by one version of the
+    compiler/simulator/synthesizer never satisfy lookups from another —
+    the same reason ccache hashes the compiler binary.
+    """
+    global _TOOLCHAIN_FINGERPRINT
+    if _TOOLCHAIN_FINGERPRINT is None:
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(path.read_bytes())
+        _TOOLCHAIN_FINGERPRINT = digest.hexdigest()
+    return _TOOLCHAIN_FINGERPRINT
+
+
+def canonical_key(fields: dict) -> str:
+    """SHA-256 of the canonical JSON encoding of *fields*.
+
+    Field order never matters (keys are sorted) and only JSON-stable
+    types should appear in *fields*; anything else is stringified, which
+    keeps the recipe total but places the burden of stability on callers.
+    """
+    payload = json.dumps(fields, sort_keys=True, separators=(",", ":"),
+                         default=str)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/write/eviction counters for one store handle."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+
+    def merge(self, other: "StoreStats") -> None:
+        self.hits += other.hits
+        self.misses += other.misses
+        self.puts += other.puts
+        self.evictions += other.evictions
+
+    def reset(self) -> None:
+        self.hits = self.misses = self.puts = self.evictions = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }
+
+
+@dataclass
+class ArtifactStore:
+    """Persistent pickle store addressed by canonical content keys."""
+
+    root: Path | str | None = None
+    schema_version: int = SCHEMA_VERSION
+    toolchain: str | None = None
+    stats: StoreStats = field(default_factory=StoreStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).expanduser() if self.root else \
+            default_cache_root()
+
+    # -- keys --------------------------------------------------------------
+
+    def key_for(self, stage: str, **fields) -> str:
+        """Canonical key for *stage* under this store's schema version
+        and toolchain fingerprint (default: the live ``repro`` package).
+        """
+        record = {
+            "schema": self.schema_version,
+            "stage": stage,
+            "toolchain": self.toolchain or toolchain_fingerprint(),
+        }
+        record.update(fields)
+        return canonical_key(record)
+
+    def path_for(self, key: str) -> Path:
+        return Path(self.root) / "objects" / key[:2] / f"{key}.pkl"
+
+    # -- access ------------------------------------------------------------
+
+    def get(self, key: str, default=None):
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return default
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError):
+            # A truncated or stale entry is a miss; drop it so the slot
+            # gets rewritten rather than failing every future lookup.
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return default
+        try:
+            # Freshen mtime so evict()'s LRU order reflects reads, not
+            # just writes.
+            os.utime(path)
+        except OSError:
+            pass
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value) -> Path:
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.puts += 1
+        return path
+
+    def contains(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def delete(self, key: str) -> bool:
+        path = self.path_for(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    # -- maintenance ---------------------------------------------------------
+
+    def entries(self):
+        """Yield ``(path, size_bytes, mtime)`` for every stored object."""
+        objects = Path(self.root) / "objects"
+        if not objects.is_dir():
+            return
+        for path in sorted(objects.glob("*/*.pkl")):
+            try:
+                stat = path.stat()
+            except FileNotFoundError:  # racing eviction
+                continue
+            yield path, stat.st_size, stat.st_mtime
+
+    def info(self) -> dict:
+        count = 0
+        total = 0
+        for _, size, _ in self.entries():
+            count += 1
+            total += size
+        return {
+            "root": str(self.root),
+            "schema_version": self.schema_version,
+            "entries": count,
+            "total_bytes": total,
+            "stats": self.stats.as_dict(),
+        }
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for path, _, _ in list(self.entries()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        self.stats.evictions += removed
+        return removed
+
+    def evict(self, max_bytes: int | None = None,
+              max_entries: int | None = None) -> int:
+        """LRU-evict (oldest mtime first) until both limits hold."""
+        entries = sorted(self.entries(), key=lambda item: item[2])
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        removed = 0
+        for path, size, _ in entries:
+            over_bytes = max_bytes is not None and total > max_bytes
+            over_entries = max_entries is not None and count > max_entries
+            if not (over_bytes or over_entries):
+                break
+            path.unlink(missing_ok=True)
+            total -= size
+            count -= 1
+            removed += 1
+        self.stats.evictions += removed
+        return removed
+
+
+def main(argv=None) -> int:
+    """``repro-cache`` — inspect and manage the artifact store."""
+    parser = argparse.ArgumentParser(
+        prog="repro-cache",
+        description="Inspect and manage the repro content-addressed "
+                    "artifact store.",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        help=f"store root (default: ${CACHE_DIR_ENV} or ~/.cache/repro)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("info", help="print store location, entry count, size")
+    sub.add_parser("clear", help="remove every cached artifact")
+    evict = sub.add_parser("evict", help="LRU-evict down to the given limits")
+    evict.add_argument("--max-bytes", type=int, default=None)
+    evict.add_argument("--max-entries", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    store = ArtifactStore(root=args.cache_dir)
+    if args.command == "info":
+        info = store.info()
+        print(f"root:           {info['root']}")
+        print(f"schema version: {info['schema_version']}")
+        print(f"entries:        {info['entries']}")
+        print(f"total bytes:    {info['total_bytes']}")
+    elif args.command == "clear":
+        print(f"removed {store.clear()} entries from {store.root}")
+    elif args.command == "evict":
+        if args.max_bytes is None and args.max_entries is None:
+            parser.error("evict requires --max-bytes and/or --max-entries")
+        removed = store.evict(max_bytes=args.max_bytes,
+                              max_entries=args.max_entries)
+        print(f"evicted {removed} entries from {store.root}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

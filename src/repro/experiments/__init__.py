@@ -7,6 +7,7 @@ compilations, traces and profiles so the figures reuse work.
 """
 
 from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS, FULL_PAIRS
+from repro.experiments.report import FIGURES, generate_report, warm_figures
 from repro.experiments.fig04_reduction import run_fig04
 from repro.experiments.fig05_optlevels import run_fig05
 from repro.experiments.fig06_instmix import run_fig06
@@ -19,8 +20,10 @@ from repro.experiments.ablation import run_ablation
 
 __all__ = [
     "ExperimentRunner",
+    "FIGURES",
     "FULL_PAIRS",
     "QUICK_PAIRS",
+    "generate_report",
     "run_ablation",
     "run_cache_figure",
     "run_fig04",
@@ -30,4 +33,5 @@ __all__ = [
     "run_fig10",
     "run_fig11",
     "run_obfuscation",
+    "warm_figures",
 ]

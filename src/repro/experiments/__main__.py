@@ -1,5 +1,95 @@
-"""Entry point: regenerate the full evaluation report on stdout."""
+"""``python -m repro.experiments`` — figure-selectable, parallel, cached.
 
-from repro.experiments.report import main
+Examples::
 
-main()
+    python -m repro.experiments                        # full report
+    python -m repro.experiments --figures fig04,fig07  # two sections
+    python -m repro.experiments --workers 4            # parallel warm-up
+    python -m repro.experiments --no-cache             # ignore the store
+    python -m repro.experiments --stats                # cache counters
+
+A first run populates the content-addressed artifact store (see
+``repro-cache info``); later runs replay from it and perform zero
+compiles/runs for unchanged inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.experiments.report import FIGURES, generate_report, resolve_figures
+from repro.experiments.runner import ExperimentRunner
+
+
+def _parse_figures(text: str | None) -> list[str] | None:
+    if not text or text == "all":
+        return None
+    return [name.strip() for name in text.split(",") if name.strip()]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's evaluation tables/figures.",
+    )
+    parser.add_argument(
+        "--figures", default="all",
+        help="comma-separated subset to regenerate "
+             f"(available: {', '.join(FIGURES)}; default: all)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="fan pipeline stages out over N processes (default: 1)",
+    )
+    parser.add_argument(
+        "--target-instructions", type=int,
+        default=DEFAULT_TARGET_INSTRUCTIONS,
+        help="synthetic clone size target (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store root (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="skip the persistent artifact store entirely",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="print cache hit/miss counters to stderr afterwards",
+    )
+    args = parser.parse_args(argv)
+
+    engine = Engine(
+        target_instructions=args.target_instructions,
+        workers=args.workers,
+        use_cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+    )
+    runner = ExperimentRunner(
+        target_instructions=args.target_instructions, engine=engine,
+    )
+    try:
+        # Validate the selection up front so only bad --figures input is
+        # reported as a usage error; KeyErrors from the pipeline itself
+        # must keep their tracebacks.
+        figures = resolve_figures(_parse_figures(args.figures))
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+    print(generate_report(runner, figures=figures, workers=args.workers))
+    if args.stats:
+        stats = engine.stats
+        print(
+            f"[repro.engine] cache: {stats.hits} hits, "
+            f"{stats.misses} misses, {stats.puts} puts, "
+            f"{stats.evictions} evictions",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -86,8 +86,10 @@ def run_fig11(
     pairs=QUICK_PAIRS,
     machines=MACHINES,
     levels=OPT_LEVELS,
-    target_instructions: int = 20_000,
+    target_instructions: int | None = None,
 ) -> Fig11Result:
+    if target_instructions is None:
+        target_instructions = runner.target_instructions
     result = Fig11Result()
     # Original side: suite-average runtime per (machine, level).
     org_times: dict[tuple[str, int], float] = {}

@@ -1,13 +1,20 @@
 """Full-evaluation report generator.
 
-``python -m repro.experiments`` regenerates every table and figure of
+``python -m repro.experiments`` regenerates the tables and figures of
 the paper's evaluation section and writes a markdown report (used to
 produce EXPERIMENTS.md).  Figure scope mirrors the benchmark harness.
+
+Each figure is registered in :data:`FIGURES` together with the
+(pairs, ISA, opt-level) grid it reads, so the engine can materialize the
+whole grid up front — in parallel when ``workers > 1``, and from the
+persistent artifact store on warm runs.
 """
 
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.experiments.ablation import run_ablation
 from repro.experiments.fig04_reduction import run_fig04
@@ -46,53 +53,135 @@ MACHINE_PAIRS = (
     ("stringsearch", "small"),
 )
 
+_X86 = "x86"
 
-def generate_report(runner: ExperimentRunner | None = None) -> str:
-    """Run the full evaluation; returns the markdown report text."""
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One report section: how to run it and what grid it reads."""
+
+    title: str
+    run: Callable[[ExperimentRunner], object]
+    pairs: tuple[tuple[str, str], ...]
+    #: (isa, opt_level) coordinates the figure measures both sides at —
+    #: what Engine.warm prefetches before the figure executes.
+    coords: tuple[tuple[str, int], ...]
+
+
+FIGURES: dict[str, FigureSpec] = {
+    "fig04": FigureSpec(
+        "Fig. 4 — dynamic instruction count reduction",
+        lambda r: run_fig04(r, QUICK_PAIRS),
+        QUICK_PAIRS, ((_X86, 0),),
+    ),
+    "fig05": FigureSpec(
+        "Fig. 5 — normalized instruction count across -O0..-O3",
+        lambda r: run_fig05(r, QUICK_PAIRS),
+        QUICK_PAIRS, tuple((_X86, level) for level in (0, 1, 2, 3)),
+    ),
+    "fig06": FigureSpec(
+        "Fig. 6 — instruction mix at -O0 and -O2",
+        lambda r: run_fig06(r, QUICK_PAIRS),
+        QUICK_PAIRS, ((_X86, 0), (_X86, 2)),
+    ),
+    "fig07": FigureSpec(
+        "Fig. 7 — D-cache hit rates at -O0",
+        lambda r: run_cache_figure(r, CACHE_PAIRS, opt_level=0),
+        CACHE_PAIRS, ((_X86, 0),),
+    ),
+    "fig08": FigureSpec(
+        "Fig. 8 — D-cache hit rates at -O2",
+        lambda r: run_cache_figure(r, QUICK_PAIRS, opt_level=2),
+        QUICK_PAIRS, ((_X86, 2),),
+    ),
+    "fig09": FigureSpec(
+        "Fig. 9 — hybrid branch predictor accuracy",
+        lambda r: run_fig09(r, QUICK_PAIRS),
+        QUICK_PAIRS, ((_X86, 0), (_X86, 2)),
+    ),
+    "fig10": FigureSpec(
+        "Fig. 10 — CPI on a 2-wide OoO core",
+        lambda r: run_fig10(r, CPI_PAIRS),
+        CPI_PAIRS, ((_X86, 0),),
+    ),
+    "fig11": FigureSpec(
+        "Fig. 11 — normalized time across machines/compilers",
+        lambda r: run_fig11(r, MACHINE_PAIRS),
+        # fig11 drives its own per-machine compiles; through the runner
+        # it only needs the reference profiles.
+        MACHINE_PAIRS, ((_X86, 0),),
+    ),
+    "obfuscation": FigureSpec(
+        "Obfuscation (§V-E) — Moss/JPlag similarity",
+        lambda r: run_obfuscation(r, QUICK_PAIRS),
+        QUICK_PAIRS, ((_X86, 0),),
+    ),
+    "ablation": FigureSpec(
+        "Ablation — SFGL vs linear-sequence baseline",
+        lambda r: run_ablation(r, QUICK_PAIRS),
+        QUICK_PAIRS, ((_X86, 0),),
+    ),
+}
+
+#: Report order (dict order is insertion order, but be explicit).
+DEFAULT_FIGURES = tuple(FIGURES)
+
+
+def resolve_figures(names) -> tuple[str, ...]:
+    """Validate and order a figure-name selection (None → everything)."""
+    if not names:
+        return DEFAULT_FIGURES
+    unknown = sorted(set(names) - set(FIGURES))
+    if unknown:
+        raise KeyError(
+            f"unknown figures: {', '.join(unknown)} "
+            f"(available: {', '.join(FIGURES)})"
+        )
+    return tuple(name for name in DEFAULT_FIGURES if name in set(names))
+
+
+def warm_figures(runner: ExperimentRunner, figures=None,
+                 workers: int | None = None) -> int:
+    """Prefetch every (pair, ISA, opt) the selected figures will read.
+
+    Grouped per pairs-set so one DAG covers all coordinates that share
+    the reference chain; returns the total number of graph nodes.
+    """
+    demands: dict[tuple, set] = {}
+    for name in resolve_figures(figures):
+        spec = FIGURES[name]
+        demands.setdefault(spec.pairs, set()).update(spec.coords)
+    nodes = 0
+    for pairs, coords in demands.items():
+        nodes += runner.warm(pairs, sorted(coords), workers=workers)
+    return nodes
+
+
+def generate_report(
+    runner: ExperimentRunner | None = None,
+    figures=None,
+    workers: int | None = None,
+) -> str:
+    """Run the selected figures (default: all); returns markdown text."""
     runner = runner or ExperimentRunner()
+    selection = resolve_figures(figures)
     sections: list[str] = []
 
-    def section(title: str, body: str) -> None:
-        sections.append(f"## {title}\n\n```\n{body}\n```\n")
-
     start = time.time()
-    fig04 = run_fig04(runner, QUICK_PAIRS)
-    section("Fig. 4 — dynamic instruction count reduction",
-            fig04.format_table())
-    fig05 = run_fig05(runner, QUICK_PAIRS)
-    section("Fig. 5 — normalized instruction count across -O0..-O3",
-            fig05.format_table())
-    fig06 = run_fig06(runner, QUICK_PAIRS)
-    section("Fig. 6 — instruction mix at -O0 and -O2", fig06.format_table())
-    fig07 = run_cache_figure(runner, CACHE_PAIRS, opt_level=0)
-    section("Fig. 7 — D-cache hit rates at -O0", fig07.format_table())
-    fig08 = run_cache_figure(runner, QUICK_PAIRS, opt_level=2)
-    section("Fig. 8 — D-cache hit rates at -O2", fig08.format_table())
-    fig09 = run_fig09(runner, QUICK_PAIRS)
-    section("Fig. 9 — hybrid branch predictor accuracy", fig09.format_table())
-    fig10 = run_fig10(runner, CPI_PAIRS)
-    section("Fig. 10 — CPI on a 2-wide OoO core", fig10.format_table())
-    fig11 = run_fig11(runner, MACHINE_PAIRS)
-    section("Fig. 11 — normalized time across machines/compilers",
-            fig11.format_table())
-    obf = run_obfuscation(runner, QUICK_PAIRS)
-    section("Obfuscation (§V-E) — Moss/JPlag similarity", obf.format_table())
-    ablation = run_ablation(runner, QUICK_PAIRS)
-    section("Ablation — SFGL vs linear-sequence baseline",
-            ablation.format_table())
+    warm_figures(runner, selection, workers=workers)
+    for name in selection:
+        spec = FIGURES[name]
+        result = spec.run(runner)
+        sections.append(f"## {spec.title}\n\n```\n{result.format_table()}\n```\n")
     elapsed = time.time() - start
 
+    scope = "full evaluation" if selection == DEFAULT_FIGURES else \
+        f"figures: {', '.join(selection)}"
+    stats = runner.cache_stats
     header = (
         "# EXPERIMENTS — paper vs. measured\n\n"
         "Regenerated with `python -m repro.experiments` "
-        f"(full evaluation, {elapsed:.0f}s wall clock).\n"
+        f"({scope}, {elapsed:.0f}s wall clock; "
+        f"artifact cache: {stats.hits} hits / {stats.misses} misses).\n"
     )
     return header + "\n" + "\n".join(sections)
-
-
-def main() -> None:  # pragma: no cover - exercised via __main__
-    print(generate_report())
-
-
-if __name__ == "__main__":  # pragma: no cover
-    main()

@@ -1,24 +1,29 @@
-"""Shared experiment pipeline with memoization.
+"""Shared experiment pipeline, backed by :class:`repro.engine.Engine`.
 
 The pipeline mirrors the paper's flow (Fig. 1): compile the original at
 -O0 on the reference ISA, profile it, synthesize the clone, then compile
 and measure both sides under whatever (ISA, optimization level) the
 figure calls for.
+
+Every step delegates to the engine, which layers an in-process memo
+(same-object returns, as the old per-runner dicts did) over a persistent
+content-addressed artifact store, and can fan a whole experiment grid
+out over a multiprocessing pool via :meth:`ExperimentRunner.warm`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.cc.driver import compile_program
-from repro.profiling.profile import StatisticalProfile, profile_trace
-from repro.sim.functional import run_binary
+from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.engine.store import StoreStats
+from repro.profiling.profile import StatisticalProfile
 from repro.sim.trace import ExecutionTrace
-from repro.synthesis.synthesizer import SyntheticBenchmark, synthesize
-from repro.workloads import WORKLOADS, all_pairs
+from repro.synthesis.synthesizer import SyntheticBenchmark
+from repro.workloads import all_pairs
 
 # Synthetic size target (see DESIGN.md §5: the paper's 10M scaled ~1e3).
-SYNTHETIC_TARGET = 20_000
+SYNTHETIC_TARGET = DEFAULT_TARGET_INSTRUCTIONS
 
 # Fast subset used by default in the pytest-benchmark harness.
 QUICK_PAIRS: tuple[tuple[str, str], ...] = (
@@ -37,60 +42,59 @@ FULL_PAIRS: tuple[tuple[str, str], ...] = tuple(all_pairs())
 
 @dataclass
 class ExperimentRunner:
-    """Memoized compile/run/profile/synthesize pipeline."""
+    """Cached compile/run/profile/synthesize pipeline (engine facade).
 
-    target_instructions: int = SYNTHETIC_TARGET
-    _sources: dict = field(default_factory=dict)
-    _traces: dict = field(default_factory=dict)
-    _profiles: dict = field(default_factory=dict)
-    _clones: dict = field(default_factory=dict)
+    ``engine=None`` builds a default engine: serial execution with the
+    persistent store at ``REPRO_CACHE_DIR`` / ``~/.cache/repro``.  Pass
+    ``Engine(workers=N)`` (or ``use_cache=False``) to change either.
+    """
+
+    target_instructions: int | None = None
+    engine: Engine | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.engine is None:
+            self.engine = Engine(
+                target_instructions=self.target_instructions
+                if self.target_instructions is not None else SYNTHETIC_TARGET
+            )
+        elif self.target_instructions is not None:
+            self.engine.target_instructions = self.target_instructions
+        # Present one number to callers: the engine's is authoritative.
+        self.target_instructions = self.engine.target_instructions
 
     # -- originals ---------------------------------------------------------
 
     def source(self, workload: str, input_name: str) -> str:
-        key = (workload, input_name)
-        if key not in self._sources:
-            self._sources[key] = WORKLOADS[workload].source_for(input_name)
-        return self._sources[key]
+        return self.engine.source(workload, input_name)
 
     def original_trace(
         self, workload: str, input_name: str, isa: str = "x86", opt_level: int = 0
     ) -> ExecutionTrace:
-        key = ("org", workload, input_name, isa, opt_level)
-        if key not in self._traces:
-            result = compile_program(self.source(workload, input_name), isa, opt_level)
-            self._traces[key] = run_binary(result.binary)
-        return self._traces[key]
+        return self.engine.original_trace(workload, input_name, isa, opt_level)
 
     # -- profiles & clones -------------------------------------------------
 
     def profile(self, workload: str, input_name: str) -> StatisticalProfile:
-        key = (workload, input_name)
-        if key not in self._profiles:
-            trace = self.original_trace(workload, input_name, "x86", 0)
-            self._profiles[key] = profile_trace(
-                trace.binary, trace, source_name=f"{workload}/{input_name}"
-            )
-        return self._profiles[key]
+        return self.engine.profile(workload, input_name)
 
     def clone(self, workload: str, input_name: str) -> SyntheticBenchmark:
-        key = (workload, input_name)
-        if key not in self._clones:
-            self._clones[key] = synthesize(
-                self.profile(workload, input_name),
-                target_instructions=self.target_instructions,
-            )
-        return self._clones[key]
+        return self.engine.clone(workload, input_name)
 
     def synthetic_trace(
         self, workload: str, input_name: str, isa: str = "x86", opt_level: int = 0
     ) -> ExecutionTrace:
-        key = ("syn", workload, input_name, isa, opt_level)
-        if key not in self._traces:
-            clone = self.clone(workload, input_name)
-            result = compile_program(clone.source, isa, opt_level)
-            self._traces[key] = run_binary(result.binary)
-        return self._traces[key]
+        return self.engine.synthetic_trace(workload, input_name, isa, opt_level)
+
+    # -- bulk / observability ----------------------------------------------
+
+    def warm(self, pairs, coords=(("x86", 0),), workers: int | None = None) -> int:
+        """Materialize the pipeline grid for *pairs* × *coords* up front."""
+        return self.engine.warm(pairs, coords, workers=workers)
+
+    @property
+    def cache_stats(self) -> StoreStats:
+        return self.engine.stats
 
 
 def format_table(headers: list[str], rows: list[list], title: str = "") -> str:

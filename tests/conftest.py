@@ -5,7 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.cc.driver import compile_program
+from repro.engine.store import CACHE_DIR_ENV
 from repro.sim.functional import run_binary
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_artifact_store(tmp_path_factory, monkeypatch):
+    """Point the engine's persistent store at a per-session tmp dir so
+    tests never read from or pollute the user's ~/.cache/repro."""
+    monkeypatch.setenv(
+        CACHE_DIR_ENV, str(tmp_path_factory.getbasetemp() / "repro-cache")
+    )
 
 FIB_SOURCE = r"""
 int fib(int n) {

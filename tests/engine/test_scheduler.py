@@ -1,0 +1,123 @@
+"""Scheduler: topological ordering, diamond DAGs, pool fan-out, caching."""
+
+import pytest
+
+from repro.engine.scheduler import GraphError, run_graph, topological_order
+from repro.engine.store import ArtifactStore
+from repro.engine.tasks import Task
+
+
+def _graph(*tasks: Task) -> dict[str, Task]:
+    return {task.id: task for task in tasks}
+
+
+# Module-level so the multiprocessing pool can pickle them by reference.
+def arith_runner(task: Task, deps: dict) -> int:
+    base = task.payload.get("value", 0)
+    return base + sum(deps.values())
+
+
+def arith_keyer(task: Task) -> dict:
+    return {"value": task.payload.get("value", 0), "deps": sorted(task.deps)}
+
+
+DIAMOND = _graph(
+    Task(id="top", stage="n", payload={"value": 1}),
+    Task(id="left", stage="n", payload={"value": 10}, deps=("top",)),
+    Task(id="right", stage="n", payload={"value": 100}, deps=("top",)),
+    Task(id="bottom", stage="n", payload={"value": 1000},
+         deps=("left", "right")),
+)
+
+
+class TestTopologicalOrder:
+    def test_diamond_ordering(self):
+        order = [task.id for task in topological_order(DIAMOND)]
+        assert order.index("top") < order.index("left")
+        assert order.index("top") < order.index("right")
+        assert order.index("left") < order.index("bottom")
+        assert order.index("right") < order.index("bottom")
+        # Sorted tie-breaking makes the order fully deterministic.
+        assert order == ["top", "left", "right", "bottom"]
+
+    def test_cycle_detected(self):
+        cyclic = _graph(
+            Task(id="a", stage="n", deps=("b",)),
+            Task(id="b", stage="n", deps=("a",)),
+        )
+        with pytest.raises(GraphError, match="cycle"):
+            topological_order(cyclic)
+
+    def test_unknown_dependency(self):
+        dangling = _graph(Task(id="a", stage="n", deps=("ghost",)))
+        with pytest.raises(GraphError, match="unknown task"):
+            topological_order(dangling)
+
+
+class TestInlineExecution:
+    def test_diamond_values(self):
+        results = run_graph(DIAMOND, workers=1, runner=arith_runner,
+                            keyer=arith_keyer)
+        assert results["top"] == 1
+        assert results["left"] == 11
+        assert results["right"] == 101
+        assert results["bottom"] == 1112
+
+    def test_preloaded_nodes_not_recomputed(self):
+        results = run_graph(DIAMOND, workers=1, runner=arith_runner,
+                            keyer=arith_keyer, preloaded={"top": 5})
+        assert results["top"] == 5
+        assert results["left"] == 15 and results["right"] == 105
+        assert results["bottom"] == 1000 + 15 + 105
+
+    def test_store_hit_skips_execution(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        first = run_graph(DIAMOND, workers=1, store=store,
+                          runner=arith_runner, keyer=arith_keyer)
+        assert store.stats.misses == 4 and store.stats.puts == 4
+        store.stats.reset()
+        second = run_graph(DIAMOND, workers=1, store=store,
+                           runner=arith_runner, keyer=arith_keyer)
+        assert second == first
+        assert store.stats.hits == 4 and store.stats.misses == 0
+
+
+class TestParallelExecution:
+    def test_diamond_matches_inline(self):
+        inline = run_graph(DIAMOND, workers=1, runner=arith_runner,
+                           keyer=arith_keyer)
+        pooled = run_graph(DIAMOND, workers=2, runner=arith_runner,
+                           keyer=arith_keyer)
+        assert pooled == inline
+
+    def test_workers_persist_to_store(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        run_graph(DIAMOND, workers=2, store=store, runner=arith_runner,
+                  keyer=arith_keyer)
+        assert store.stats.misses == 4 and store.stats.puts == 4
+        # A later serial run replays entirely from disk.
+        store.stats.reset()
+        replay = run_graph(DIAMOND, workers=1, store=store,
+                           runner=arith_runner, keyer=arith_keyer)
+        assert replay["bottom"] == 1112
+        assert store.stats.hits == 4 and store.stats.misses == 0
+
+    def test_wide_fanout(self):
+        tasks = [Task(id="root", stage="n", payload={"value": 1})]
+        for i in range(12):
+            tasks.append(Task(id=f"leaf{i:02d}", stage="n",
+                              payload={"value": i}, deps=("root",)))
+        graph = _graph(*tasks)
+        results = run_graph(graph, workers=3, runner=arith_runner,
+                            keyer=arith_keyer)
+        for i in range(12):
+            assert results[f"leaf{i:02d}"] == i + 1
+
+    def test_worker_exception_propagates(self):
+        graph = _graph(Task(id="a", stage="n"), Task(id="b", stage="n"))
+        with pytest.raises(RuntimeError, match="stage failed"):
+            run_graph(graph, workers=2, runner=_raise)
+
+
+def _raise(task, deps):
+    raise RuntimeError("stage failed")

@@ -1,0 +1,194 @@
+"""ArtifactStore: round-trips, key stability, invalidation, eviction."""
+
+import pickle
+import time
+
+import pytest
+
+from repro.engine.store import (
+    CACHE_DIR_ENV,
+    ArtifactStore,
+    canonical_key,
+    default_cache_root,
+    main,
+    source_fingerprint,
+)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ArtifactStore(root=tmp_path / "cache")
+
+
+class TestKeys:
+    def test_canonical_key_is_order_insensitive(self):
+        assert canonical_key({"a": 1, "b": "x"}) == \
+            canonical_key({"b": "x", "a": 1})
+
+    def test_canonical_key_is_stable(self):
+        # Pinned: changing this recipe must bump SCHEMA_VERSION instead.
+        assert canonical_key({"a": 1}) == (
+            "015abd7f5cc57a2dd94b7590f04ad8084273905ee33ec5cebeae62276a97f862"
+        )
+
+    def test_key_for_varies_with_every_field(self, store):
+        base = dict(source_sha=source_fingerprint("int main() {}"),
+                    isa="x86", opt_level=0)
+        key = store.key_for("compile", **base)
+        assert key != store.key_for("run", **base)
+        assert key != store.key_for(
+            "compile", **{**base, "source_sha": source_fingerprint("x")})
+        assert key != store.key_for("compile", **{**base, "isa": "ia64"})
+        assert key != store.key_for("compile", **{**base, "opt_level": 2})
+
+    def test_schema_version_invalidates(self, tmp_path):
+        v1 = ArtifactStore(root=tmp_path, schema_version=1)
+        v2 = ArtifactStore(root=tmp_path, schema_version=2)
+        fields = dict(source_sha="s", isa="x86", opt_level=0)
+        v1.put(v1.key_for("compile", **fields), "old")
+        assert v2.get(v2.key_for("compile", **fields)) is None
+        assert v2.stats.misses == 1
+
+    def test_toolchain_fingerprint_invalidates(self, tmp_path):
+        ours = ArtifactStore(root=tmp_path)
+        other = ArtifactStore(root=tmp_path, toolchain="f" * 64)
+        fields = dict(source_sha="s", isa="x86", opt_level=0)
+        ours.put(ours.key_for("compile", **fields), "artifact")
+        assert other.get(other.key_for("compile", **fields)) is None
+
+
+class TestRoundTrip:
+    def test_put_get(self, store):
+        key = store.key_for("compile", source_sha="abc", isa="x86",
+                            opt_level=1)
+        value = {"binary": list(range(100)), "nested": ("x", 1.5)}
+        store.put(key, value)
+        assert store.get(key) == value
+        assert store.contains(key)
+        assert store.stats.puts == 1 and store.stats.hits == 1
+
+    def test_get_missing_counts_miss(self, store):
+        assert store.get("0" * 64, default="fallback") == "fallback"
+        assert store.stats.misses == 1
+
+    def test_corrupt_entry_is_dropped(self, store):
+        key = store.key_for("run", source_sha="abc", isa="x86", opt_level=0)
+        store.put(key, [1, 2, 3])
+        store.path_for(key).write_bytes(b"\x80corrupt")
+        assert store.get(key) is None
+        assert not store.contains(key)
+
+    def test_put_is_atomic(self, store):
+        key = store.key_for("compile", source_sha="a", isa="x86", opt_level=0)
+        store.put(key, "v1")
+        store.put(key, "v2")
+        assert store.get(key) == "v2"
+        leftovers = list(store.path_for(key).parent.glob("*.tmp"))
+        assert leftovers == []
+
+    def test_delete(self, store):
+        key = store.key_for("compile", source_sha="a", isa="x86", opt_level=0)
+        store.put(key, 1)
+        assert store.delete(key)
+        assert not store.delete(key)
+
+
+class TestMaintenance:
+    def _fill(self, store, n):
+        keys = []
+        for i in range(n):
+            key = store.key_for("compile", source_sha=f"s{i}", isa="x86",
+                                opt_level=0)
+            store.put(key, b"x" * 100)
+            keys.append(key)
+        return keys
+
+    def test_info(self, store):
+        self._fill(store, 3)
+        info = store.info()
+        assert info["entries"] == 3
+        assert info["total_bytes"] > 0
+        assert info["root"] == str(store.root)
+
+    def test_clear(self, store):
+        self._fill(store, 4)
+        assert store.clear() == 4
+        assert store.info()["entries"] == 0
+        assert store.stats.evictions == 4
+
+    def test_evict_lru_by_entries(self, store):
+        keys = self._fill(store, 4)
+        # Make the first entry oldest deterministically.
+        import os
+        old = time.time() - 1000
+        os.utime(store.path_for(keys[0]), (old, old))
+        assert store.evict(max_entries=3) == 1
+        assert not store.contains(keys[0])
+        assert all(store.contains(k) for k in keys[1:])
+
+    def test_get_refreshes_lru_position(self, store):
+        import os
+        keys = self._fill(store, 2)
+        old = time.time() - 1000
+        for key in keys:
+            os.utime(store.path_for(key), (old, old))
+        store.get(keys[0])  # read rescues keys[0] from eviction
+        assert store.evict(max_entries=1) == 1
+        assert store.contains(keys[0])
+        assert not store.contains(keys[1])
+
+    def test_evict_by_bytes(self, store):
+        self._fill(store, 4)
+        total = store.info()["total_bytes"]
+        removed = store.evict(max_bytes=total // 2)
+        assert removed >= 2
+        assert store.info()["total_bytes"] <= total // 2
+
+
+class TestRootResolution:
+    def test_env_var_overrides(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))
+        assert default_cache_root() == tmp_path / "via-env"
+        assert ArtifactStore().root == tmp_path / "via-env"
+
+    def test_explicit_root_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))
+        assert ArtifactStore(root=tmp_path / "api").root == tmp_path / "api"
+
+    def test_xdg_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro"
+
+
+class TestCli:
+    def test_info_and_clear(self, tmp_path, capsys):
+        store = ArtifactStore(root=tmp_path)
+        store.put(store.key_for("compile", source_sha="s", isa="x86",
+                                opt_level=0), 42)
+        assert main(["--cache-dir", str(tmp_path), "info"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:        1" in out
+        assert main(["--cache-dir", str(tmp_path), "clear"]) == 0
+        assert "removed 1 entries" in capsys.readouterr().out
+
+    def test_evict_requires_limit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--cache-dir", str(tmp_path), "evict"])
+
+    def test_evict_cli(self, tmp_path, capsys):
+        store = ArtifactStore(root=tmp_path)
+        for i in range(3):
+            store.put(store.key_for("compile", source_sha=f"s{i}",
+                                    isa="x86", opt_level=0), i)
+        assert main(["--cache-dir", str(tmp_path), "evict",
+                     "--max-entries", "1"]) == 0
+        assert "evicted 2 entries" in capsys.readouterr().out
+
+    def test_artifacts_survive_pickle_protocol(self, store):
+        # Stored values are plain pickles readable by any same-env process.
+        key = store.key_for("profile", source_sha="s", ref_isa="x86",
+                            ref_opt=0)
+        store.put(key, {"mix": {"load": 0.3}})
+        raw = store.path_for(key).read_bytes()
+        assert pickle.loads(raw) == {"mix": {"load": 0.3}}

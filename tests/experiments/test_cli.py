@@ -1,0 +1,80 @@
+"""CLI surface: ``python -m repro.experiments`` flags and figure registry."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.report import (
+    DEFAULT_FIGURES,
+    FIGURES,
+    generate_report,
+    resolve_figures,
+)
+from repro.experiments.runner import ExperimentRunner
+
+PAIRS_FIGURE = "fig04"
+
+
+class TestFigureRegistry:
+    def test_registry_covers_the_report(self):
+        assert set(DEFAULT_FIGURES) == set(FIGURES)
+        for name in ("fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+                     "fig10", "fig11", "obfuscation", "ablation"):
+            assert name in FIGURES
+
+    def test_resolve_defaults_to_everything(self):
+        assert resolve_figures(None) == DEFAULT_FIGURES
+        assert resolve_figures([]) == DEFAULT_FIGURES
+
+    def test_resolve_preserves_report_order(self):
+        assert resolve_figures(["fig07", "fig04"]) == ("fig04", "fig07")
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(KeyError, match="fig99"):
+            resolve_figures(["fig99"])
+
+
+class TestGenerateReport:
+    def test_single_figure_section(self, tmp_path):
+        report = generate_report(ExperimentRunner(), figures=["fig04"])
+        assert "Fig. 4" in report
+        assert "Fig. 5" not in report
+        assert "artifact cache:" in report
+
+
+class TestMainCli:
+    def test_figures_and_stats_flags(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+        assert main(["--figures", "fig04", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "Fig. 4" in out
+        assert "misses" in err
+
+        # Warm rerun replays everything from the store.
+        assert main(["--figures", "fig04", "--stats"]) == 0
+        _, err = capsys.readouterr()
+        assert " 0 misses" in err
+
+    def test_workers_flag_matches_serial_output(self, tmp_path, capsys,
+                                                monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "serial"))
+        assert main(["--figures", "fig04"]) == 0
+        serial = capsys.readouterr().out
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "parallel"))
+        assert main(["--figures", "fig04", "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        strip = lambda text: [line for line in text.splitlines()
+                              if "wall clock" not in line]
+        assert strip(parallel) == strip(serial)
+
+    def test_no_cache_flag(self, capsys):
+        assert main(["--figures", "fig04", "--no-cache", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "Fig. 4" in out
+        assert "0 hits, 0 misses" in err
+
+    def test_unknown_figure_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--figures", "nope"])
+        assert "unknown figures" in capsys.readouterr().err
