@@ -15,6 +15,14 @@ compute), and the terminal summary prints the session totals.
 Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
 regenerated tables.  Set ``REPRO_CACHE_DIR`` to relocate the store, or
 ``REPRO_BENCH_NO_CACHE=1`` to benchmark pure compute.
+
+Baseline comparison is cache-aware: point ``REPRO_BENCH_BASELINE`` at a
+saved ``--benchmark-json`` file and the terminal summary classifies
+each benchmark against it with :mod:`repro.engine.bench` — separating
+cache-hit speedups and cache-state shifts from genuine compute
+regressions.  Set ``REPRO_BENCH_EMIT_PAIR`` to a directory to also
+split the baseline into its cold/warm pair (``*_cold.json`` /
+``*_warm.json``) for mode-matched future comparisons.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import os
 
 import pytest
 
+from repro.engine import bench as bench_compare
 from repro.engine.api import Engine
 from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS
 
@@ -44,28 +53,54 @@ def pairs():
     return QUICK_PAIRS
 
 
-def _stats_snapshot() -> dict:
-    if _SESSION_RUNNER is None:
+def _stats_snapshot(runner: ExperimentRunner | None) -> dict:
+    if runner is None:
         return {}
-    return dict(_SESSION_RUNNER.cache_stats.as_dict())
+    return dict(runner.cache_stats.as_dict())
 
 
 def run_once(benchmark, func, *args, **kwargs):
     """Run *func* exactly once under pytest-benchmark timing.
 
     Cache-counter deltas for the timed call land in
-    ``benchmark.extra_info["cache"]``.
+    ``benchmark.extra_info["cache"]``.  The runner is taken from the
+    call's own arguments: pytest loads this file twice (as the conftest
+    plugin and as ``benchmarks.conftest`` for this import), so a module
+    global set by the fixture in one instance is invisible to the other.
     """
-    before = _stats_snapshot()
+    runner = next(
+        (arg for arg in args if isinstance(arg, ExperimentRunner)),
+        _SESSION_RUNNER,
+    )
+    before = _stats_snapshot(runner)
     result = benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1,
                                 iterations=1)
-    after = _stats_snapshot()
+    after = _stats_snapshot(runner)
     if after:
         benchmark.extra_info["cache"] = {
             counter: after[counter] - before.get(counter, 0)
             for counter in after
         }
     return result
+
+
+def _session_records(config) -> dict:
+    """Current session's benchmarks as cache-aware compare records."""
+    session = getattr(config, "_benchmarksession", None)
+    if session is None:
+        return {}
+    records = {}
+    for bench in session.benchmarks:
+        try:
+            mean = bench.stats.mean
+        except (AttributeError, TypeError):
+            continue
+        records[bench.name] = bench_compare.BenchRecord(
+            name=bench.name,
+            mean=mean,
+            cache=(bench.extra_info or {}).get("cache") or {},
+        )
+    return records
 
 
 def pytest_terminal_summary(terminalreporter):
@@ -79,3 +114,29 @@ def pytest_terminal_summary(terminalreporter):
         f"{stats.misses} misses, {stats.puts} puts, "
         f"{stats.evictions} evictions"
     )
+    baseline_path = os.environ.get("REPRO_BENCH_BASELINE")
+    if baseline_path:
+        records = _session_records(terminalreporter.config)
+        if records:
+            verdicts = bench_compare.compare_baselines(
+                bench_compare.load_benchmark_json(baseline_path), records
+            )
+            terminalreporter.write_line(
+                f"cache-aware comparison vs {baseline_path}:"
+            )
+            for line in bench_compare.format_verdicts(verdicts).splitlines():
+                terminalreporter.write_line("  " + line)
+            bad = bench_compare.regressions(verdicts)
+            if bad:
+                terminalreporter.write_line(
+                    f"  WARNING: {len(bad)} genuine compute regression(s) "
+                    "(cache-hit speedups excluded)"
+                )
+        pair_dir = os.environ.get("REPRO_BENCH_EMIT_PAIR")
+        if pair_dir:
+            cold, warm = bench_compare.write_cold_warm_pair(
+                baseline_path, pair_dir
+            )
+            terminalreporter.write_line(
+                f"cold/warm baseline pair: {cold} / {warm}"
+            )

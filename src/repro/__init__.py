@@ -19,6 +19,13 @@ Quickstart::
 
 from repro.cc.driver import CompileResult, compile_program
 from repro.engine import ArtifactStore, Engine, StoreStats
+from repro.explore import (
+    DesignSpace,
+    PRESETS,
+    ResultsDB,
+    SweepResult,
+    run_sweep,
+)
 from repro.obfuscation.report import SimilarityReport, compare_sources
 from repro.profiling.profile import (
     StatisticalProfile,
@@ -26,7 +33,13 @@ from repro.profiling.profile import (
     profile_workload,
 )
 from repro.sim.functional import SimTrap, Simulator, run_binary
-from repro.sim.machines import MACHINES, Machine
+from repro.sim.machines import (
+    MACHINES,
+    Machine,
+    MachineSpec,
+    TABLE_III_SPECS,
+    machine_from_axes,
+)
 from repro.sim.trace import ExecutionTrace
 from repro.synthesis.baseline import synthesize_linear
 from repro.synthesis.synthesizer import (
@@ -41,23 +54,31 @@ __version__ = "1.0.0"
 __all__ = [
     "ArtifactStore",
     "CompileResult",
+    "DesignSpace",
     "Engine",
     "ExecutionTrace",
     "MACHINES",
     "Machine",
+    "MachineSpec",
+    "PRESETS",
+    "ResultsDB",
     "SimTrap",
     "SimilarityReport",
     "StoreStats",
     "Simulator",
     "StatisticalProfile",
+    "SweepResult",
     "SyntheticBenchmark",
+    "TABLE_III_SPECS",
     "WORKLOADS",
     "all_pairs",
     "compare_sources",
     "compile_program",
+    "machine_from_axes",
     "profile_trace",
     "profile_workload",
     "run_binary",
+    "run_sweep",
     "synthesize",
     "synthesize_consolidated",
     "synthesize_linear",

@@ -173,17 +173,21 @@ class Engine:
         pairs: Iterable[tuple[str, str]],
         coords: Iterable[tuple[str, int]] = ((REF_ISA, REF_OPT),),
         workers: int | None = None,
+        sides: tuple[str, ...] = ("org", "syn"),
     ) -> int:
         """Materialize the full pipeline grid for *pairs* × *coords*.
 
         Independent nodes fan out over ``workers`` processes (default:
         the engine's configured worker count); every result lands in the
-        memo and, when enabled, the persistent store.  Returns the
-        number of graph nodes.
+        memo and, when enabled, the persistent store.  *sides* narrows
+        the grid to the original and/or synthetic pipeline (a figure
+        that derives its synthetic from consolidated profiles only needs
+        ``("org",)``).  Returns the number of graph nodes.
         """
         graph = build_pipeline_graph(
             tuple(pairs), tuple(coords),
             target_instructions=self.target_instructions,
+            sides=sides,
         )
         if any(task_id not in self._memo for task_id in graph):
             results = run_graph(graph, workers=workers or self.workers,

@@ -1,0 +1,230 @@
+"""Cache-aware benchmark baseline comparison.
+
+The figure-regeneration benchmarks record the engine's cache
+hit/miss/put deltas in ``benchmark.extra_info["cache"]`` (see
+``benchmarks/conftest.py``), so a saved ``--benchmark-json`` baseline
+carries each measurement's *cache mode* alongside its timing:
+
+* ``cold`` — the timed run performed store misses (real compiles/runs);
+* ``warm`` — it replayed entirely from the store (hits, zero misses);
+* ``uncached`` — the store was disabled or untouched.
+
+Comparing wall-clock numbers without that context misattributes every
+cache transition: a warm rerun looks like a 100x "speedup", a cleared
+cache like a catastrophic "regression".  :func:`compare_baselines`
+classifies each benchmark pair by cache mode first and only calls
+something a compute regression/improvement when both sides ran in the
+same mode; :func:`split_cold_warm` splits one mixed baseline file into
+the cold/warm pair that later runs should be compared against.
+
+CLI: ``python -m repro.engine.bench compare OLD.json NEW.json`` and
+``python -m repro.engine.bench split BENCH.json [--out-dir DIR]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Relative timing change below which same-mode runs count as stable.
+DEFAULT_TOLERANCE = 0.15
+
+
+def cache_mode(cache: dict | None) -> str:
+    """Classify one run's recorded cache-counter deltas."""
+    if not cache:
+        return "uncached"
+    if cache.get("misses", 0) > 0:
+        return "cold"
+    if cache.get("hits", 0) > 0:
+        return "warm"
+    return "uncached"
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One benchmark measurement: mean seconds + cache-counter deltas."""
+
+    name: str
+    mean: float
+    cache: dict
+
+    @property
+    def mode(self) -> str:
+        return cache_mode(self.cache)
+
+
+@dataclass(frozen=True)
+class Verdict:
+    """Outcome of comparing one benchmark against its baseline."""
+
+    name: str
+    verdict: str  # compute-regression | compute-improvement | stable |
+    #               cache-speedup | cache-cold | new | missing
+    ratio: float  # new mean / old mean (NaN when either side is absent)
+    old_mode: str
+    new_mode: str
+    detail: str = ""
+
+
+def load_benchmark_json(path: Path | str) -> dict[str, BenchRecord]:
+    """Parse a pytest-benchmark ``--benchmark-json`` file."""
+    data = json.loads(Path(path).read_text())
+    return records_from_data(data)
+
+
+def records_from_data(data: dict) -> dict[str, BenchRecord]:
+    records: dict[str, BenchRecord] = {}
+    for bench in data.get("benchmarks", ()):
+        records[bench["name"]] = BenchRecord(
+            name=bench["name"],
+            mean=bench["stats"]["mean"],
+            cache=(bench.get("extra_info") or {}).get("cache") or {},
+        )
+    return records
+
+
+def compare_records(old: BenchRecord, new: BenchRecord,
+                    tolerance: float = DEFAULT_TOLERANCE) -> Verdict:
+    """Classify one old/new pair, cache mode first, timing second.
+
+    Cold and uncached runs both measure real compute (the latter with
+    the store disabled), so they compare against each other directly —
+    only a warm side changes the interpretation.
+    """
+    ratio = new.mean / old.mean if old.mean else float("inf")
+    if (old.mode == "warm") == (new.mode == "warm"):
+        if ratio > 1 + tolerance:
+            verdict, detail = "compute-regression", (
+                f"{ratio:.2f}x slower at comparable cache mode "
+                f"({old.mode}->{new.mode})"
+            )
+        elif ratio < 1 - tolerance:
+            verdict, detail = "compute-improvement", (
+                f"{1 / ratio:.2f}x faster at comparable cache mode "
+                f"({old.mode}->{new.mode})"
+            )
+        else:
+            verdict, detail = "stable", f"within {tolerance:.0%}"
+        return Verdict(old.name, verdict, ratio, old.mode, new.mode, detail)
+    if new.mode == "warm":
+        if ratio > 1 + tolerance:
+            # Replaying from the store yet slower than computing from
+            # scratch: the non-cached part of the pipeline regressed.
+            return Verdict(old.name, "compute-regression", ratio,
+                           old.mode, new.mode,
+                           f"{ratio:.2f}x slower despite warm cache")
+        return Verdict(old.name, "cache-speedup", ratio, old.mode, new.mode,
+                       "expected hit-driven speedup, not a compute win")
+    return Verdict(old.name, "cache-cold", ratio, old.mode, new.mode,
+                   "baseline was warm; slowdown reflects cache state, "
+                   "not compute")
+
+
+def compare_baselines(old: dict[str, BenchRecord],
+                      new: dict[str, BenchRecord],
+                      tolerance: float = DEFAULT_TOLERANCE) -> list[Verdict]:
+    """Verdicts for every benchmark present on either side."""
+    verdicts: list[Verdict] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in new:
+            verdicts.append(Verdict(name, "missing", float("nan"),
+                                    old[name].mode, "-",
+                                    "present in baseline only"))
+        elif name not in old:
+            verdicts.append(Verdict(name, "new", float("nan"), "-",
+                                    new[name].mode, "no baseline entry"))
+        else:
+            verdicts.append(compare_records(old[name], new[name], tolerance))
+    return verdicts
+
+
+def regressions(verdicts: list[Verdict]) -> list[Verdict]:
+    return [v for v in verdicts if v.verdict == "compute-regression"]
+
+
+def split_cold_warm(data: dict) -> tuple[dict, dict]:
+    """Split one ``--benchmark-json`` payload into a cold/warm pair.
+
+    Each output keeps the file's metadata but only the benchmarks whose
+    recorded cache deltas match the mode (uncached runs count as cold:
+    they measured pure compute).
+    """
+    cold = {k: v for k, v in data.items() if k != "benchmarks"}
+    warm = {k: v for k, v in data.items() if k != "benchmarks"}
+    cold["benchmarks"] = []
+    warm["benchmarks"] = []
+    for bench in data.get("benchmarks", ()):
+        mode = cache_mode((bench.get("extra_info") or {}).get("cache"))
+        (warm if mode == "warm" else cold)["benchmarks"].append(bench)
+    return cold, warm
+
+
+def write_cold_warm_pair(json_path: Path | str,
+                         out_dir: Path | str | None = None
+                         ) -> tuple[Path, Path]:
+    """Write ``<stem>_cold.json`` / ``<stem>_warm.json`` next to (or in
+    *out_dir* from) a mixed baseline file; returns the two paths."""
+    json_path = Path(json_path)
+    out = Path(out_dir) if out_dir else json_path.parent
+    out.mkdir(parents=True, exist_ok=True)
+    cold, warm = split_cold_warm(json.loads(json_path.read_text()))
+    cold_path = out / f"{json_path.stem}_cold.json"
+    warm_path = out / f"{json_path.stem}_warm.json"
+    cold_path.write_text(json.dumps(cold, indent=2, sort_keys=True))
+    warm_path.write_text(json.dumps(warm, indent=2, sort_keys=True))
+    return cold_path, warm_path
+
+
+def format_verdicts(verdicts: list[Verdict]) -> str:
+    lines = []
+    for v in verdicts:
+        ratio = "-" if v.ratio != v.ratio else f"{v.ratio:.2f}x"
+        lines.append(
+            f"{v.verdict:<20} {v.name}  [{v.old_mode}->{v.new_mode}, "
+            f"{ratio}] {v.detail}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.bench",
+        description="Cache-aware comparison of pytest-benchmark baselines.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    compare = sub.add_parser(
+        "compare", help="classify NEW against OLD, cache mode first"
+    )
+    compare.add_argument("old")
+    compare.add_argument("new")
+    compare.add_argument("--tolerance", type=float,
+                         default=DEFAULT_TOLERANCE)
+    split = sub.add_parser(
+        "split", help="emit the cold/warm baseline pair of a mixed file"
+    )
+    split.add_argument("json_path")
+    split.add_argument("--out-dir", default=None)
+    args = parser.parse_args(argv)
+
+    if args.command == "compare":
+        verdicts = compare_baselines(
+            load_benchmark_json(args.old), load_benchmark_json(args.new),
+            tolerance=args.tolerance,
+        )
+        print(format_verdicts(verdicts))
+        bad = regressions(verdicts)
+        if bad:
+            print(f"\n{len(bad)} compute regression(s)")
+            return 1
+        return 0
+    cold_path, warm_path = write_cold_warm_pair(args.json_path,
+                                                args.out_dir)
+    print(f"wrote {cold_path} and {warm_path}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

@@ -76,8 +76,11 @@ def _worker_execute(task: Task, deps: dict[str, Any], store_spec,
     value = runner(task, deps)
     if store_spec is not None:
         root, schema_version, toolchain = store_spec
+        # max_bytes deliberately stays None here: per-task stores would
+        # rescan the objects directory on every put and run concurrent
+        # LRU sweeps; the parent enforces the cap once per run instead.
         store = ArtifactStore(root=root, schema_version=schema_version,
-                              toolchain=toolchain)
+                              toolchain=toolchain, max_bytes=None)
         store.put(store.key_for(task.stage, **keyer(task)), value)
     return value
 
@@ -178,4 +181,8 @@ def run_graph(
                     store.stats.puts += 1
                 resolve(task_id, value, ready)
             ready.sort()
+    if store is not None and store.max_bytes is not None:
+        # Workers write uncapped (see _worker_execute); settle the size
+        # cap once now that the run is complete.
+        store.evict(max_bytes=store.max_bytes)
     return results

@@ -17,8 +17,16 @@ The root directory resolves, in order: explicit ``root=`` argument, the
 ``REPRO_CACHE_DIR`` environment variable, ``$XDG_CACHE_HOME/repro``,
 ``~/.cache/repro``.
 
+Lifecycle: setting ``REPRO_CACHE_MAX_BYTES`` (or ``max_bytes=``) turns
+every ``put`` into a size-capped write — the LRU :meth:`evict` sweep
+runs whenever the store grows past the cap (parallel runs write
+uncapped and settle the cap once per graph).  ``fsck`` detects and
+removes corrupt or truncated pickles plus ``.tmp`` files orphaned by
+killed writers.
+
 ``repro-cache`` (console script, also ``python -m repro.engine.store``)
-exposes ``info`` / ``clear`` / ``evict`` against that same resolution.
+exposes ``info`` / ``clear`` / ``evict`` / ``fsck`` against that same
+resolution.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ import json
 import os
 import pickle
 import tempfile
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -37,6 +46,7 @@ from pathlib import Path
 SCHEMA_VERSION = 1
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
 
 _MISS = object()
 
@@ -125,10 +135,23 @@ class ArtifactStore:
     schema_version: int = SCHEMA_VERSION
     toolchain: str | None = None
     stats: StoreStats = field(default_factory=StoreStats)
+    #: Size cap enforced on every put (None = unbounded).  Defaults to
+    #: ``REPRO_CACHE_MAX_BYTES`` when set.
+    max_bytes: int | None = None
 
     def __post_init__(self) -> None:
         self.root = Path(self.root).expanduser() if self.root else \
             default_cache_root()
+        if self.max_bytes is None:
+            env = os.environ.get(CACHE_MAX_BYTES_ENV)
+            if env:
+                self.max_bytes = int(env)
+        # Running size estimate for the capped-put path: seeded by one
+        # scan, advanced per write, re-grounded by every evict()'s own
+        # scan.  Approximate under concurrent writers (and overwrites
+        # count twice), which only means an early sweep — correctness
+        # comes from evict() re-measuring.
+        self._approx_bytes: int | None = None
 
     # -- keys --------------------------------------------------------------
 
@@ -188,6 +211,18 @@ class ArtifactStore:
                 pass
             raise
         self.stats.puts += 1
+        if self.max_bytes is not None:
+            if self._approx_bytes is None:
+                self._approx_bytes = sum(
+                    size for _, size, _ in self.entries()
+                )
+            else:
+                try:
+                    self._approx_bytes += path.stat().st_size
+                except OSError:  # racing eviction
+                    pass
+            if self._approx_bytes > self.max_bytes:
+                self.evict(max_bytes=self.max_bytes)
         return path
 
     def contains(self, key: str) -> bool:
@@ -197,6 +232,7 @@ class ArtifactStore:
         path = self.path_for(key)
         if path.exists():
             path.unlink()
+            self._approx_bytes = None
             return True
         return False
 
@@ -229,13 +265,76 @@ class ArtifactStore:
         }
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every entry (and any ``.tmp`` leftovers); returns the
+        number of entries removed."""
         removed = 0
         for path, _, _ in list(self.entries()):
             path.unlink(missing_ok=True)
             removed += 1
+        objects = Path(self.root) / "objects"
+        if objects.is_dir():
+            for path in objects.glob("*/*.tmp"):
+                path.unlink(missing_ok=True)
         self.stats.evictions += removed
+        self._approx_bytes = 0
         return removed
+
+    #: A ``.tmp`` older than this is an orphan from a killed writer —
+    #: real writes replace within milliseconds.
+    STALE_TMP_SECONDS = 3600
+
+    def stale_tmp_files(self) -> list[Path]:
+        """Leftover ``.tmp`` files from writers that died mid-put."""
+        objects = Path(self.root) / "objects"
+        if not objects.is_dir():
+            return []
+        cutoff = time.time() - self.STALE_TMP_SECONDS
+        stale = []
+        for path in sorted(objects.glob("*/*.tmp")):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    stale.append(path)
+            except FileNotFoundError:
+                continue
+        return stale
+
+    def fsck(self, remove: bool = True) -> dict:
+        """Integrity sweep: unpickle every entry, flag the broken ones.
+
+        Corrupt or truncated entries (failed unpickle) are removed when
+        *remove* is true, so the slots get rewritten on the next miss
+        instead of failing every future lookup; stale ``.tmp`` orphans
+        (invisible to :meth:`entries` and the size cap) are reclaimed
+        the same way.  Returns ``{"scanned", "corrupt", "removed",
+        "stale_tmp", "tmp_removed"}``.
+        """
+        scanned = 0
+        corrupt: list[str] = []
+        removed = 0
+        for path, _, _ in list(self.entries()):
+            scanned += 1
+            try:
+                with open(path, "rb") as fh:
+                    pickle.load(fh)
+            except FileNotFoundError:  # racing eviction
+                continue
+            except Exception:
+                corrupt.append(str(path))
+                if remove:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+        stale_tmp = self.stale_tmp_files()
+        tmp_removed = 0
+        if remove:
+            for path in stale_tmp:
+                path.unlink(missing_ok=True)
+                tmp_removed += 1
+        self.stats.evictions += removed
+        if removed:
+            self._approx_bytes = None
+        return {"scanned": scanned, "corrupt": corrupt, "removed": removed,
+                "stale_tmp": [str(path) for path in stale_tmp],
+                "tmp_removed": tmp_removed}
 
     def evict(self, max_bytes: int | None = None,
               max_entries: int | None = None) -> int:
@@ -254,6 +353,7 @@ class ArtifactStore:
             count -= 1
             removed += 1
         self.stats.evictions += removed
+        self._approx_bytes = total
         return removed
 
 
@@ -274,6 +374,13 @@ def main(argv=None) -> int:
     evict = sub.add_parser("evict", help="LRU-evict down to the given limits")
     evict.add_argument("--max-bytes", type=int, default=None)
     evict.add_argument("--max-entries", type=int, default=None)
+    fsck = sub.add_parser(
+        "fsck", help="detect (and remove) corrupt or truncated entries"
+    )
+    fsck.add_argument(
+        "--keep", action="store_true",
+        help="report corrupt entries without removing them",
+    )
     args = parser.parse_args(argv)
 
     store = ArtifactStore(root=args.cache_dir)
@@ -291,6 +398,19 @@ def main(argv=None) -> int:
         removed = store.evict(max_bytes=args.max_bytes,
                               max_entries=args.max_entries)
         print(f"evicted {removed} entries from {store.root}")
+    elif args.command == "fsck":
+        report = store.fsck(remove=not args.keep)
+        for path in report["corrupt"]:
+            print(f"corrupt: {path}")
+        for path in report["stale_tmp"]:
+            print(f"stale tmp: {path}")
+        print(
+            f"scanned {report['scanned']} entries in {store.root}: "
+            f"{len(report['corrupt'])} corrupt, {report['removed']} removed, "
+            f"{report['tmp_removed']} stale tmp reclaimed"
+        )
+        if (report["corrupt"] or report["stale_tmp"]) and args.keep:
+            return 1
     return 0
 
 

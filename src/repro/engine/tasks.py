@@ -70,7 +70,7 @@ def _workload_source(payload: dict) -> str:
 
 
 @lru_cache(maxsize=None)
-def _pair_fingerprint(workload: str, input_name: str) -> str:
+def pair_fingerprint(workload: str, input_name: str) -> str:
     """Source fingerprint per (workload, input), generated once per
     process — key computation happens far more often than synthesis."""
     return source_fingerprint(
@@ -129,7 +129,7 @@ def key_fields(task: Task) -> dict:
     """
     payload = task.payload
     fields: dict = {
-        "source_sha": _pair_fingerprint(payload["workload"], payload["input"])
+        "source_sha": pair_fingerprint(payload["workload"], payload["input"])
     }
     if task.stage in (STAGE_COMPILE, STAGE_RUN):
         fields.update(isa=payload["isa"], opt_level=payload["opt_level"])

@@ -58,6 +58,11 @@ def main(argv=None) -> int:
         help="skip the persistent artifact store entirely",
     )
     parser.add_argument(
+        "--max-cache-bytes", type=int, default=None,
+        help="size-cap the store: LRU-evict on put past this many bytes "
+             "(default: $REPRO_CACHE_MAX_BYTES or unbounded)",
+    )
+    parser.add_argument(
         "--stats", action="store_true",
         help="print cache hit/miss counters to stderr afterwards",
     )
@@ -69,6 +74,8 @@ def main(argv=None) -> int:
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
     )
+    if engine.store is not None and args.max_cache_bytes is not None:
+        engine.store.max_bytes = args.max_cache_bytes
     runner = ExperimentRunner(
         target_instructions=args.target_instructions, engine=engine,
     )

@@ -75,12 +75,6 @@ class Fig11Result:
         )
 
 
-def _machine_runtime(machine: Machine, source: str, opt_level: int) -> float:
-    result = compile_program(source, machine.isa, opt_level)
-    trace = run_binary(result.binary)
-    return machine.runtime_seconds(trace)
-
-
 def run_fig11(
     runner: ExperimentRunner,
     pairs=QUICK_PAIRS,
@@ -88,28 +82,48 @@ def run_fig11(
     levels=OPT_LEVELS,
     target_instructions: int | None = None,
 ) -> Fig11Result:
+    """The machines are :class:`Machine` instances — the five Table III
+    constants by default, but any parametric machine (built via
+    ``machine_from_axes`` / a ``MachineSpec``) slots in unchanged; the
+    explorer's ``table3`` preset runs this same grid as a sweep.
+    """
     if target_instructions is None:
         target_instructions = runner.target_instructions
     result = Fig11Result()
-    # Original side: suite-average runtime per (machine, level).
+    # Original side: suite-average runtime per (machine, level).  Traces
+    # depend only on (ISA, level), so the engine's memo/store serve the
+    # machines that share an ISA from one compile+run; warm the grid up
+    # front (parallel when the engine has workers).
+    coords = sorted({(machine.isa.name, level) for machine in machines
+                     for level in levels})
+    runner.warm(pairs, coords, sides=("org",))
     org_times: dict[tuple[str, int], float] = {}
     for machine in machines:
         for level in levels:
             total = 0.0
             for workload, input_name in pairs:
-                source = runner.source(workload, input_name)
-                total += _machine_runtime(machine, source, level)
+                trace = runner.original_trace(workload, input_name,
+                                              machine.isa.name, level)
+                total += machine.runtime_seconds(trace)
             org_times[(machine.name, level)] = total / len(pairs)
     # Synthetic side: one consolidated clone of the whole set (§II-B.e).
     profiles = [runner.profile(workload, inp) for workload, inp in pairs]
     consolidated = synthesize_consolidated(
         profiles, target_instructions=target_instructions * len(pairs)
     )
+    # The consolidated source is derived per call, so its compiles stay
+    # outside the store; memoize per (ISA, level) across machines.
+    syn_traces: dict[tuple[str, int], object] = {}
     syn_times: dict[tuple[str, int], float] = {}
     for machine in machines:
         for level in levels:
-            syn_times[(machine.name, level)] = _machine_runtime(
-                machine, consolidated.source, level
+            coord = (machine.isa.name, level)
+            if coord not in syn_traces:
+                compiled = compile_program(consolidated.source, machine.isa,
+                                           level)
+                syn_traces[coord] = run_binary(compiled.binary)
+            syn_times[(machine.name, level)] = machine.runtime_seconds(
+                syn_traces[coord]
             )
     # Normalize both sides to P4-3GHz at -O0 (the paper's baseline).
     baseline_machine = machines[0].name

@@ -12,8 +12,11 @@ persistent artifact store on warm runs.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable
 
 from repro.experiments.ablation import run_ablation
@@ -26,6 +29,9 @@ from repro.experiments.fig10_cpi import run_fig10
 from repro.experiments.fig11_machines import run_fig11
 from repro.experiments.obfuscation import run_obfuscation
 from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS
+from repro.explore.db import RESULTS_DB_ENV, ResultsDB
+from repro.explore.space import EXPLORE_PAIRS, ISA_OPT_SPACE, get_preset
+from repro.explore.sweep import run_sweep
 
 CACHE_PAIRS = (
     ("adpcm", "small"),
@@ -45,15 +51,33 @@ CPI_PAIRS = (
     ("qsort", "small"),
     ("sha", "small"),
 )
-MACHINE_PAIRS = (
-    ("adpcm", "small"),
-    ("crc32", "small"),
-    ("fft", "small"),
-    ("sha", "small"),
-    ("stringsearch", "small"),
-)
+# Value-identical to the explorer's pair set so warm_figures groups
+# fig11 and the explore sweep into one warmed DAG.
+MACHINE_PAIRS = EXPLORE_PAIRS
 
 _X86 = "x86"
+
+
+def run_explore_sweep(runner: ExperimentRunner):
+    """The wider default grid: the explorer's isa-opt preset (all three
+    ISAs at O0..O3), persisted to the cross-run results database — on a
+    warm store/DB this section costs zero compiles and zero runs.
+
+    The DB follows the engine's cache settings: it lives next to the
+    artifact store (``$REPRO_RESULTS_DB`` wins), and a cache-disabled
+    engine gets a throwaway DB so ``--no-cache`` reports measure pure
+    compute instead of replaying stale disk state.
+    """
+    preset = get_preset("isa-opt")
+    store = runner.engine.store
+    if store is None:
+        with tempfile.TemporaryDirectory(prefix="repro-explore-") as tmp:
+            with ResultsDB(Path(tmp) / "explore.sqlite3") as db:
+                return run_sweep(preset, engine=runner.engine, db=db)
+    db_path = os.environ.get(RESULTS_DB_ENV) or \
+        Path(store.root) / "explore.sqlite3"
+    with ResultsDB(db_path) as db:
+        return run_sweep(preset, engine=runner.engine, db=db)
 
 
 @dataclass(frozen=True)
@@ -110,6 +134,16 @@ FIGURES: dict[str, FigureSpec] = {
         # fig11 drives its own per-machine compiles; through the runner
         # it only needs the reference profiles.
         MACHINE_PAIRS, ((_X86, 0),),
+    ),
+    "explore": FigureSpec(
+        "Design-space sweep — ISA × opt grid (repro.explore, isa-opt "
+        "preset)",
+        run_explore_sweep,
+        EXPLORE_PAIRS,
+        # Derived from the preset's space so the warmed grid can never
+        # drift from what run_sweep actually measures.
+        tuple(sorted({(p["isa"], p["opt_level"])
+                      for p in ISA_OPT_SPACE.points()})),
     ),
     "obfuscation": FigureSpec(
         "Obfuscation (§V-E) — Moss/JPlag similarity",

@@ -20,6 +20,7 @@ from repro.engine.store import StoreStats
 from repro.profiling.profile import StatisticalProfile
 from repro.sim.trace import ExecutionTrace
 from repro.synthesis.synthesizer import SyntheticBenchmark
+from repro.tables import format_table
 from repro.workloads import all_pairs
 
 # Synthetic size target (see DESIGN.md §5: the paper's 10M scaled ~1e3).
@@ -88,33 +89,20 @@ class ExperimentRunner:
 
     # -- bulk / observability ----------------------------------------------
 
-    def warm(self, pairs, coords=(("x86", 0),), workers: int | None = None) -> int:
+    def warm(self, pairs, coords=(("x86", 0),), workers: int | None = None,
+             sides: tuple[str, ...] = ("org", "syn")) -> int:
         """Materialize the pipeline grid for *pairs* × *coords* up front."""
-        return self.engine.warm(pairs, coords, workers=workers)
+        return self.engine.warm(pairs, coords, workers=workers, sides=sides)
 
     @property
     def cache_stats(self) -> StoreStats:
         return self.engine.stats
 
 
-def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
-    """Plain-text table renderer shared by the figures."""
-    def fmt(value) -> str:
-        if isinstance(value, float):
-            return f"{value:.3f}"
-        return str(value)
-
-    text_rows = [[fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
-        else len(headers[i])
-        for i in range(len(headers))
-    ]
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
-    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
-    for row in text_rows:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
-    return "\n".join(lines)
+__all__ = [
+    "ExperimentRunner",
+    "FULL_PAIRS",
+    "QUICK_PAIRS",
+    "SYNTHETIC_TARGET",
+    "format_table",
+]

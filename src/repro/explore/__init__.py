@@ -1,0 +1,59 @@
+"""repro.explore — design-space exploration on top of the engine.
+
+Three pieces:
+
+* :mod:`repro.explore.space` — declarative parametric design spaces
+  (machine axes + software axes) with deterministic enumeration, named
+  presets, and grid/random/frontier sampling;
+* :mod:`repro.explore.sweep` — the orchestrator that lowers each design
+  point to engine task chains, fans out via the scheduler, and scores
+  clone-vs-original fidelity per point;
+* :mod:`repro.explore.db` — the persistent SQLite cross-run results
+  database (content-addressed rows; ``query``/``rank``/``compare``
+  without re-running).
+
+CLI: ``python -m repro.explore run|query|rank|compare|presets`` (also
+installed as ``repro-explore``).
+"""
+
+from repro.explore.db import (
+    DB_SCHEMA_VERSION,
+    RESULTS_DB_ENV,
+    ResultRecord,
+    ResultsDB,
+    default_db_path,
+    pareto_front,
+    result_key,
+)
+from repro.explore.space import (
+    Axis,
+    DesignPoint,
+    DesignSpace,
+    EXPLORE_PAIRS,
+    ISA_OPT_SPACE,
+    PRESETS,
+    Preset,
+    get_preset,
+)
+from repro.explore.sweep import SweepResult, run_sweep, score_point
+
+__all__ = [
+    "Axis",
+    "DB_SCHEMA_VERSION",
+    "DesignPoint",
+    "DesignSpace",
+    "EXPLORE_PAIRS",
+    "ISA_OPT_SPACE",
+    "PRESETS",
+    "Preset",
+    "RESULTS_DB_ENV",
+    "ResultRecord",
+    "ResultsDB",
+    "SweepResult",
+    "default_db_path",
+    "get_preset",
+    "pareto_front",
+    "result_key",
+    "run_sweep",
+    "score_point",
+]

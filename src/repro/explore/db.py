@@ -1,0 +1,270 @@
+"""Persistent cross-run results database (SQLite).
+
+Every scored design point is one row keyed by the same canonical
+content-address recipe the artifact store uses: SHA-256 over the DB
+schema version, the toolchain fingerprint, the point's axis values, the
+workload pair fingerprints, and the synthetic size target.  Equal
+configurations therefore map to the same row across processes and
+machines — a sweep that was already scored answers ``query``/``rank``/
+``compare`` without a single compile or run, and a re-issued ``run``
+resumes exactly at the first unscored point.
+
+The database lives next to the artifact store by default
+(``<cache-root>/explore.sqlite3``); relocate it with the
+``REPRO_RESULTS_DB`` environment variable or an explicit path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.store import canonical_key, default_cache_root
+
+#: Bump when the row layout or the key recipe changes; old rows then
+#: stop matching instead of being silently misread.
+DB_SCHEMA_VERSION = 1
+
+RESULTS_DB_ENV = "REPRO_RESULTS_DB"
+
+_TABLE_SQL = """
+CREATE TABLE IF NOT EXISTS results (
+    key TEXT PRIMARY KEY,
+    sweep TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    point_json TEXT NOT NULL,
+    metrics_json TEXT NOT NULL,
+    score REAL NOT NULL,
+    schema_version INTEGER NOT NULL,
+    toolchain TEXT NOT NULL
+);
+"""
+_INDEX_SQL = "CREATE INDEX IF NOT EXISTS idx_results_sweep ON results(sweep);"
+
+
+def default_db_path() -> Path:
+    env = os.environ.get(RESULTS_DB_ENV)
+    if env:
+        return Path(env).expanduser()
+    return default_cache_root() / "explore.sqlite3"
+
+
+def result_key(point: dict, pair_fingerprints: tuple[str, ...],
+               target_instructions: int, toolchain: str,
+               sweep: str = "") -> str:
+    """Content address of one scored design point.
+
+    The sweep label is part of the identity: each named sweep is a
+    complete, independently diffable row collection (``compare`` matches
+    them by axis values), while within a sweep equal content always maps
+    to the same row — that is what makes re-runs resume for free.
+    """
+    return canonical_key({
+        "db_schema": DB_SCHEMA_VERSION,
+        "sweep": sweep,
+        "toolchain": toolchain,
+        "point": {k: point[k] for k in sorted(point)},
+        "pairs": list(pair_fingerprints),
+        "target_instructions": target_instructions,
+    })
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One scored design point as stored in (and read from) the DB."""
+
+    key: str
+    sweep: str
+    created_at: float
+    point: dict
+    metrics: dict
+    score: float
+    schema_version: int = DB_SCHEMA_VERSION
+    toolchain: str = ""
+
+    def metric(self, name: str) -> float:
+        if name == "score":
+            return self.score
+        try:
+            return float(self.metrics[name])
+        except KeyError:
+            raise KeyError(
+                f"unknown metric {name!r} "
+                f"(available: score, {', '.join(sorted(self.metrics))})"
+            ) from None
+
+
+def _row_to_record(row: sqlite3.Row) -> ResultRecord:
+    return ResultRecord(
+        key=row["key"],
+        sweep=row["sweep"],
+        created_at=row["created_at"],
+        point=json.loads(row["point_json"]),
+        metrics=json.loads(row["metrics_json"]),
+        score=row["score"],
+        schema_version=row["schema_version"],
+        toolchain=row["toolchain"],
+    )
+
+
+class ResultsDB:
+    """SQLite handle over the cross-run results table."""
+
+    def __init__(self, path: Path | str | None = None) -> None:
+        self.path = Path(path).expanduser() if path else default_db_path()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        with self._conn:
+            self._conn.execute(_TABLE_SQL)
+            self._conn.execute(_INDEX_SQL)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsDB":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- writes ------------------------------------------------------------
+
+    def put(self, record: ResultRecord) -> None:
+        """Insert or replace one scored point (idempotent per key)."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO results "
+                "(key, sweep, created_at, point_json, metrics_json, score, "
+                " schema_version, toolchain) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                (
+                    record.key,
+                    record.sweep,
+                    record.created_at or time.time(),
+                    json.dumps(record.point, sort_keys=True),
+                    json.dumps(record.metrics, sort_keys=True),
+                    record.score,
+                    record.schema_version,
+                    record.toolchain,
+                ),
+            )
+
+    def delete_sweep(self, sweep: str) -> int:
+        with self._conn:
+            cursor = self._conn.execute(
+                "DELETE FROM results WHERE sweep = ?", (sweep,)
+            )
+        return cursor.rowcount
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, key: str) -> ResultRecord | None:
+        row = self._conn.execute(
+            "SELECT * FROM results WHERE key = ?", (key,)
+        ).fetchone()
+        return _row_to_record(row) if row else None
+
+    def query(self, sweep: str | None = None,
+              where: dict | None = None) -> list[ResultRecord]:
+        """Rows for *sweep* (or all), filtered by axis-value equality.
+
+        ``where`` values compare against the stored point dict; numbers
+        given as strings (CLI input) are coerced before comparison.
+        """
+        if sweep is None:
+            rows = self._conn.execute(
+                "SELECT * FROM results ORDER BY sweep, created_at, key"
+            ).fetchall()
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM results WHERE sweep = ? "
+                "ORDER BY created_at, key",
+                (sweep,),
+            ).fetchall()
+        records = [_row_to_record(row) for row in rows]
+        if not where:
+            return records
+
+        def matches(record: ResultRecord) -> bool:
+            for axis, wanted in where.items():
+                if axis not in record.point:
+                    return False
+                have = record.point[axis]
+                if have == wanted or str(have) == str(wanted):
+                    continue
+                # Sequence-valued axes (the 'pair' axis round-trips
+                # through JSON as a list) match the CLI's own
+                # workload/input rendering.
+                if isinstance(have, (list, tuple)) and \
+                        "/".join(str(v) for v in have) == str(wanted):
+                    continue
+                return False
+            return True
+
+        return [record for record in records if matches(record)]
+
+    def rank(self, metric: str = "score", sweep: str | None = None,
+             limit: int | None = 10,
+             ascending: bool = True) -> list[ResultRecord]:
+        """Rows ordered by *metric* (lower is better by default)."""
+        records = self.query(sweep)
+        records.sort(key=lambda r: (r.metric(metric), r.key),
+                     reverse=not ascending)
+        return records[:limit] if limit is not None else records
+
+    def sweeps(self) -> list[tuple[str, int, float]]:
+        """``(sweep, row count, latest created_at)`` per stored sweep."""
+        rows = self._conn.execute(
+            "SELECT sweep, COUNT(*) AS n, MAX(created_at) AS latest "
+            "FROM results GROUP BY sweep ORDER BY sweep"
+        ).fetchall()
+        return [(row["sweep"], row["n"], row["latest"]) for row in rows]
+
+    def compare(self, sweep_a: str, sweep_b: str, metric: str = "score"
+                ) -> list[tuple[dict, float, float]]:
+        """Match points of two sweeps by axis values; returns
+        ``(point, metric_a, metric_b)`` for every coordinate present in
+        both (e.g. the same grid scored under two toolchain versions)."""
+        def keyed(records: list[ResultRecord]) -> dict[str, ResultRecord]:
+            return {
+                json.dumps(r.point, sort_keys=True): r for r in records
+            }
+
+        left = keyed(self.query(sweep_a))
+        right = keyed(self.query(sweep_b))
+        matched = []
+        for point_json in sorted(set(left) & set(right)):
+            record_a = left[point_json]
+            matched.append((
+                record_a.point,
+                record_a.metric(metric),
+                right[point_json].metric(metric),
+            ))
+        return matched
+
+
+def pareto_front(records: list[ResultRecord],
+                 metrics: tuple[str, str] = ("org_runtime_s", "score"),
+                 ) -> list[ResultRecord]:
+    """Non-dominated subset, minimizing both *metrics* — by default the
+    classic explorer trade-off of machine performance (original-side
+    runtime) against clone fidelity (score)."""
+    front: list[ResultRecord] = []
+    for candidate in records:
+        cx, cy = (candidate.metric(m) for m in metrics)
+        dominated = False
+        for other in records:
+            if other is candidate:
+                continue
+            ox, oy = (other.metric(m) for m in metrics)
+            if ox <= cx and oy <= cy and (ox < cx or oy < cy):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda r: r.metric(metrics[0]))
+    return front

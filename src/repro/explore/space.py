@@ -1,0 +1,331 @@
+"""Declarative parametric design spaces.
+
+A :class:`DesignSpace` is an ordered set of named axes — machine axes
+(``isa``, ``width``, ``rob``, ``l1_kb``, ``l2_kb``, ``frequency_ghz``,
+``predictor_entries``, …, any :class:`repro.sim.machines.MachineSpec`
+field), the whole-machine axis ``machine`` (a Table III spec name), and
+software axes (``opt_level``, ``pair``) — over a ``base`` of fixed
+axis values.  Enumeration is the deterministic Cartesian product in
+axis order, so a space always yields the same points in the same order;
+grid/random/frontier sampling select deterministic subsets of it.
+
+Named presets (:data:`PRESETS`) bundle a space with the workload pairs
+it scores fidelity over; ``python -m repro.explore presets`` lists them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.sim.machines import (
+    Machine,
+    MachineSpec,
+    SPEC_BY_NAME,
+    spec_from_axes,
+)
+
+#: Axes that parameterize the software side rather than the machine.
+SOFTWARE_AXES = ("opt_level", "pair")
+
+#: The whole-machine axis: values are Table III spec names.
+MACHINE_AXIS = "machine"
+
+_MACHINE_FIELDS = frozenset(MachineSpec(name="probe").axes())
+
+
+def format_point(values: dict) -> str:
+    """Canonical ``axis=value`` rendering of point coordinates, shared
+    by sweep tables, the CLI, and :meth:`DesignPoint.label`."""
+    parts = []
+    for axis, value in sorted(values.items()):
+        if axis == "pair" and not isinstance(value, str):
+            value = "/".join(value)
+        parts.append(f"{axis}={value}")
+    return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One swept dimension: a name and its ordered candidate values."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        if len(set(self.values)) != len(self.values):
+            raise ValueError(f"axis {self.name!r} has duplicate values")
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One coordinate of a space: swept axis values over the fixed base.
+
+    ``values`` holds only the swept coordinates (what distinguishes the
+    point within its space); ``base`` the space-wide constants.  Both
+    are stored as sorted item tuples so points hash and compare by
+    value.
+    """
+
+    values: tuple[tuple[str, object], ...]
+    base: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def from_dicts(cls, values: dict, base: dict | None = None
+                   ) -> "DesignPoint":
+        return cls(
+            values=tuple(sorted(values.items())),
+            base=tuple(sorted((base or {}).items())),
+        )
+
+    def as_dict(self) -> dict:
+        """Base overlaid with the swept values (swept wins)."""
+        merged = dict(self.base)
+        merged.update(self.values)
+        return merged
+
+    def swept(self) -> dict:
+        return dict(self.values)
+
+    def __getitem__(self, axis: str):
+        return self.as_dict()[axis]
+
+    def get(self, axis: str, default=None):
+        return self.as_dict().get(axis, default)
+
+    # -- lowering ----------------------------------------------------------
+
+    def machine_spec(self) -> MachineSpec:
+        """Resolve the point's machine axes to a :class:`MachineSpec`.
+
+        A ``machine`` axis names a Table III spec, which the point's
+        other machine axes may then override; without one the spec is
+        assembled purely from axis values (defaults for the rest).
+        """
+        merged = self.as_dict()
+        unknown = [
+            k for k in merged
+            if k not in _MACHINE_FIELDS and k not in SOFTWARE_AXES
+            and k != MACHINE_AXIS
+        ]
+        if unknown:
+            raise KeyError(
+                f"unknown axes {', '.join(sorted(unknown))!s} "
+                f"(machine axes: {', '.join(sorted(_MACHINE_FIELDS))}; "
+                f"software axes: {', '.join(SOFTWARE_AXES)}; "
+                f"whole-machine axis: {MACHINE_AXIS})"
+            )
+        overrides = {
+            k: v for k, v in merged.items() if k in _MACHINE_FIELDS
+        }
+        machine_name = merged.get(MACHINE_AXIS)
+        if machine_name is not None:
+            try:
+                spec = SPEC_BY_NAME[machine_name]
+            except KeyError:
+                raise KeyError(
+                    f"unknown machine {machine_name!r} "
+                    f"(available: {', '.join(sorted(SPEC_BY_NAME))})"
+                ) from None
+            if overrides:
+                spec = MachineSpec(name=spec.name, **{**spec.axes(),
+                                                      **overrides})
+            return spec
+        return spec_from_axes(**overrides)
+
+    def machine(self) -> Machine:
+        return self.machine_spec().build()
+
+    @property
+    def opt_level(self) -> int:
+        return int(self.get("opt_level", 0))
+
+    @property
+    def pair(self) -> tuple[str, str] | None:
+        """The point's pinned (workload, input) pair, if the space sweeps
+        one; ``None`` means "score over the sweep's whole pair set"."""
+        value = self.get("pair")
+        if value is None:
+            return None
+        if isinstance(value, str):
+            workload, _, input_name = value.partition("/")
+            return (workload, input_name or "small")
+        return tuple(value)  # type: ignore[return-value]
+
+    def label(self) -> str:
+        """Compact human-readable coordinate of the swept axes only,
+        e.g. ``opt_level=2 width=4``."""
+        return format_point(dict(self.values))
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """Named, ordered axes over a base of fixed axis values."""
+
+    name: str
+    axes: tuple[Axis, ...]
+    base: dict = field(default_factory=dict, hash=False)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        names = [axis.name for axis in self.axes]
+        if len(set(names)) != len(names):
+            raise ValueError(f"space {self.name!r} has duplicate axes")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for axis in self.axes:
+            n *= len(axis.values)
+        return n
+
+    def axis_names(self) -> tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def points(self) -> list[DesignPoint]:
+        """Deterministic full enumeration (Cartesian product, axis order)."""
+        combos = itertools.product(*(axis.values for axis in self.axes))
+        return [
+            DesignPoint.from_dicts(
+                dict(zip(self.axis_names(), combo)), self.base
+            )
+            for combo in combos
+        ]
+
+    # -- sampling ----------------------------------------------------------
+
+    def sample(self, mode: str = "grid", n: int | None = None,
+               seed: int = 0, stride: int = 1) -> list[DesignPoint]:
+        """Deterministic subset selection over the full enumeration.
+
+        * ``grid`` — every *stride*-th point, capped at *n*;
+        * ``random`` — *n* points drawn without replacement from
+          ``random.Random(seed)`` (order-stable for equal arguments);
+        * ``frontier`` — the space's corners: every combination of each
+          axis's first and last value, the classic bounding sweep.
+        """
+        if mode == "grid":
+            selected = self.points()[::max(1, stride)]
+            return selected[:n] if n is not None else selected
+        if mode == "random":
+            points = self.points()
+            if n is None or n >= len(points):
+                return points
+            rng = random.Random(seed)
+            picked = sorted(rng.sample(range(len(points)), n))
+            return [points[i] for i in picked]
+        if mode == "frontier":
+            extremes = [
+                (axis.values[0], axis.values[-1]) if len(axis.values) > 1
+                else (axis.values[0],)
+                for axis in self.axes
+            ]
+            seen: set[DesignPoint] = set()
+            corners: list[DesignPoint] = []
+            for combo in itertools.product(*extremes):
+                point = DesignPoint.from_dicts(
+                    dict(zip(self.axis_names(), combo)), self.base
+                )
+                if point not in seen:
+                    seen.add(point)
+                    corners.append(point)
+            return corners[:n] if n is not None else corners
+        raise ValueError(f"unknown sampling mode {mode!r} "
+                         "(grid, random, frontier)")
+
+
+# -- presets -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Preset:
+    """A space plus the workload pairs its sweeps score fidelity over."""
+
+    space: DesignSpace
+    pairs: tuple[tuple[str, str], ...]
+
+    @property
+    def name(self) -> str:
+        return self.space.name
+
+    @property
+    def description(self) -> str:
+        return self.space.description
+
+
+_SMOKE_PAIRS = (("adpcm", "small"), ("crc32", "small"))
+
+#: Pair set shared with the report's machine figures — big enough for a
+#: meaningful suite average, small enough for a cold CI run.
+EXPLORE_PAIRS = (
+    ("adpcm", "small"),
+    ("crc32", "small"),
+    ("fft", "small"),
+    ("sha", "small"),
+    ("stringsearch", "small"),
+)
+
+#: The wider default grid (ROADMAP "wider grids"): all three ISAs at
+#: every optimization level on a mid-range out-of-order core.
+ISA_OPT_SPACE = DesignSpace(
+    name="isa-opt",
+    axes=(
+        Axis("isa", ("x86", "x86_64", "ia64")),
+        Axis("opt_level", (0, 1, 2, 3)),
+    ),
+    base={"width": 3, "rob": 96, "l1_kb": 32, "l2_kb": 2048,
+          "frequency_ghz": 2.2, "l1_hit_cycles": 3, "memory_cycles": 130},
+    description="ISA x opt-level sweep (x86 / x86_64 / ia64 at O0..O3) "
+                "on a Core 2-class core",
+)
+
+PRESETS: dict[str, Preset] = {
+    "smoke": Preset(
+        DesignSpace(
+            name="smoke",
+            axes=(Axis("width", (2, 4)), Axis("opt_level", (0, 2))),
+            base={"isa": "x86", "rob": 64, "l1_kb": 16, "l2_kb": 1024},
+            description="2x2 width x opt grid over two pairs — CI-sized",
+        ),
+        _SMOKE_PAIRS,
+    ),
+    "isa-opt": Preset(ISA_OPT_SPACE, EXPLORE_PAIRS),
+    "table3": Preset(
+        DesignSpace(
+            name="table3",
+            axes=(
+                Axis(MACHINE_AXIS, tuple(sorted(SPEC_BY_NAME))),
+                Axis("opt_level", (0, 1, 2, 3)),
+            ),
+            description="the paper's five Table III machines at O0..O3 "
+                        "(Fig. 11 as a sweep)",
+        ),
+        EXPLORE_PAIRS,
+    ),
+    "microarch": Preset(
+        DesignSpace(
+            name="microarch",
+            axes=(
+                Axis("width", (2, 3, 4)),
+                Axis("rob", (32, 64, 128)),
+                Axis("l1_kb", (8, 32)),
+            ),
+            base={"isa": "x86_64", "opt_level": 2, "l2_kb": 2048},
+            description="18-point width x ROB x L1 microarchitecture grid "
+                        "at -O2",
+        ),
+        _SMOKE_PAIRS,
+    ),
+}
+
+
+def get_preset(name: str) -> Preset:
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r} (available: {', '.join(PRESETS)})"
+        ) from None

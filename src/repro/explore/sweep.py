@@ -1,0 +1,261 @@
+"""Sweep orchestrator: design points → engine task chains → scored rows.
+
+Each design point lowers to the engine pipeline at its machine's ISA and
+its optimization level: the original workloads and their synthetic
+clones are compiled and traced through :class:`repro.engine.Engine`
+(content-addressed store, optional multiprocessing fan-out via
+``warm``), then both traces are replayed on the point's parametric
+:class:`~repro.sim.machines.Machine` and the clone's fidelity is scored
+as CPI / cache-miss-rate / branch-accuracy deltas (absolute runtimes
+per side ride along for Pareto ranking).
+
+Scored points land in the persistent :class:`~repro.explore.db.ResultsDB`
+keyed by the same content-address recipe the store uses, which makes
+sweeps resumable: a re-issued (or interrupted and restarted) sweep
+skips every already-scored point, and a fully scored sweep performs
+zero compiles and zero runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.engine.store import toolchain_fingerprint
+from repro.engine.tasks import pair_fingerprint
+from repro.explore.db import (
+    ResultRecord,
+    ResultsDB,
+    pareto_front,
+    result_key,
+)
+from repro.explore.space import DesignPoint, Preset, format_point, get_preset
+from repro.sim.machines import Machine
+from repro.tables import format_table
+
+#: Fidelity metrics averaged into the score (lower is better).
+SCORE_COMPONENTS = ("cpi_err", "miss_rate_err", "branch_acc_err")
+
+ProgressFn = Callable[[int, int, ResultRecord, bool], None]
+
+
+def _rel_err(reference: float, measured: float) -> float:
+    if reference == 0:
+        return 0.0 if measured == 0 else float("inf")
+    return abs(measured - reference) / abs(reference)
+
+
+def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
+    """Score one design point's clone fidelity over *pairs*.
+
+    Both sides are aggregated suite-wide (total cycles over total
+    instructions, pooled cache/branch events) before the deltas are
+    taken, mirroring the paper's consolidated-measurement methodology.
+    """
+    machine: Machine = point.machine()
+    isa = machine.isa.name
+    opt_level = point.opt_level
+
+    totals = {side: {"cycles": 0, "instructions": 0, "l1_hits": 0,
+                     "l1_misses": 0, "branch_hits": 0, "branch_misses": 0}
+              for side in ("org", "syn")}
+    for workload, input_name in pairs:
+        org_trace = engine.original_trace(workload, input_name, isa,
+                                          opt_level)
+        syn_trace = engine.synthetic_trace(workload, input_name, isa,
+                                           opt_level)
+        for side, trace in (("org", org_trace), ("syn", syn_trace)):
+            result = machine.simulate(trace)
+            bucket = totals[side]
+            bucket["cycles"] += result.cycles
+            bucket["instructions"] += result.instructions
+            bucket["l1_hits"] += result.l1_hits
+            bucket["l1_misses"] += result.l1_misses
+            bucket["branch_hits"] += result.branch_hits
+            bucket["branch_misses"] += result.branch_misses
+
+    def derived(bucket: dict) -> tuple[float, float, float, float]:
+        instructions = bucket["instructions"] or 1
+        cpi = bucket["cycles"] / instructions
+        mem = bucket["l1_hits"] + bucket["l1_misses"]
+        miss_rate = bucket["l1_misses"] / mem if mem else 0.0
+        branches = bucket["branch_hits"] + bucket["branch_misses"]
+        acc = bucket["branch_hits"] / branches if branches else 1.0
+        runtime = bucket["cycles"] / (machine.frequency_ghz * 1e9)
+        return cpi, miss_rate, acc, runtime
+
+    org_cpi, org_miss, org_acc, org_runtime = derived(totals["org"])
+    syn_cpi, syn_miss, syn_acc, syn_runtime = derived(totals["syn"])
+
+    metrics = {
+        "org_cpi": org_cpi,
+        "syn_cpi": syn_cpi,
+        "cpi_err": _rel_err(org_cpi, syn_cpi),
+        "org_l1_miss_rate": org_miss,
+        "syn_l1_miss_rate": syn_miss,
+        "miss_rate_err": abs(syn_miss - org_miss),
+        "org_branch_acc": org_acc,
+        "syn_branch_acc": syn_acc,
+        "branch_acc_err": abs(syn_acc - org_acc),
+        # Absolute runtimes per side; no runtime-delta metric — the
+        # clone is deliberately much shorter than the original, and the
+        # rate-normalized comparison is exactly cpi_err (frequency
+        # cancels when both sides run on the point's machine).
+        "org_runtime_s": org_runtime,
+        "syn_runtime_s": syn_runtime,
+        "org_instructions": totals["org"]["instructions"],
+        "syn_instructions": totals["syn"]["instructions"],
+    }
+    metrics["score"] = sum(metrics[c] for c in SCORE_COMPONENTS) / \
+        len(SCORE_COMPONENTS)
+    return metrics
+
+
+@dataclass
+class SweepResult:
+    """Everything one ``run_sweep`` produced (or resumed)."""
+
+    sweep: str
+    records: list[ResultRecord] = field(default_factory=list)
+    resumed_keys: set = field(default_factory=set)
+    points: list[DesignPoint] = field(default_factory=list)
+
+    @property
+    def computed(self) -> int:
+        return len(self.records) - self.resumed
+
+    @property
+    def resumed(self) -> int:
+        return sum(1 for r in self.records if r.key in self.resumed_keys)
+
+    def pareto(self, metrics=("org_runtime_s", "score")):
+        return pareto_front(self.records, metrics)
+
+    def format_table(self, top: int | None = None) -> str:
+        labels = {}
+        for point, record in zip(self.points, self.records):
+            labels[record.key] = point.label()
+        records = sorted(self.records, key=lambda r: (r.score, r.key))
+        if top is not None:
+            records = records[:top]
+        pareto_keys = {r.key for r in self.pareto()}
+        rows = []
+        for record in records:
+            m = record.metrics
+            rows.append([
+                labels.get(record.key) or format_point(record.point),
+                m["org_cpi"], m["syn_cpi"], m["cpi_err"],
+                m["miss_rate_err"], m["branch_acc_err"],
+                record.score,
+                "*" if record.key in pareto_keys else "",
+                "resumed" if record.key in self.resumed_keys else "run",
+            ])
+        title = (
+            f"Explore sweep '{self.sweep}': {len(self.records)} points "
+            f"({self.computed} scored, {self.resumed} resumed from DB; "
+            f"* = Pareto runtime/fidelity front)"
+        )
+        return format_table(
+            ["point", "org_cpi", "syn_cpi", "cpi_err", "miss_err",
+             "branch_err", "score", "pareto", "origin"],
+            rows, title=title,
+        )
+
+
+def run_sweep(
+    preset: Preset | str,
+    engine: Engine | None = None,
+    db: ResultsDB | None = None,
+    workers: int | None = None,
+    sample_mode: str = "grid",
+    n: int | None = None,
+    seed: int = 0,
+    stride: int = 1,
+    pairs=None,
+    sweep_name: str | None = None,
+    force: bool = False,
+    progress: ProgressFn | None = None,
+) -> SweepResult:
+    """Sweep a preset's design space through the engine into the DB.
+
+    Already-scored points (matching content key) are resumed from *db*
+    without touching the engine; the remaining points are warmed as one
+    task graph (parallel across ``workers``) and scored in enumeration
+    order, each persisted as soon as it is scored so an interrupted
+    sweep resumes at the first unscored point.  ``force=True`` rescores
+    everything.
+    """
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    points = preset.space.sample(mode=sample_mode, n=n, seed=seed,
+                                 stride=stride)
+    default_pairs = tuple(pairs) if pairs else preset.pairs
+    sweep = sweep_name or preset.name
+    owns_db = db is None
+    db = db or ResultsDB()
+    try:
+        toolchain = toolchain_fingerprint()
+        target = engine.target_instructions if engine is not None else \
+            DEFAULT_TARGET_INSTRUCTIONS
+        plan: list[tuple[DesignPoint, tuple, str]] = []
+        for point in points:
+            point_pairs = (point.pair,) if point.pair else default_pairs
+            fingerprints = tuple(
+                pair_fingerprint(w, i) for w, i in point_pairs
+            )
+            key = result_key(point.as_dict(), fingerprints, target,
+                             toolchain, sweep=sweep)
+            plan.append((point, point_pairs, key))
+
+        result = SweepResult(sweep=sweep)
+        missing = []
+        cached: dict[str, ResultRecord] = {}
+        for point, point_pairs, key in plan:
+            record = None if force else db.get(key)
+            if record is not None:
+                cached[key] = record
+                result.resumed_keys.add(key)
+            else:
+                missing.append((point, point_pairs, key))
+
+        if missing:
+            engine = engine or Engine()
+            warm_pairs: set = set()
+            warm_coords: set = set()
+            for point, point_pairs, _ in missing:
+                warm_pairs.update(point_pairs)
+                spec = point.machine_spec()
+                warm_coords.add((spec.isa, point.opt_level))
+            engine.warm(sorted(warm_pairs), sorted(warm_coords),
+                        workers=workers)
+
+        computed: dict[str, ResultRecord] = {}
+        missing_keys = {key for _, _, key in missing}
+        for index, (point, point_pairs, key) in enumerate(plan):
+            if key in cached:
+                record = cached[key]
+            else:
+                metrics = score_point(point, point_pairs, engine)
+                record = ResultRecord(
+                    key=key,
+                    sweep=sweep,
+                    created_at=time.time(),
+                    point=point.as_dict(),
+                    metrics={k: v for k, v in metrics.items()
+                             if k != "score"},
+                    score=metrics["score"],
+                    toolchain=toolchain,
+                )
+                db.put(record)
+                computed[key] = record
+            result.records.append(record)
+            result.points.append(point)
+            if progress is not None:
+                progress(index + 1, len(plan), record,
+                         key not in missing_keys)
+        return result
+    finally:
+        if owns_db:
+            db.close()

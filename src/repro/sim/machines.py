@@ -1,7 +1,14 @@
-"""The five machines of the paper's Table III.
+"""Machines: parametric construction plus the paper's Table III quintet.
 
-Each machine couples an ISA, a clock frequency, and a timing-model
-configuration.  The parameters are first-order public-spec values (issue
+A :class:`MachineSpec` is an axis-value description of a hardware
+platform — ISA, clock, issue width, ROB size, L1/L2 geometry, memory and
+branch parameters — that lowers to a concrete :class:`Machine` via
+:meth:`MachineSpec.build`.  The explorer (:mod:`repro.explore`) sweeps
+spaces of these axis values; the five fixed machines of the paper's
+Table III are themselves built from :data:`TABLE_III_SPECS`, so the
+parametric path and the paper's constants can never drift apart.
+
+The Table III parameters are first-order public-spec values (issue
 width, ROB size, cache sizes, pipeline depth via the mispredict penalty);
 Fig. 11 only reads *normalized* execution times, so relative magnitudes
 are what matters:
@@ -19,9 +26,9 @@ Core i7         x86_64   2.67GHz 4      128   32 KB    8 MB
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, replace
 
-from repro.isa.targets import IA64, ISA, X86, X86_64
+from repro.isa.targets import ISA, ISA_BY_NAME
 from repro.sim.cache import CacheConfig
 from repro.sim.inorder import InOrderModel
 from repro.sim.ooo import OutOfOrderModel, TimingConfig, TimingResult
@@ -51,73 +58,122 @@ class Machine:
         return result.cycles / (self.frequency_ghz * 1e9)
 
 
-def _config(
-    width: int,
-    rob: int,
-    l1_kb: int,
-    l2_kb: int,
-    penalty: int,
-    memory_cycles: int,
-    l1_hit: int,
-) -> TimingConfig:
-    return TimingConfig(
-        width=width,
-        rob_size=rob,
-        l1=CacheConfig(l1_kb * 1024, 32, 4),
-        l2=CacheConfig(l2_kb * 1024, 32, 8),
-        mispredict_penalty=penalty,
-        memory_cycles=memory_cycles,
-        l1_hit_cycles=l1_hit,
-    )
+@dataclass(frozen=True)
+class MachineSpec:
+    """Axis-value description of a machine — the unit the explorer sweeps.
+
+    Every field except ``name`` is a sweepable axis.  Cache geometry is
+    expressed as capacity only; lines stay 32 B and associativity 4-way
+    (L1) / 8-way (L2), matching every Table III configuration.
+    """
+
+    name: str
+    isa: str = "x86"
+    frequency_ghz: float = 2.0
+    width: int = 2
+    rob: int = 64
+    l1_kb: int = 32
+    l2_kb: int = 1024
+    l1_hit_cycles: int = 3
+    l2_hit_cycles: int = 14
+    memory_cycles: int = 120
+    mispredict_penalty: int = 12
+    predictor_entries: int = 4096
+    in_order: bool = False
+
+    def build(self) -> Machine:
+        if self.isa not in ISA_BY_NAME:
+            raise KeyError(
+                f"unknown ISA {self.isa!r} "
+                f"(available: {', '.join(sorted(ISA_BY_NAME))})"
+            )
+        timing = TimingConfig(
+            width=self.width,
+            rob_size=self.rob,
+            l1=CacheConfig(self.l1_kb * 1024, 32, 4),
+            l2=CacheConfig(self.l2_kb * 1024, 32, 8),
+            l1_hit_cycles=self.l1_hit_cycles,
+            l2_hit_cycles=self.l2_hit_cycles,
+            memory_cycles=self.memory_cycles,
+            mispredict_penalty=self.mispredict_penalty,
+            predictor_entries=self.predictor_entries,
+        )
+        return Machine(
+            name=self.name,
+            isa=ISA_BY_NAME[self.isa],
+            frequency_ghz=self.frequency_ghz,
+            in_order=self.in_order,
+            timing=timing,
+        )
+
+    def axes(self) -> dict:
+        """The spec as a plain axis→value dict (everything but the name)."""
+        return {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name != "name"
+        }
+
+
+def spec_from_axes(name: str | None = None, **axes) -> MachineSpec:
+    """Build a :class:`MachineSpec` from axis values; unset axes default.
+
+    Unknown axis names raise ``TypeError`` so sweep definitions fail
+    loudly instead of silently ignoring a misspelled parameter.
+    """
+    spec = MachineSpec(name="", **axes)
+    if name is None:
+        name = (f"{spec.isa}-w{spec.width}-rob{spec.rob}"
+                f"-l1:{spec.l1_kb}k-l2:{spec.l2_kb}k"
+                f"@{spec.frequency_ghz}GHz")
+    return replace(spec, name=name)
+
+
+def machine_from_axes(name: str | None = None, **axes) -> Machine:
+    """One-shot ``spec_from_axes(...).build()``."""
+    return spec_from_axes(name, **axes).build()
 
 
 # L1 hit latencies (cycles) reflect each design's load-to-use cost: the
 # deeply pipelined Pentium 4 pays ~4 cycles, Nehalem ~2 effective, the
 # 900 MHz Itanium 2 one.
-PENTIUM4_3GHZ = Machine(
-    name="Pentium 4, 3GHz",
-    isa=X86,
-    frequency_ghz=3.0,
-    in_order=False,
-    timing=_config(width=2, rob=126, l1_kb=8, l2_kb=1024, penalty=20,
-                   memory_cycles=200, l1_hit=4),
+TABLE_III_SPECS: tuple[MachineSpec, ...] = (
+    MachineSpec(
+        name="Pentium 4, 3GHz", isa="x86", frequency_ghz=3.0,
+        width=2, rob=126, l1_kb=8, l2_kb=1024, l1_hit_cycles=4,
+        memory_cycles=200, mispredict_penalty=20,
+    ),
+    MachineSpec(
+        name="Core 2", isa="x86_64", frequency_ghz=2.2,
+        width=3, rob=96, l1_kb=32, l2_kb=2048, l1_hit_cycles=3,
+        memory_cycles=130, mispredict_penalty=12,
+    ),
+    MachineSpec(
+        name="Pentium 4, 2.8GHz", isa="x86", frequency_ghz=2.8,
+        width=2, rob=126, l1_kb=8, l2_kb=1024, l1_hit_cycles=4,
+        memory_cycles=190, mispredict_penalty=20,
+    ),
+    MachineSpec(
+        name="Itanium 2", isa="ia64", frequency_ghz=0.9,
+        width=4, rob=48, l1_kb=16, l2_kb=256, l1_hit_cycles=1,
+        memory_cycles=100, mispredict_penalty=6, in_order=True,
+    ),
+    MachineSpec(
+        name="Core i7", isa="x86_64", frequency_ghz=2.67,
+        width=4, rob=128, l1_kb=32, l2_kb=8192, l1_hit_cycles=2,
+        memory_cycles=110, mispredict_penalty=14,
+    ),
 )
 
-CORE2 = Machine(
-    name="Core 2",
-    isa=X86_64,
-    frequency_ghz=2.2,
-    in_order=False,
-    timing=_config(width=3, rob=96, l1_kb=32, l2_kb=2048, penalty=12,
-                   memory_cycles=130, l1_hit=3),
-)
+SPEC_BY_NAME: dict[str, MachineSpec] = {
+    spec.name: spec for spec in TABLE_III_SPECS
+}
 
-PENTIUM4_28GHZ = Machine(
-    name="Pentium 4, 2.8GHz",
-    isa=X86,
-    frequency_ghz=2.8,
-    in_order=False,
-    timing=_config(width=2, rob=126, l1_kb=8, l2_kb=1024, penalty=20,
-                   memory_cycles=190, l1_hit=4),
-)
-
-ITANIUM2 = Machine(
-    name="Itanium 2",
-    isa=IA64,
-    frequency_ghz=0.9,
-    in_order=True,
-    timing=_config(width=4, rob=48, l1_kb=16, l2_kb=256, penalty=6,
-                   memory_cycles=100, l1_hit=1),
-)
-
-COREI7 = Machine(
-    name="Core i7",
-    isa=X86_64,
-    frequency_ghz=2.67,
-    in_order=False,
-    timing=_config(width=4, rob=128, l1_kb=32, l2_kb=8192, penalty=14,
-                   memory_cycles=110, l1_hit=2),
-)
+PENTIUM4_3GHZ = TABLE_III_SPECS[0].build()
+CORE2 = TABLE_III_SPECS[1].build()
+PENTIUM4_28GHZ = TABLE_III_SPECS[2].build()
+ITANIUM2 = TABLE_III_SPECS[3].build()
+COREI7 = TABLE_III_SPECS[4].build()
 
 MACHINES: tuple[Machine, ...] = (
     PENTIUM4_3GHZ,

@@ -1,0 +1,28 @@
+"""Plain-text table rendering shared by the experiment figures and the
+design-space explorer.  (Historically lived in ``experiments.runner``,
+which still re-exports it.)"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render *rows* under *headers* as an aligned monospace table."""
+    def fmt(value) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Cache-aware baseline comparison (repro.engine.bench)."""
+
+import json
+
+import pytest
+
+from repro.engine.bench import (
+    BenchRecord,
+    cache_mode,
+    compare_baselines,
+    compare_records,
+    load_benchmark_json,
+    main,
+    records_from_data,
+    regressions,
+    split_cold_warm,
+    write_cold_warm_pair,
+)
+
+
+def rec(name="fig", mean=1.0, hits=0, misses=0):
+    return BenchRecord(name=name, mean=mean,
+                       cache={"hits": hits, "misses": misses, "puts": misses,
+                              "evictions": 0})
+
+
+def payload(*benches):
+    return {
+        "machine_info": {"cpu": "test"},
+        "benchmarks": [
+            {
+                "name": name,
+                "stats": {"mean": mean},
+                "extra_info": {"cache": cache} if cache is not None else {},
+            }
+            for name, mean, cache in benches
+        ],
+    }
+
+
+class TestCacheMode:
+    def test_modes(self):
+        assert cache_mode({"misses": 3, "hits": 1}) == "cold"
+        assert cache_mode({"misses": 0, "hits": 9}) == "warm"
+        assert cache_mode({"misses": 0, "hits": 0}) == "uncached"
+        assert cache_mode(None) == "uncached"
+        assert cache_mode({}) == "uncached"
+
+
+class TestCompareRecords:
+    def test_same_mode_slowdown_is_a_compute_regression(self):
+        v = compare_records(rec(mean=1.0, hits=5), rec(mean=1.5, hits=5))
+        assert v.verdict == "compute-regression"
+        assert v.ratio == 1.5
+
+    def test_same_mode_speedup_is_a_compute_improvement(self):
+        v = compare_records(rec(mean=2.0, misses=5), rec(mean=1.0, misses=5))
+        assert v.verdict == "compute-improvement"
+
+    def test_same_mode_within_tolerance_is_stable(self):
+        v = compare_records(rec(mean=1.0, hits=5), rec(mean=1.05, hits=5))
+        assert v.verdict == "stable"
+
+    def test_cold_to_warm_speedup_is_attributed_to_the_cache(self):
+        """The headline case: a 30x 'speedup' that is pure cache hits."""
+        v = compare_records(rec(mean=30.0, misses=48),
+                            rec(mean=1.0, hits=48))
+        assert v.verdict == "cache-speedup"
+        assert v.old_mode == "cold" and v.new_mode == "warm"
+
+    def test_warm_run_slower_than_cold_baseline_is_a_real_regression(self):
+        v = compare_records(rec(mean=1.0, misses=48),
+                            rec(mean=2.0, hits=48))
+        assert v.verdict == "compute-regression"
+
+    def test_warm_to_cold_slowdown_is_cache_state_not_compute(self):
+        v = compare_records(rec(mean=1.0, hits=48),
+                            rec(mean=30.0, misses=48))
+        assert v.verdict == "cache-cold"
+
+    def test_uncached_baseline_vs_warm_slowdown_is_a_regression(self):
+        # Uncached runs measure pure compute, like cold ones: a warm
+        # run that is *slower* than an uncached baseline regressed.
+        v = compare_records(BenchRecord("b", 1.0, {}),
+                            rec("b", mean=5.0, hits=48))
+        assert v.verdict == "compute-regression"
+
+    def test_uncached_vs_cold_compare_as_compute(self):
+        v = compare_records(BenchRecord("b", 1.0, {}),
+                            rec("b", mean=2.0, misses=9))
+        assert v.verdict == "compute-regression"
+
+    def test_tolerance_is_configurable(self):
+        v = compare_records(rec(mean=1.0, hits=1), rec(mean=1.1, hits=1),
+                            tolerance=0.05)
+        assert v.verdict == "compute-regression"
+
+
+class TestCompareBaselines:
+    def test_new_and_missing_benchmarks_are_flagged(self):
+        old = {"a": rec("a"), "gone": rec("gone")}
+        new = {"a": rec("a"), "fresh": rec("fresh")}
+        verdicts = {v.name: v.verdict for v in compare_baselines(old, new)}
+        assert verdicts == {"a": "stable", "gone": "missing",
+                            "fresh": "new"}
+
+    def test_regressions_filter(self):
+        old = {"a": rec("a", mean=1.0, hits=1)}
+        new = {"a": rec("a", mean=9.0, hits=1)}
+        assert len(regressions(compare_baselines(old, new))) == 1
+
+
+class TestJsonRoundTrip:
+    def test_records_from_benchmark_json(self, tmp_path):
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps(payload(
+            ("one", 1.5, {"hits": 0, "misses": 7}),
+            ("two", 0.1, None),
+        )))
+        records = load_benchmark_json(path)
+        assert records["one"].mode == "cold"
+        assert records["one"].mean == 1.5
+        assert records["two"].mode == "uncached"
+
+    def test_split_cold_warm_partitions_by_mode(self):
+        data = payload(
+            ("cold_one", 5.0, {"hits": 0, "misses": 3}),
+            ("warm_one", 0.2, {"hits": 9, "misses": 0}),
+            ("uncached_one", 1.0, None),
+        )
+        cold, warm = split_cold_warm(data)
+        assert [b["name"] for b in cold["benchmarks"]] == \
+            ["cold_one", "uncached_one"]
+        assert [b["name"] for b in warm["benchmarks"]] == ["warm_one"]
+        assert cold["machine_info"] == data["machine_info"]
+
+    def test_write_cold_warm_pair(self, tmp_path):
+        src = tmp_path / "BENCH.json"
+        src.write_text(json.dumps(payload(
+            ("a", 1.0, {"hits": 3, "misses": 0}),
+        )))
+        cold_path, warm_path = write_cold_warm_pair(src, tmp_path / "out")
+        assert cold_path.name == "BENCH_cold.json"
+        assert warm_path.name == "BENCH_warm.json"
+        warm = records_from_data(json.loads(warm_path.read_text()))
+        assert list(warm) == ["a"]
+
+
+class TestCli:
+    def test_compare_exits_nonzero_on_regression(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(payload(
+            ("fig", 1.0, {"hits": 5, "misses": 0}))))
+        new.write_text(json.dumps(payload(
+            ("fig", 9.0, {"hits": 5, "misses": 0}))))
+        assert main(["compare", str(old), str(new)]) == 1
+        out, _ = capsys.readouterr()
+        assert "compute-regression" in out
+
+    def test_compare_accepts_cache_speedups(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        new = tmp_path / "new.json"
+        old.write_text(json.dumps(payload(
+            ("fig", 30.0, {"hits": 0, "misses": 48}))))
+        new.write_text(json.dumps(payload(
+            ("fig", 1.0, {"hits": 48, "misses": 0}))))
+        assert main(["compare", str(old), str(new)]) == 0
+        assert "cache-speedup" in capsys.readouterr()[0]
+
+    def test_split_cli(self, tmp_path, capsys):
+        src = tmp_path / "BENCH.json"
+        src.write_text(json.dumps(payload(
+            ("a", 1.0, {"hits": 0, "misses": 2}))))
+        assert main(["split", str(src)]) == 0
+        assert (tmp_path / "BENCH_cold.json").exists()
+        assert (tmp_path / "BENCH_warm.json").exists()

@@ -7,6 +7,7 @@ import pytest
 
 from repro.engine.store import (
     CACHE_DIR_ENV,
+    CACHE_MAX_BYTES_ENV,
     ArtifactStore,
     canonical_key,
     default_cache_root,
@@ -192,3 +193,102 @@ class TestCli:
         store.put(key, {"mix": {"load": 0.3}})
         raw = store.path_for(key).read_bytes()
         assert pickle.loads(raw) == {"mix": {"load": 0.3}}
+
+
+class TestLifecycle:
+    def _fill(self, store, count=4, blob=1000):
+        keys = []
+        for i in range(count):
+            key = store.key_for("compile", source_sha=f"s{i}", isa="x86",
+                                opt_level=0)
+            store.put(key, "x" * blob)
+            keys.append(key)
+            time.sleep(0.01)  # distinct mtimes for LRU order
+        return keys
+
+    def test_put_auto_evicts_past_max_bytes(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "capped")
+        keys = self._fill(store, count=3)
+        total = sum(size for _, size, _ in store.entries())
+        store.max_bytes = total  # room for ~3 entries, no more
+        extra = store.key_for("compile", source_sha="s-new", isa="x86",
+                              opt_level=0)
+        store.put(extra, "y" * 1000)
+        assert sum(size for _, size, _ in store.entries()) <= total
+        assert store.stats.evictions >= 1
+        # LRU: the oldest entry went first; the new one survived.
+        assert not store.contains(keys[0])
+        assert store.contains(extra)
+
+    def test_max_bytes_from_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_BYTES_ENV, "12345")
+        assert ArtifactStore(root=tmp_path).max_bytes == 12345
+        monkeypatch.delenv(CACHE_MAX_BYTES_ENV)
+        assert ArtifactStore(root=tmp_path).max_bytes is None
+
+    def test_unbounded_store_never_auto_evicts(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        self._fill(store, count=3)
+        assert store.stats.evictions == 0
+        assert store.info()["entries"] == 3
+
+    def test_fsck_detects_and_removes_corruption(self, store):
+        keys = self._fill(store, count=3)
+        victim = store.path_for(keys[1])
+        victim.write_bytes(b"\x80\x05 truncated garbage")
+        report = store.fsck(remove=False)
+        assert report["scanned"] == 3
+        assert report["corrupt"] == [str(victim)]
+        assert report["removed"] == 0
+        assert victim.exists()
+
+        report = store.fsck()
+        assert report["removed"] == 1
+        assert not victim.exists()
+        # Healthy entries survive and still load.
+        assert store.get(keys[0]) == "x" * 1000
+
+    def test_fsck_clean_store(self, store):
+        self._fill(store, count=2)
+        report = store.fsck()
+        assert report == {"scanned": 2, "corrupt": [], "removed": 0,
+                          "stale_tmp": [], "tmp_removed": 0}
+
+    def test_fsck_reclaims_orphaned_tmp_files(self, store):
+        import os
+        keys = self._fill(store, count=1)
+        bucket = store.path_for(keys[0]).parent
+        stale = bucket / "deadbeef.tmp"
+        stale.write_bytes(b"half-written")
+        old = time.time() - store.STALE_TMP_SECONDS - 10
+        os.utime(stale, (old, old))
+        fresh = bucket / "inflight.tmp"
+        fresh.write_bytes(b"racing writer")  # current mtime: kept
+
+        report = store.fsck(remove=False)
+        assert report["stale_tmp"] == [str(stale)]
+        assert stale.exists()
+
+        report = store.fsck()
+        assert report["tmp_removed"] == 1
+        assert not stale.exists()
+        assert fresh.exists()
+
+    def test_clear_removes_tmp_leftovers(self, store):
+        keys = self._fill(store, count=1)
+        leftover = store.path_for(keys[0]).parent / "orphan.tmp"
+        leftover.write_bytes(b"junk")
+        store.clear()
+        assert not leftover.exists()
+
+    def test_fsck_cli(self, tmp_path, capsys):
+        store = ArtifactStore(root=tmp_path)
+        keys = self._fill(store, count=2)
+        store.path_for(keys[0]).write_bytes(b"bad")
+        assert main(["--cache-dir", str(tmp_path), "fsck", "--keep"]) == 1
+        out = capsys.readouterr().out
+        assert "1 corrupt, 0 removed" in out
+        assert main(["--cache-dir", str(tmp_path), "fsck"]) == 0
+        assert "1 corrupt, 1 removed" in capsys.readouterr().out
+        assert main(["--cache-dir", str(tmp_path), "fsck"]) == 0
+        assert "0 corrupt" in capsys.readouterr().out

@@ -1,0 +1,162 @@
+"""Results-DB round-trip, cross-run queries, ranking, compare, Pareto."""
+
+import pytest
+
+from repro.explore.db import (
+    ResultRecord,
+    ResultsDB,
+    pareto_front,
+    result_key,
+)
+
+
+def record(key="k", sweep="s", score=0.5, point=None, metrics=None,
+           created=1000.0):
+    return ResultRecord(
+        key=key,
+        sweep=sweep,
+        created_at=created,
+        point=point or {"width": 2, "opt_level": 0},
+        metrics=metrics or {"cpi_err": score, "org_runtime_s": 1.0},
+        score=score,
+    )
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ResultsDB(tmp_path / "results.sqlite3") as handle:
+        yield handle
+
+
+class TestRoundTrip:
+    def test_put_get_preserves_everything(self, db):
+        original = record(point={"isa": "ia64", "width": 4},
+                          metrics={"cpi_err": 0.1, "miss": 0.02})
+        db.put(original)
+        loaded = db.get("k")
+        assert loaded == original
+
+    def test_get_missing_returns_none(self, db):
+        assert db.get("absent") is None
+
+    def test_put_same_key_upserts(self, db):
+        db.put(record(score=0.5))
+        db.put(record(score=0.9))
+        assert db.get("k").score == 0.9
+        assert len(db.query()) == 1
+
+    def test_cross_run_round_trip(self, tmp_path):
+        """A second handle on the same path sees the first run's rows."""
+        path = tmp_path / "cross.sqlite3"
+        with ResultsDB(path) as first:
+            first.put(record(key="a", sweep="run1"))
+        with ResultsDB(path) as second:
+            rows = second.query(sweep="run1")
+            assert [r.key for r in rows] == ["a"]
+
+
+class TestQuery:
+    def test_query_filters_by_sweep(self, db):
+        db.put(record(key="a", sweep="one"))
+        db.put(record(key="b", sweep="two"))
+        assert [r.key for r in db.query(sweep="one")] == ["a"]
+        assert len(db.query()) == 2
+
+    def test_where_matches_axis_values(self, db):
+        db.put(record(key="a", point={"width": 2, "isa": "x86"}))
+        db.put(record(key="b", point={"width": 4, "isa": "x86"}))
+        assert [r.key for r in db.query(where={"width": 2})] == ["a"]
+        # CLI-style string values coerce.
+        assert [r.key for r in db.query(where={"width": "4"})] == ["b"]
+        assert db.query(where={"width": 8}) == []
+        assert db.query(where={"no_such_axis": 1}) == []
+
+    def test_where_matches_pair_axis_in_cli_rendering(self, db):
+        # 'pair' round-trips through JSON as a list; the CLI renders
+        # (and accepts) workload/input.
+        db.put(record(key="p", point={"pair": ["adpcm", "small"],
+                                      "opt_level": 0}))
+        assert [r.key for r in db.query(where={"pair": "adpcm/small"})] \
+            == ["p"]
+        assert db.query(where={"pair": "crc32/small"}) == []
+
+    def test_sweeps_lists_counts(self, db):
+        db.put(record(key="a", sweep="one", created=5.0))
+        db.put(record(key="b", sweep="one", created=9.0))
+        db.put(record(key="c", sweep="two", created=7.0))
+        assert db.sweeps() == [("one", 2, 9.0), ("two", 1, 7.0)]
+
+    def test_delete_sweep(self, db):
+        db.put(record(key="a", sweep="gone"))
+        db.put(record(key="b", sweep="kept"))
+        assert db.delete_sweep("gone") == 1
+        assert [r.sweep for r in db.query()] == ["kept"]
+
+
+class TestRank:
+    def test_rank_orders_by_score_ascending(self, db):
+        db.put(record(key="worst", score=0.9))
+        db.put(record(key="best", score=0.1))
+        db.put(record(key="mid", score=0.5))
+        assert [r.key for r in db.rank()] == ["best", "mid", "worst"]
+
+    def test_rank_by_named_metric_with_limit(self, db):
+        db.put(record(key="a", metrics={"cpi_err": 0.3}))
+        db.put(record(key="b", metrics={"cpi_err": 0.1}))
+        db.put(record(key="c", metrics={"cpi_err": 0.2}))
+        assert [r.key for r in db.rank(metric="cpi_err", limit=2)] == \
+            ["b", "c"]
+
+    def test_rank_descending(self, db):
+        db.put(record(key="a", score=0.1))
+        db.put(record(key="b", score=0.9))
+        assert [r.key for r in db.rank(ascending=False)] == ["b", "a"]
+
+    def test_unknown_metric_raises(self, db):
+        db.put(record())
+        with pytest.raises(KeyError, match="unknown metric"):
+            db.rank(metric="nope")
+
+
+class TestCompare:
+    def test_compare_matches_points_across_sweeps(self, db):
+        db.put(record(key="a1", sweep="left", point={"width": 2},
+                      score=0.5))
+        db.put(record(key="a2", sweep="right", point={"width": 2},
+                      score=0.3))
+        db.put(record(key="b1", sweep="left", point={"width": 4},
+                      score=0.7))
+        matched = db.compare("left", "right")
+        assert matched == [({"width": 2}, 0.5, 0.3)]
+
+
+class TestKeyRecipe:
+    def test_key_is_order_insensitive_and_content_sensitive(self):
+        base = result_key({"width": 2, "isa": "x86"}, ("f1", "f2"), 100,
+                          "tc")
+        assert base == result_key({"isa": "x86", "width": 2},
+                                  ("f1", "f2"), 100, "tc")
+        assert base != result_key({"isa": "x86", "width": 4},
+                                  ("f1", "f2"), 100, "tc")
+        assert base != result_key({"width": 2, "isa": "x86"},
+                                  ("f1",), 100, "tc")
+        assert base != result_key({"width": 2, "isa": "x86"},
+                                  ("f1", "f2"), 200, "tc")
+        assert base != result_key({"width": 2, "isa": "x86"},
+                                  ("f1", "f2"), 100, "other")
+        # The sweep label is part of the identity: a renamed sweep is
+        # scored (and diffable) on its own.
+        assert base != result_key({"width": 2, "isa": "x86"},
+                                  ("f1", "f2"), 100, "tc", sweep="named")
+
+
+class TestPareto:
+    def test_front_keeps_only_nondominated(self):
+        fast_bad = record(key="fast_bad", score=0.9,
+                          metrics={"org_runtime_s": 1.0})
+        slow_good = record(key="slow_good", score=0.1,
+                           metrics={"org_runtime_s": 5.0})
+        dominated = record(key="dominated", score=0.95,
+                           metrics={"org_runtime_s": 2.0})
+        front = pareto_front([fast_bad, slow_good, dominated])
+        assert [r.key for r in front] == ["fast_bad", "slow_good"]

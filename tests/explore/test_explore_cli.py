@@ -1,0 +1,112 @@
+"""CLI surface: ``python -m repro.explore`` run/query/rank/compare."""
+
+import pytest
+
+from repro.explore.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def _hermetic_db(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DB",
+                       str(tmp_path / "explore.sqlite3"))
+
+
+class TestRun:
+    def test_smoke_sweep_then_warm_resume(self, capsys):
+        assert main(["run", "--preset", "smoke", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "4 point(s) scored, 0 resumed" in out
+        assert "misses" in err
+
+        # Second invocation answers entirely from the DB: zero engine
+        # activity — no compiles, no runs, not even store lookups.
+        assert main(["run", "--preset", "smoke", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "0 point(s) scored, 4 resumed" in out
+        assert "0 hits, 0 misses, 0 puts" in err
+
+    def test_sample_and_top_flags(self, capsys):
+        assert main(["run", "--preset", "smoke", "--sample", "random",
+                     "--n", "2", "--seed", "3", "--top", "1"]) == 0
+        out, _ = capsys.readouterr()
+        assert "2 point(s) scored" in out
+
+    def test_pairs_override(self, capsys):
+        assert main(["run", "--preset", "smoke", "--n", "1",
+                     "--pairs", "crc32/small"]) == 0
+        assert "1 point(s) scored" in capsys.readouterr()[0]
+
+    def test_no_cache_measures_compute_not_stale_db_state(self, capsys):
+        assert main(["run", "--preset", "smoke", "--n", "1"]) == 0
+        capsys.readouterr()
+        # --no-cache must not resume from the persistent DB.
+        assert main(["run", "--preset", "smoke", "--n", "1",
+                     "--no-cache", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "1 point(s) scored, 0 resumed" in out
+        assert "0 hits" in err and "0 puts" in err
+
+    def test_cache_dir_carries_the_results_db_along(self, tmp_path,
+                                                    monkeypatch, capsys):
+        # Without --db, a relocated store keeps its DB next to it
+        # (not at $REPRO_RESULTS_DB / the default cache root).
+        monkeypatch.delenv("REPRO_RESULTS_DB", raising=False)
+        cache = tmp_path / "relocated"
+        assert main(["run", "--preset", "smoke", "--n", "1",
+                     "--cache-dir", str(cache)]) == 0
+        assert (cache / "explore.sqlite3").exists()
+        assert str(cache / "explore.sqlite3") in capsys.readouterr()[0]
+
+
+class TestQueryRankCompare:
+    @pytest.fixture(autouse=True)
+    def _seeded(self, capsys):
+        assert main(["run", "--preset", "smoke"]) == 0
+        capsys.readouterr()
+
+    def test_query_reads_stored_rows(self, capsys):
+        assert main(["query", "--sweep", "smoke"]) == 0
+        out, _ = capsys.readouterr()
+        assert "4 stored result(s)" in out
+        assert "opt_level=0" in out
+
+    def test_query_where_filters(self, capsys):
+        assert main(["query", "--where", "width=4"]) == 0
+        out, _ = capsys.readouterr()
+        assert "2 stored result(s)" in out
+
+    def test_query_no_match_lists_sweeps(self, capsys):
+        assert main(["query", "--sweep", "absent"]) == 1
+        out, _ = capsys.readouterr()
+        assert "stored sweeps: smoke (4)" in out
+
+    def test_rank_orders_and_marks_pareto(self, capsys):
+        assert main(["rank", "--sweep", "smoke", "--metric", "cpi_err",
+                     "--top", "3", "--pareto"]) == 0
+        out, _ = capsys.readouterr()
+        assert "Top 3 by cpi_err" in out
+        assert "*" in out
+
+    def test_compare_two_sweeps(self, capsys):
+        assert main(["run", "--preset", "smoke", "--sweep-name",
+                     "smoke2"]) == 0
+        capsys.readouterr()
+        assert main(["compare", "smoke", "smoke2"]) == 0
+        out, _ = capsys.readouterr()
+        assert "4 matched point(s)" in out
+
+    def test_compare_disjoint_sweeps_errors(self, capsys):
+        assert main(["compare", "smoke", "absent"]) == 1
+
+
+class TestPresets:
+    def test_presets_lists_all(self, capsys):
+        assert main(["presets"]) == 0
+        out, _ = capsys.readouterr()
+        for name in ("smoke", "isa-opt", "table3", "microarch"):
+            assert name in out
+
+    def test_unknown_preset_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "nope"])
+        assert "unknown preset 'nope'" in capsys.readouterr().err

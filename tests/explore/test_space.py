@@ -1,0 +1,172 @@
+"""Design-space declaration, enumeration, sampling, presets."""
+
+import pytest
+
+from repro.explore.space import (
+    Axis,
+    DesignPoint,
+    DesignSpace,
+    PRESETS,
+    get_preset,
+)
+
+SPACE = DesignSpace(
+    name="unit",
+    axes=(
+        Axis("width", (2, 3, 4)),
+        Axis("opt_level", (0, 2)),
+    ),
+    base={"isa": "x86_64", "l1_kb": 16},
+)
+
+
+class TestEnumeration:
+    def test_size_is_the_axis_product(self):
+        assert SPACE.size == 6
+
+    def test_points_are_deterministic_and_ordered(self):
+        first = SPACE.points()
+        second = SPACE.points()
+        assert first == second
+        # Cartesian product in axis order: width varies slowest.
+        assert [p["width"] for p in first] == [2, 2, 3, 3, 4, 4]
+        assert [p["opt_level"] for p in first] == [0, 2, 0, 2, 0, 2]
+
+    def test_points_merge_base_under_swept_values(self):
+        point = SPACE.points()[0]
+        assert point.as_dict() == {
+            "isa": "x86_64", "l1_kb": 16, "width": 2, "opt_level": 0,
+        }
+        assert point.swept() == {"width": 2, "opt_level": 0}
+
+    def test_swept_value_overrides_base(self):
+        space = DesignSpace(
+            name="override", axes=(Axis("l1_kb", (8,)),), base={"l1_kb": 64},
+        )
+        assert space.points()[0]["l1_kb"] == 8
+
+    def test_duplicate_axis_values_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Axis("width", (2, 2))
+
+    def test_duplicate_axis_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            DesignSpace(name="bad",
+                        axes=(Axis("w", (1,)), Axis("w", (2,))))
+
+
+class TestSampling:
+    def test_grid_stride_and_cap(self):
+        assert SPACE.sample("grid") == SPACE.points()
+        assert SPACE.sample("grid", stride=2) == SPACE.points()[::2]
+        assert SPACE.sample("grid", n=2) == SPACE.points()[:2]
+
+    def test_random_is_seed_deterministic(self):
+        a = SPACE.sample("random", n=3, seed=7)
+        b = SPACE.sample("random", n=3, seed=7)
+        assert a == b
+        assert len(a) == 3
+        assert all(p in SPACE.points() for p in a)
+
+    def test_random_different_seed_may_differ_but_stays_in_space(self):
+        points = SPACE.sample("random", n=4, seed=1)
+        assert len(points) == len(set(points)) == 4
+
+    def test_random_without_cap_returns_everything(self):
+        assert SPACE.sample("random", seed=3) == SPACE.points()
+
+    def test_frontier_returns_the_corners(self):
+        corners = SPACE.sample("frontier")
+        # 2 extremes of width x 2 extremes of opt_level.
+        assert len(corners) == 4
+        widths = {p["width"] for p in corners}
+        assert widths == {2, 4}
+
+    def test_frontier_dedups_single_value_axes(self):
+        space = DesignSpace(
+            name="thin", axes=(Axis("width", (2,)), Axis("opt_level", (0, 3)))
+        )
+        assert len(space.sample("frontier")) == 2
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="unknown sampling mode"):
+            SPACE.sample("sobol")
+
+
+class TestDesignPoint:
+    def test_machine_spec_from_axes(self):
+        point = SPACE.points()[0]
+        spec = point.machine_spec()
+        assert spec.isa == "x86_64"
+        assert spec.width == 2
+        assert spec.l1_kb == 16
+
+    def test_machine_axis_resolves_table3_spec(self):
+        point = DesignPoint.from_dicts({"machine": "Core 2",
+                                        "opt_level": 1})
+        spec = point.machine_spec()
+        assert spec.name == "Core 2"
+        assert spec.width == 3
+        assert point.opt_level == 1
+
+    def test_machine_axis_with_override(self):
+        point = DesignPoint.from_dicts({"machine": "Core 2", "width": 8})
+        assert point.machine_spec().width == 8
+
+    def test_unknown_machine_name_rejected(self):
+        point = DesignPoint.from_dicts({"machine": "Cray-1"})
+        with pytest.raises(KeyError, match="Cray-1"):
+            point.machine_spec()
+
+    def test_misspelled_axis_rejected_not_silently_defaulted(self):
+        # 'rob_size' is not the MachineSpec field ('rob'): lowering must
+        # fail loudly, not sweep identical default machines.
+        point = DesignPoint.from_dicts({"rob_size": 256, "opt_level": 0})
+        with pytest.raises(KeyError, match="rob_size"):
+            point.machine_spec()
+
+    def test_pair_axis_parses_string_and_tuple(self):
+        assert DesignPoint.from_dicts({"pair": "fft/large"}).pair == \
+            ("fft", "large")
+        assert DesignPoint.from_dicts({"pair": "fft"}).pair == \
+            ("fft", "small")
+        assert DesignPoint.from_dicts({"pair": ("sha", "small")}).pair == \
+            ("sha", "small")
+        assert DesignPoint.from_dicts({"width": 2}).pair is None
+
+    def test_label_shows_only_swept_axes(self):
+        point = SPACE.points()[0]
+        assert point.label() == "opt_level=0 width=2"
+
+    def test_points_hash_by_value(self):
+        assert SPACE.points()[0] == SPACE.points()[0]
+        assert len(set(SPACE.points() + SPACE.points())) == SPACE.size
+
+
+class TestPresets:
+    def test_expected_presets_exist(self):
+        assert {"smoke", "isa-opt", "table3", "microarch"} <= set(PRESETS)
+
+    def test_preset_sizes(self):
+        assert get_preset("smoke").space.size == 4
+        assert get_preset("isa-opt").space.size == 12
+        assert get_preset("table3").space.size == 20
+        assert get_preset("microarch").space.size == 18
+
+    def test_every_preset_point_lowers_to_a_machine(self):
+        for preset in PRESETS.values():
+            for point in preset.space.points():
+                machine = point.machine()
+                assert machine.timing.width >= 1
+            assert preset.pairs
+
+    def test_isa_opt_preset_covers_the_wider_grid(self):
+        points = get_preset("isa-opt").space.points()
+        coords = {(p["isa"], p["opt_level"]) for p in points}
+        assert coords == {(isa, lvl)
+                          for isa in ("x86", "x86_64", "ia64")
+                          for lvl in (0, 1, 2, 3)}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="nope"):
+            get_preset("nope")

@@ -1,0 +1,134 @@
+"""Sweep orchestration: scoring, DB persistence, resume after interrupt."""
+
+import pytest
+
+from repro.engine.api import Engine
+from repro.explore import sweep as sweep_mod
+from repro.explore.db import ResultsDB
+from repro.explore.space import Axis, DesignSpace, Preset
+from repro.explore.sweep import run_sweep, score_point
+
+PAIRS = (("crc32", "small"),)
+
+TINY = Preset(
+    DesignSpace(
+        name="tiny",
+        axes=(Axis("opt_level", (0, 2)),),
+        base={"isa": "x86", "width": 2, "l1_kb": 8},
+    ),
+    PAIRS,
+)
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ResultsDB(tmp_path / "sweep.sqlite3") as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return Engine()
+
+
+class TestScoring:
+    def test_score_point_produces_fidelity_metrics(self, engine):
+        point = TINY.space.points()[0]
+        metrics = score_point(point, PAIRS, engine)
+        for name in ("org_cpi", "syn_cpi", "cpi_err", "miss_rate_err",
+                     "branch_acc_err", "org_runtime_s", "syn_runtime_s",
+                     "score"):
+            assert name in metrics
+        assert metrics["org_cpi"] > 0
+        assert metrics["syn_cpi"] > 0
+        assert 0 <= metrics["score"] < 1
+        assert metrics["org_instructions"] > \
+            metrics["syn_instructions"]  # clones are much shorter
+
+
+class TestRunSweep:
+    def test_sweep_scores_every_point_and_persists(self, engine, db):
+        result = run_sweep(TINY, engine=engine, db=db)
+        assert len(result.records) == TINY.space.size
+        assert result.computed == TINY.space.size
+        assert result.resumed == 0
+        assert len(db.query(sweep="tiny")) == TINY.space.size
+        table = result.format_table()
+        assert "opt_level=0" in table and "opt_level=2" in table
+
+    def test_second_run_resumes_everything_without_engine_work(
+            self, engine, db):
+        run_sweep(TINY, engine=engine, db=db)
+        probe = Engine(use_cache=False)  # any compile would show in puts
+        result = run_sweep(TINY, engine=probe, db=db)
+        assert result.resumed == TINY.space.size
+        assert result.computed == 0
+        assert probe.stats.puts == 0
+        assert probe.stats.misses == 0
+
+    def test_force_rescores(self, engine, db):
+        run_sweep(TINY, engine=engine, db=db)
+        result = run_sweep(TINY, engine=engine, db=db, force=True)
+        assert result.computed == TINY.space.size
+        assert result.resumed == 0
+
+    def test_sweep_name_and_pairs_override(self, engine, db):
+        run_sweep(TINY, engine=engine, db=db, sweep_name="renamed",
+                  pairs=PAIRS)
+        assert [r.sweep for r in db.query()] == ["renamed"] * 2
+
+    def test_different_target_instructions_rescore(self, engine, db):
+        run_sweep(TINY, engine=engine, db=db)
+        other = Engine(target_instructions=engine.target_instructions * 2)
+        result = run_sweep(TINY, engine=other, db=db)
+        # Different clone size -> different content keys -> recompute.
+        assert result.computed == TINY.space.size
+
+    def test_progress_callback_sees_every_point(self, engine, db):
+        seen = []
+        run_sweep(TINY, engine=engine, db=db,
+                  progress=lambda i, n, record, resumed:
+                  seen.append((i, n, resumed)))
+        assert seen == [(1, 2, False), (2, 2, False)]
+
+
+class TestResumeAfterInterrupt:
+    def test_interrupted_sweep_resumes_at_first_unscored_point(
+            self, engine, db, monkeypatch):
+        real = score_point
+        calls = {"n": 0}
+
+        def explode_after_one(point, pairs, eng):
+            calls["n"] += 1
+            if calls["n"] > 1:
+                raise KeyboardInterrupt("simulated ^C")
+            return real(point, pairs, eng)
+
+        monkeypatch.setattr(sweep_mod, "score_point", explode_after_one)
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(TINY, engine=engine, db=db)
+        # The point scored before the interrupt was persisted.
+        assert len(db.query(sweep="tiny")) == 1
+
+        monkeypatch.setattr(sweep_mod, "score_point", real)
+        result = run_sweep(TINY, engine=engine, db=db)
+        assert result.resumed == 1
+        assert result.computed == TINY.space.size - 1
+        assert len(db.query(sweep="tiny")) == TINY.space.size
+
+
+class TestPairAxis:
+    def test_pair_axis_pins_the_scored_workload(self, engine, db):
+        preset = Preset(
+            DesignSpace(
+                name="per-pair",
+                axes=(Axis("pair", ("crc32/small", "adpcm/small")),),
+                base={"isa": "x86", "opt_level": 0},
+            ),
+            PAIRS,
+        )
+        result = run_sweep(preset, engine=engine, db=db)
+        assert len(result.records) == 2
+        instructions = {r.point["pair"]: r.metrics["org_instructions"]
+                        for r in result.records}
+        assert instructions["crc32/small"] != instructions["adpcm/small"]

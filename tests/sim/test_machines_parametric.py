@@ -1,0 +1,88 @@
+"""Parametric machine construction vs the five Table III constants."""
+
+import pytest
+
+from repro.cc.driver import compile_program
+from repro.sim.functional import run_binary
+from repro.sim.machines import (
+    MACHINES,
+    MachineSpec,
+    SPEC_BY_NAME,
+    TABLE_III_SPECS,
+    machine_from_axes,
+    spec_from_axes,
+)
+
+
+@pytest.fixture(scope="module")
+def trace(fib_source):
+    return run_binary(compile_program(fib_source, "x86", 0).binary)
+
+
+class TestTableIIIEquivalence:
+    def test_constants_are_built_from_specs(self):
+        assert len(TABLE_III_SPECS) == len(MACHINES) == 5
+        for spec, machine in zip(TABLE_III_SPECS, MACHINES):
+            assert spec.name == machine.name
+            assert spec.build() == machine
+
+    def test_axes_roundtrip_reproduces_each_machine(self):
+        for spec, machine in zip(TABLE_III_SPECS, MACHINES):
+            rebuilt = machine_from_axes(name=spec.name, **spec.axes())
+            assert rebuilt == machine
+
+    def test_parametric_machines_reproduce_simulation_exactly(self, trace):
+        """The fig11 acceptance check: identical timing, cycle for cycle."""
+        for spec, machine in zip(TABLE_III_SPECS, MACHINES):
+            parametric = machine_from_axes(name=spec.name, **spec.axes())
+            assert parametric.simulate(trace) == machine.simulate(trace)
+            assert parametric.runtime_seconds(trace) == \
+                machine.runtime_seconds(trace)
+
+    def test_spec_by_name_covers_the_quintet(self):
+        assert set(SPEC_BY_NAME) == {m.name for m in MACHINES}
+
+
+class TestSpecConstruction:
+    def test_defaults_produce_a_buildable_machine(self):
+        machine = machine_from_axes()
+        assert machine.isa.name == "x86"
+        assert machine.timing.width == 2
+
+    def test_derived_name_encodes_key_axes(self):
+        spec = spec_from_axes(isa="ia64", width=6, rob=256)
+        assert "ia64" in spec.name and "w6" in spec.name \
+            and "rob256" in spec.name
+
+    def test_explicit_axes_land_in_timing_config(self):
+        machine = machine_from_axes(
+            isa="x86_64", width=4, rob=128, l1_kb=64, l2_kb=4096,
+            l1_hit_cycles=2, memory_cycles=90, mispredict_penalty=10,
+            predictor_entries=8192, frequency_ghz=3.2,
+        )
+        timing = machine.timing
+        assert timing.width == 4
+        assert timing.rob_size == 128
+        assert timing.l1.size_bytes == 64 * 1024
+        assert timing.l2.size_bytes == 4096 * 1024
+        assert timing.memory_cycles == 90
+        assert timing.predictor_entries == 8192
+        assert machine.frequency_ghz == 3.2
+        assert machine.isa.name == "x86_64"
+
+    def test_unknown_isa_rejected_at_build(self):
+        with pytest.raises(KeyError, match="sparc"):
+            machine_from_axes(isa="sparc")
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(TypeError):
+            spec_from_axes(l3_kb=1024)
+
+    def test_in_order_machines_use_the_inorder_model(self, trace):
+        ooo = machine_from_axes(width=4)
+        ino = machine_from_axes(width=4, in_order=True)
+        assert ino.simulate(trace).cycles >= ooo.simulate(trace).cycles
+
+    def test_spec_axes_exclude_name(self):
+        axes = MachineSpec(name="anything").axes()
+        assert "name" not in axes
