@@ -7,7 +7,8 @@ Combines three layers of reuse:
 * the persistent content-addressed :class:`ArtifactStore` (results
   survive across processes and invocations);
 * the DAG scheduler (:meth:`warm` fans the whole experiment grid out
-  over a worker pool before the figures read anything).
+  over the configured execution backend before the figures read
+  anything).
 
 ``ExperimentRunner`` delegates every pipeline step here, so all figure
 modules, the report generator, and the benchmark harness get caching
@@ -44,9 +45,15 @@ class Engine:
         store: ArtifactStore | None = None,
         use_cache: bool = True,
         cache_dir=None,
+        backend=None,
     ) -> None:
         self.target_instructions = target_instructions
         self.workers = max(1, workers)
+        #: Execution backend for bulk runs: an ExecutionBackend
+        #: instance, a registered name (inline/thread/process/shard),
+        #: or None — resolved per warm() against $REPRO_BACKEND and the
+        #: worker count (see repro.engine.backends).
+        self.backend = backend
         if store is not None:
             self.store = store
         elif use_cache:
@@ -77,10 +84,11 @@ class Engine:
     def _materialize(self, task: Task, probed_miss: bool = False) -> Any:
         """Memo → store → compute-inline resolution for one node.
 
-        Mirrors the cache discipline of the scheduler's inline path
-        (``scheduler._run_inline``); both must agree on key recipe and
-        hit/miss accounting.  *probed_miss* skips the store lookup when
-        the caller already observed (and counted) the miss.
+        Mirrors the cache discipline of the scheduler's submit loop
+        (``scheduler._run_submitting`` driving the inline backend);
+        both must agree on key recipe and hit/miss accounting.
+        *probed_miss* skips the store lookup when the caller already
+        observed (and counted) the miss.
         """
         if task.id in self._memo:
             return self._memo[task.id]
@@ -174,15 +182,17 @@ class Engine:
         coords: Iterable[tuple[str, int]] = ((REF_ISA, REF_OPT),),
         workers: int | None = None,
         sides: tuple[str, ...] = ("org", "syn"),
+        backend=None,
     ) -> int:
         """Materialize the full pipeline grid for *pairs* × *coords*.
 
-        Independent nodes fan out over ``workers`` processes (default:
-        the engine's configured worker count); every result lands in the
-        memo and, when enabled, the persistent store.  *sides* narrows
-        the grid to the original and/or synthetic pipeline (a figure
-        that derives its synthetic from consolidated profiles only needs
-        ``("org",)``).  Returns the number of graph nodes.
+        Independent nodes fan out over the engine's execution backend
+        across ``workers`` (defaults: the engine's configured backend
+        and worker count); every result lands in the memo and, when
+        enabled, the persistent store.  *sides* narrows the grid to the
+        original and/or synthetic pipeline (a figure that derives its
+        synthetic from consolidated profiles only needs ``("org",)``).
+        Returns the number of graph nodes.
         """
         graph = build_pipeline_graph(
             tuple(pairs), tuple(coords),
@@ -191,7 +201,8 @@ class Engine:
         )
         if any(task_id not in self._memo for task_id in graph):
             results = run_graph(graph, workers=workers or self.workers,
-                                store=self.store, preloaded=self._memo)
+                                store=self.store, preloaded=self._memo,
+                                backend=backend or self.backend)
             for task_id, value in results.items():
                 self._memo.setdefault(task_id, value)
         return len(graph)

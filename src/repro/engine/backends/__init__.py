@@ -1,0 +1,61 @@
+"""repro.engine.backends — pluggable execution backends.
+
+The scheduler delegates *where* stages run to an
+:class:`ExecutionBackend`; four ship in-tree:
+
+========= ============================================================
+name      execution model
+========= ============================================================
+inline    synchronous, deterministic sorted-ready order (workers=1)
+thread    thread pool — warm-replay / I/O-bound graphs, no pickling
+process   multiprocessing pool, worker-side persistence (historical
+          ``workers>1`` behavior)
+shard     dependency-closed shards in isolated
+          ``python -m repro.engine.shard`` subprocesses, each with a
+          private store, merged via export_keys/import_keys
+========= ============================================================
+
+Select with ``--backend NAME`` on the CLIs, the ``REPRO_BACKEND``
+environment variable, or ``Engine(backend=...)``; third-party backends
+subclass :class:`ExecutionBackend` and call :func:`register_backend`.
+"""
+
+from repro.engine.backends.base import (
+    BACKEND_ENV,
+    ExecutionBackend,
+    ExecutionContext,
+    backend_names,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.backends.local import (
+    InlineBackend,
+    ProcessPoolBackend,
+    ThreadBackend,
+)
+from repro.engine.backends.shard import (
+    ShardError,
+    SubprocessShardBackend,
+    balance_shards,
+    partition_components,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "ExecutionBackend",
+    "ExecutionContext",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ShardError",
+    "SubprocessShardBackend",
+    "ThreadBackend",
+    "backend_names",
+    "balance_shards",
+    "default_backend_name",
+    "get_backend",
+    "partition_components",
+    "register_backend",
+    "resolve_backend",
+]

@@ -1,28 +1,32 @@
-"""Topological DAG scheduler with optional multiprocessing fan-out.
+"""Topological DAG scheduler over pluggable execution backends.
 
 :func:`run_graph` executes a ``{task_id: Task}`` graph in dependency
-order.  With ``workers=1`` everything runs inline in deterministic
-(Kahn + sorted-ready) order.  With ``workers>1`` independent ready
-nodes are fanned out over a process pool; dependency results are
-shipped to workers by pickle and each worker writes what it computes
-into the shared on-disk store, so artifacts persist no matter which
-process produced them.
+order.  The scheduler owns ordering, cache probing, dependency
+resolution, and store accounting; *where* stages run belongs to an
+:class:`~repro.engine.backends.ExecutionBackend` (``inline``,
+``thread``, ``process``, ``shard``, or anything registered by a third
+party).  ``workers=1`` with no explicit backend resolves to the inline
+backend and stays byte-for-byte deterministic (Kahn + sorted-ready
+order); ``workers>1`` defaults to the process pool, the historical
+fan-out, unless ``REPRO_BACKEND`` or the ``backend`` argument says
+otherwise.
 
 Cache discipline: the parent consults the store once per node before
 dispatch (a hit skips execution entirely and counts toward
-``store.stats.hits``; a miss counts toward ``misses``), so a warm run
-reports zero misses and performs zero compiles/runs.  Workers use their
-own store handle only to persist results, keeping the parent's counters
-an accurate account of the whole run.
+``store.stats.hits``; a miss counts toward ``misses``).  Backends that
+persist results themselves (``persists=True`` — the process pool and
+shard backends) write through their own store handles and the parent
+only accounts for the put, so a warm run reports zero misses and
+performs zero compiles/runs no matter the backend.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any
 
-from repro.engine.store import ArtifactStore, toolchain_fingerprint
+from repro.engine.backends import resolve_backend
+from repro.engine.backends.base import ExecutionContext
+from repro.engine.store import ArtifactStore
 from repro.engine.tasks import Task, key_fields, run_stage
 
 _MISS = object()
@@ -70,35 +74,27 @@ def _lookup(store: ArtifactStore | None, task: Task, keyer):
     return key, store.get(key, _MISS)
 
 
-def _worker_execute(task: Task, deps: dict[str, Any], store_spec,
-                    runner, keyer):
-    """Run one task in a pool worker, persisting the result if possible."""
-    value = runner(task, deps)
-    if store_spec is not None:
-        root, schema_version, toolchain = store_spec
-        # max_bytes deliberately stays None here: per-task stores would
-        # rescan the objects directory on every put and run concurrent
-        # LRU sweeps; the parent enforces the cap once per run instead.
-        store = ArtifactStore(root=root, schema_version=schema_version,
-                              toolchain=toolchain, max_bytes=None)
-        store.put(store.key_for(task.stage, **keyer(task)), value)
-    return value
-
-
-def _run_inline(order: list[Task], store: ArtifactStore | None,
-                results: dict[str, Any], runner, keyer) -> dict[str, Any]:
+def _run_whole_graph(graph, order, results, store, backend, context):
+    """Drive a ``whole_graph`` backend: probe the cache for every node
+    up front (deterministic order, parent-side counters), hand the
+    unresolved remainder to the backend in one call."""
+    pending: list[Task] = []
     for task in order:
         if task.id in results:
             continue
-        key, cached = _lookup(store, task, keyer)
+        _, cached = _lookup(store, task, context.keyer)
         if cached is not _MISS:
             results[task.id] = cached
             continue
-        deps = {dep: results[dep] for dep in task.deps}
-        value = runner(task, deps)
-        if store is not None:
-            store.put(key, value)
-        results[task.id] = value
+        pending.append(task)
+    if pending:
+        backend.start(context)
+        try:
+            results.update(
+                backend.execute_graph(graph, pending, dict(results), context)
+            )
+        finally:
+            backend.shutdown()
     return results
 
 
@@ -109,6 +105,7 @@ def run_graph(
     preloaded: dict[str, Any] | None = None,
     runner=run_stage,
     keyer=key_fields,
+    backend=None,
 ) -> dict[str, Any]:
     """Execute *graph*; returns ``{task_id: result}`` for every node.
 
@@ -117,72 +114,100 @@ def run_graph(
     in-process memo.  *runner* and *keyer* default to the experiment
     pipeline's stage executor and content-address recipe; tests (or
     future non-pipeline graphs) may substitute any picklable pair.
+
+    *backend* selects where stages run: an
+    :class:`~repro.engine.backends.ExecutionBackend` instance, a
+    registered name (``inline``/``thread``/``process``/``shard``), or
+    ``None`` for the default (``$REPRO_BACKEND``, else inline when
+    ``workers <= 1``, else the process pool).
     """
     order = topological_order(graph)
     results: dict[str, Any] = {
         task_id: value for task_id, value in (preloaded or {}).items()
         if task_id in graph
     }
-    if workers <= 1 or len(graph) <= 1:
-        return _run_inline(order, store, results, runner, keyer)
+    if not graph:
+        return results
+    if backend is None and len(graph) <= 1:
+        # Nothing to fan out; don't pay pool startup for one node.  An
+        # explicit backend choice is honored even here.
+        backend = "inline"
+    backend = resolve_backend(backend, workers=workers)
+    context = ExecutionContext(store=store, runner=runner, keyer=keyer)
 
+    if backend.whole_graph:
+        results = _run_whole_graph(graph, order, results, store, backend,
+                                   context)
+    else:
+        results = _run_submitting(graph, results, store, backend, context)
+    if store is not None and backend.persists and store.max_bytes is not None:
+        # Workers write uncapped (see backends.local/shard); settle the
+        # size cap once now that the run is complete.
+        store.evict(max_bytes=store.max_bytes)
+    return results
+
+
+def _run_submitting(graph, results, store, backend, context):
+    """The generic submit/wait loop shared by all per-task backends."""
+    keyer = context.keyer
     indegree = {task.id: len(task.deps) for task in graph.values()}
     dependents: dict[str, list[str]] = {task_id: [] for task_id in graph}
     for task in graph.values():
         for dep in task.deps:
             dependents[dep].append(task.id)
 
-    def resolve(task_id: str, value: Any, ready: list[str]) -> None:
+    ready = sorted(task_id for task_id, deg in indegree.items() if deg == 0)
+    pending: dict = {}
+
+    def resolve(task_id: str, value: Any) -> None:
         results[task_id] = value
         for child in dependents[task_id]:
             indegree[child] -= 1
             if indegree[child] == 0:
                 ready.append(child)
 
-    ready = sorted(task_id for task_id, deg in indegree.items() if deg == 0)
-    futures: dict = {}
-    ctx = multiprocessing.get_context()
-    with ProcessPoolExecutor(max_workers=workers, mp_context=ctx) as pool:
-        while ready or futures:
+    def harvest(done) -> None:
+        for future in done:
+            task_id, key = pending.pop(future)
+            value = future.result()
+            if store is not None:
+                if backend.persists:
+                    # The worker performed the actual write; account for
+                    # it here so the parent's counters cover the run.
+                    store.stats.puts += 1
+                else:
+                    store.put(key, value)
+            resolve(task_id, value)
+        ready.sort()
+
+    backend.start(context)
+    try:
+        while ready or pending:
             # Drain the ready list: preloaded nodes and cache hits
             # resolve immediately (and may ready further nodes), misses
-            # go to the pool.
+            # go to the backend.
             while ready:
                 task_id = ready.pop(0)
                 task = graph[task_id]
                 if task_id in results:
-                    resolve(task_id, results[task_id], ready)
+                    resolve(task_id, results[task_id])
                     ready.sort()
                     continue
-                _, cached = _lookup(store, task, keyer)
+                key, cached = _lookup(store, task, keyer)
                 if cached is not _MISS:
-                    resolve(task_id, cached, ready)
+                    resolve(task_id, cached)
                     ready.sort()
                     continue
                 deps = {dep: results[dep] for dep in task.deps}
-                # Resolve the toolchain digest here so workers don't
-                # each re-hash the whole package (and can't diverge if
-                # a source file changes mid-run).
-                store_spec = None if store is None else (
-                    store.root, store.schema_version,
-                    store.toolchain or toolchain_fingerprint())
-                future = pool.submit(_worker_execute, task, deps, store_spec,
-                                     runner, keyer)
-                futures[future] = task_id
-            if not futures:
+                future = backend.submit(task, deps)
+                pending[future] = (task_id, key)
+                if future.done():
+                    # Synchronous backends complete in submit; harvest
+                    # now so execution keeps the sorted-ready order.
+                    harvest((future,))
+            if not pending:
                 break
-            done, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in done:
-                task_id = futures.pop(future)
-                value = future.result()
-                if store is not None:
-                    # The worker performed the actual write; account for
-                    # it here so the parent's counters cover the run.
-                    store.stats.puts += 1
-                resolve(task_id, value, ready)
-            ready.sort()
-    if store is not None and store.max_bytes is not None:
-        # Workers write uncapped (see _worker_execute); settle the size
-        # cap once now that the run is complete.
-        store.evict(max_bytes=store.max_bytes)
+            harvest(backend.wait(pending))
+    finally:
+        backend.shutdown()
     return results

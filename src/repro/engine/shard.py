@@ -1,0 +1,97 @@
+"""``python -m repro.engine.shard`` — execute one shard of a task graph.
+
+The worker half of
+:class:`repro.engine.backends.shard.SubprocessShardBackend`.  Input is a
+pickled spec (``--input``): a dependency-closed subgraph, preloaded
+boundary values, the runner/keyer pair, and optionally a private store
+spec plus an export directory.  The worker runs the subgraph inline
+(deterministic order) against its own store handle, exports exactly the
+keys it computed via :meth:`ArtifactStore.export_keys`, and writes a
+pickled result payload (``--output``) for the parent to merge.
+
+Failures are reported in-band: the original exception is pickled into
+the output payload when possible (so the parent re-raises the real
+thing), with a traceback on stderr either way.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pickle
+import sys
+import traceback
+
+from repro.engine.store import ArtifactStore
+
+
+def run_shard(spec: dict) -> dict:
+    """Execute one shard spec; returns the worker's output payload."""
+    from repro.engine.scheduler import run_graph
+
+    graph = spec["graph"]
+    preloaded = spec.get("preloaded") or {}
+    store = None
+    store_spec = spec.get("store_spec")
+    if store_spec is not None:
+        root, schema_version, toolchain = store_spec
+        store = ArtifactStore(root=root, schema_version=schema_version,
+                              toolchain=toolchain, max_bytes=None)
+    results = run_graph(
+        graph,
+        workers=1,
+        store=store,
+        preloaded=preloaded,
+        runner=spec["runner"],
+        keyer=spec["keyer"],
+        backend="inline",
+    )
+    computed = {task_id: value for task_id, value in results.items()
+                if task_id not in preloaded}
+    export_dir = spec.get("export_dir")
+    exported = 0
+    if store is not None and export_dir:
+        keyer = spec["keyer"]
+        keys = [
+            store.key_for(graph[task_id].stage, **keyer(graph[task_id]))
+            for task_id in sorted(computed)
+        ]
+        exported = store.export_keys(keys, export_dir)
+    return {"results": computed, "exported": exported,
+            "export_dir": export_dir}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.shard",
+        description="Run one shard of a repro task graph (worker process "
+                    "of the 'shard' execution backend).",
+    )
+    parser.add_argument("--input", required=True,
+                        help="pickled shard spec to execute")
+    parser.add_argument("--output", required=True,
+                        help="where to write the pickled result payload")
+    args = parser.parse_args(argv)
+
+    with open(args.input, "rb") as fh:
+        spec = pickle.load(fh)
+    try:
+        payload = run_shard(spec)
+        status = 0
+    except BaseException as exc:
+        traceback.print_exc(file=sys.stderr)
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(
+                f"shard failed with unpicklable "
+                f"{type(exc).__name__}: {exc}"
+            )
+        payload = {"error": exc, "traceback": traceback.format_exc()}
+        status = 1
+    with open(args.output, "wb") as fh:
+        pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -22,11 +22,19 @@ every ``put`` into a size-capped write — the LRU :meth:`evict` sweep
 runs whenever the store grows past the cap (parallel runs write
 uncapped and settle the cap once per graph).  ``fsck`` detects and
 removes corrupt or truncated pickles plus ``.tmp`` files orphaned by
-killed writers.
+killed writers.  Every ``put`` also records a provenance sidecar
+(``<key>.meta.json`` with the writing store's schema version and
+toolchain digest), which is what lets :meth:`gc` evict entries no
+live reader can reach anymore (cross-schema garbage collection).
+
+Syncing: :meth:`export_keys` copies selected objects into another
+store-rooted directory and :meth:`import_keys` absorbs them — the seam
+the sharded execution backend (and a future SSH/remote backend) moves
+artifacts through.
 
 ``repro-cache`` (console script, also ``python -m repro.engine.store``)
-exposes ``info`` / ``clear`` / ``evict`` / ``fsck`` against that same
-resolution.
+exposes ``info`` / ``clear`` / ``evict`` / ``fsck`` / ``gc`` against
+that same resolution.
 """
 
 from __future__ import annotations
@@ -170,6 +178,31 @@ class ArtifactStore:
     def path_for(self, key: str) -> Path:
         return Path(self.root) / "objects" / key[:2] / f"{key}.pkl"
 
+    @staticmethod
+    def _meta_path(path: Path) -> Path:
+        """The provenance sidecar next to an object file."""
+        return path.with_suffix(".meta.json")
+
+    @staticmethod
+    def _unlink_object(path: Path) -> None:
+        """Remove an object file together with its provenance sidecar."""
+        path.unlink(missing_ok=True)
+        ArtifactStore._meta_path(path).unlink(missing_ok=True)
+
+    def _atomic_write(self, target: Path, data: bytes) -> None:
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, target)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
     # -- access ------------------------------------------------------------
 
     def get(self, key: str, default=None):
@@ -184,7 +217,7 @@ class ArtifactStore:
                 ImportError, IndexError, ValueError):
             # A truncated or stale entry is a miss; drop it so the slot
             # gets rewritten rather than failing every future lookup.
-            path.unlink(missing_ok=True)
+            self._unlink_object(path)
             self.stats.misses += 1
             return default
         try:
@@ -198,18 +231,19 @@ class ArtifactStore:
 
     def put(self, key: str, value) -> Path:
         path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "wb") as fh:
-                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # Provenance sidecar first, then the object: an entry is never
+        # visible without the metadata gc() reads to classify it.  (A
+        # failed put may orphan a sidecar; clear() reclaims those.)
+        self._atomic_write(
+            self._meta_path(path),
+            json.dumps({
+                "schema": self.schema_version,
+                "toolchain": self.toolchain or toolchain_fingerprint(),
+            }).encode("utf-8"),
+        )
+        self._atomic_write(
+            path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        )
         self.stats.puts += 1
         if self.max_bytes is not None:
             if self._approx_bytes is None:
@@ -231,10 +265,66 @@ class ArtifactStore:
     def delete(self, key: str) -> bool:
         path = self.path_for(key)
         if path.exists():
-            path.unlink()
+            self._unlink_object(path)
             self._approx_bytes = None
             return True
         return False
+
+    # -- syncing -------------------------------------------------------------
+
+    def export_keys(self, keys, dest) -> int:
+        """Copy *keys*' objects (plus provenance sidecars) into *dest*,
+        laid out as another store root.
+
+        The receiving side absorbs them with :meth:`import_keys`; a
+        shard worker exports exactly what it computed, and a remote
+        backend would ship the directory over the wire.  Keys not
+        present locally are skipped.  Returns the number exported.
+        """
+        dest = Path(dest).expanduser()
+        exported = 0
+        for key in keys:
+            src = self.path_for(key)
+            if not src.exists():
+                continue
+            target = dest / "objects" / key[:2] / f"{key}.pkl"
+            self._atomic_write(target, src.read_bytes())
+            meta = self._meta_path(src)
+            if meta.exists():
+                self._atomic_write(self._meta_path(target),
+                                   meta.read_bytes())
+            exported += 1
+        return exported
+
+    def import_keys(self, source, keys=None) -> int:
+        """Absorb objects from *source* — another store root or an
+        :meth:`export_keys` directory — into this store.
+
+        Every absorbed object counts as a put (the parent's counters
+        stay an accurate account of the whole run).  *keys* narrows the
+        import; ``None`` takes everything.  Returns the number imported.
+        """
+        objects = Path(source).expanduser() / "objects"
+        if keys is None:
+            paths = sorted(objects.glob("*/*.pkl")) if objects.is_dir() \
+                else []
+        else:
+            paths = [objects / key[:2] / f"{key}.pkl" for key in keys]
+        imported = 0
+        for src in paths:
+            if not src.exists():
+                continue
+            target = self.path_for(src.stem)
+            self._atomic_write(target, src.read_bytes())
+            meta = self._meta_path(src)
+            if meta.exists():
+                self._atomic_write(self._meta_path(target),
+                                   meta.read_bytes())
+            self.stats.puts += 1
+            imported += 1
+        if imported:
+            self._approx_bytes = None
+        return imported
 
     # -- maintenance ---------------------------------------------------------
 
@@ -269,12 +359,13 @@ class ArtifactStore:
         number of entries removed."""
         removed = 0
         for path, _, _ in list(self.entries()):
-            path.unlink(missing_ok=True)
+            self._unlink_object(path)
             removed += 1
         objects = Path(self.root) / "objects"
         if objects.is_dir():
-            for path in objects.glob("*/*.tmp"):
-                path.unlink(missing_ok=True)
+            for pattern in ("*/*.tmp", "*/*.meta.json"):
+                for path in objects.glob(pattern):
+                    path.unlink(missing_ok=True)
         self.stats.evictions += removed
         self._approx_bytes = 0
         return removed
@@ -321,7 +412,7 @@ class ArtifactStore:
             except Exception:
                 corrupt.append(str(path))
                 if remove:
-                    path.unlink(missing_ok=True)
+                    self._unlink_object(path)
                     removed += 1
         stale_tmp = self.stale_tmp_files()
         tmp_removed = 0
@@ -348,13 +439,58 @@ class ArtifactStore:
             over_entries = max_entries is not None and count > max_entries
             if not (over_bytes or over_entries):
                 break
-            path.unlink(missing_ok=True)
+            self._unlink_object(path)
             total -= size
             count -= 1
             removed += 1
         self.stats.evictions += removed
         self._approx_bytes = total
         return removed
+
+    def gc(self, remove: bool = True, collect_unknown: bool = False) -> dict:
+        """Cross-schema garbage collection.
+
+        Evicts entries whose recorded schema version or toolchain
+        fingerprint no longer matches the live ``repro`` package — no
+        reader built from the current sources can ever address them, so
+        they only consume disk.  Entries without a provenance sidecar
+        (written before provenance tracking, or racing writers) can't be
+        classified — their keys may still be addressable — so they are
+        only reported (``unknown``) unless *collect_unknown* opts in.
+        ``remove=False`` (the CLI's ``--dry-run``) only reports.
+        Returns ``{"scanned", "stale", "unknown", "removed", "kept"}``.
+        """
+        live_schema = SCHEMA_VERSION
+        live_toolchain = toolchain_fingerprint()
+        scanned = 0
+        stale: list[str] = []
+        unknown: list[str] = []
+        removed = 0
+        for path, _, _ in list(self.entries()):
+            scanned += 1
+            try:
+                meta = json.loads(self._meta_path(path).read_text())
+            except (OSError, ValueError):
+                meta = None
+            if meta is None:
+                unknown.append(str(path))
+                if not collect_unknown:
+                    continue
+            elif meta.get("schema") == live_schema and \
+                    meta.get("toolchain") == live_toolchain:
+                continue
+            else:
+                stale.append(str(path))
+            if remove:
+                self._unlink_object(path)
+                removed += 1
+        self.stats.evictions += removed
+        if removed:
+            self._approx_bytes = None
+        kept = scanned - len(stale) - \
+            (len(unknown) if collect_unknown else 0)
+        return {"scanned": scanned, "stale": stale, "unknown": unknown,
+                "removed": removed, "kept": kept}
 
 
 def main(argv=None) -> int:
@@ -380,6 +516,20 @@ def main(argv=None) -> int:
     fsck.add_argument(
         "--keep", action="store_true",
         help="report corrupt entries without removing them",
+    )
+    gc = sub.add_parser(
+        "gc",
+        help="evict entries whose schema version or toolchain "
+             "fingerprint no longer matches the live package",
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be collected without removing anything",
+    )
+    gc.add_argument(
+        "--collect-unknown", action="store_true",
+        help="also collect entries without a provenance sidecar "
+             "(kept by default: their keys may still be addressable)",
     )
     args = parser.parse_args(argv)
 
@@ -411,6 +561,23 @@ def main(argv=None) -> int:
         )
         if (report["corrupt"] or report["stale_tmp"]) and args.keep:
             return 1
+    elif args.command == "gc":
+        report = store.gc(remove=not args.dry_run,
+                          collect_unknown=args.collect_unknown)
+        for path in report["stale"]:
+            print(f"stale: {path}")
+        for path in report["unknown"]:
+            print(f"no provenance: {path}")
+        collectable = len(report["stale"]) + (
+            len(report["unknown"]) if args.collect_unknown else 0
+        )
+        verb = "would collect" if args.dry_run else "collected"
+        print(
+            f"scanned {report['scanned']} entries in {store.root}: "
+            f"{len(report['stale'])} stale, {len(report['unknown'])} "
+            f"without provenance; {verb} {collectable}, "
+            f"kept {report['kept']}"
+        )
     return 0
 
 

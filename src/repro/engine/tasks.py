@@ -12,8 +12,8 @@ ISA, opt-level) coordinate:
 
 Stage functions take ``(payload, deps)`` where ``deps`` maps dependency
 task ids to their results, and return a picklable artifact.  They are
-module-level so the multiprocessing scheduler can ship them to worker
-processes, and pure in the caching sense: output depends only on the
+module-level so process-based execution backends can ship them to
+worker processes, and pure in the caching sense: output depends only on the
 payload (synthesis is seeded), which is what lets
 :func:`key_fields` assign every node a content-address computable
 *before* execution — upstream clone sources never need to be in hand to

@@ -19,6 +19,7 @@ import argparse
 import sys
 
 from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.engine.backends import BACKEND_ENV, backend_names
 from repro.experiments.report import FIGURES, generate_report, resolve_figures
 from repro.experiments.runner import ExperimentRunner
 
@@ -41,7 +42,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=1,
-        help="fan pipeline stages out over N processes (default: 1)",
+        help="fan pipeline stages out over N workers (default: 1)",
+    )
+    parser.add_argument(
+        "--backend", default=None, choices=backend_names(),
+        help=f"execution backend (default: ${BACKEND_ENV}, else inline "
+             "for --workers 1, process otherwise)",
     )
     parser.add_argument(
         "--target-instructions", type=int,
@@ -73,6 +79,7 @@ def main(argv=None) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     if engine.store is not None and args.max_cache_bytes is not None:
         engine.store.max_bytes = args.max_cache_bytes

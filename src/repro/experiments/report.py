@@ -27,11 +27,18 @@ from repro.experiments.fig07_cache import run_cache_figure
 from repro.experiments.fig09_branch import run_fig09
 from repro.experiments.fig10_cpi import run_fig10
 from repro.experiments.fig11_machines import run_fig11
+from repro.engine.store import toolchain_fingerprint
 from repro.experiments.obfuscation import run_obfuscation
-from repro.experiments.runner import ExperimentRunner, QUICK_PAIRS
+from repro.experiments.runner import ExperimentRunner, FULL_PAIRS, QUICK_PAIRS
 from repro.explore.db import RESULTS_DB_ENV, ResultsDB
-from repro.explore.space import EXPLORE_PAIRS, ISA_OPT_SPACE, get_preset
+from repro.explore.space import (
+    EXPLORE_PAIRS,
+    ISA_OPT_SPACE,
+    format_point,
+    get_preset,
+)
 from repro.explore.sweep import run_sweep
+from repro.tables import format_table
 
 CACHE_PAIRS = (
     ("adpcm", "small"),
@@ -51,33 +58,101 @@ CPI_PAIRS = (
     ("qsort", "small"),
     ("sha", "small"),
 )
-# Value-identical to the explorer's pair set so warm_figures groups
-# fig11 and the explore sweep into one warmed DAG.
 MACHINE_PAIRS = EXPLORE_PAIRS
 
 _X86 = "x86"
 
 
-def run_explore_sweep(runner: ExperimentRunner):
-    """The wider default grid: the explorer's isa-opt preset (all three
-    ISAs at O0..O3), persisted to the cross-run results database — on a
-    warm store/DB this section costs zero compiles and zero runs.
-
-    The DB follows the engine's cache settings: it lives next to the
-    artifact store (``$REPRO_RESULTS_DB`` wins), and a cache-disabled
-    engine gets a throwaway DB so ``--no-cache`` reports measure pure
-    compute instead of replaying stale disk state.
-    """
-    preset = get_preset("isa-opt")
+def _report_db_path(runner: ExperimentRunner):
+    """The results DB the report reads/writes, or ``None`` when caching
+    is off: it lives next to the artifact store (``$REPRO_RESULTS_DB``
+    wins), so a relocated store carries its sweep history along."""
     store = runner.engine.store
     if store is None:
+        return None
+    return os.environ.get(RESULTS_DB_ENV) or \
+        Path(store.root) / "explore.sqlite3"
+
+
+def run_explore_sweep(runner: ExperimentRunner):
+    """The wider default grid: the explorer's isa-opt preset (all three
+    ISAs at O0..O3) over the **full** workload suite — every
+    (workload, input) pair, not the quick subset; warm replay makes
+    this free, and on a warm store/DB the section costs zero compiles
+    and zero runs.
+
+    The DB follows the engine's cache settings (see
+    :func:`_report_db_path`); a cache-disabled engine gets a throwaway
+    DB so ``--no-cache`` reports measure pure compute instead of
+    replaying stale disk state.
+    """
+    preset = get_preset("isa-opt")
+    db_path = _report_db_path(runner)
+    if db_path is None:
         with tempfile.TemporaryDirectory(prefix="repro-explore-") as tmp:
             with ResultsDB(Path(tmp) / "explore.sqlite3") as db:
-                return run_sweep(preset, engine=runner.engine, db=db)
-    db_path = os.environ.get(RESULTS_DB_ENV) or \
-        Path(store.root) / "explore.sqlite3"
+                return run_sweep(preset, engine=runner.engine, db=db,
+                                 pairs=FULL_PAIRS)
     with ResultsDB(db_path) as db:
-        return run_sweep(preset, engine=runner.engine, db=db)
+        return run_sweep(preset, engine=runner.engine, db=db,
+                         pairs=FULL_PAIRS)
+
+
+@dataclass(frozen=True)
+class ExploreHistory:
+    """Sweep history read from the results DB (no compiles, no runs)."""
+
+    rows: list
+    db_path: str
+
+    def format_table(self) -> str:
+        title = (
+            f"Sweep history — per-toolchain best score across sweep "
+            f"labels ({self.db_path})"
+        )
+        if not self.rows:
+            return f"{title}\n(no stored sweep results yet)"
+        return format_table(
+            ["toolchain", "sweep", "points", "best score", "mean score",
+             "best point", "latest"],
+            self.rows, title=title,
+        )
+
+
+def run_explore_history(runner: ExperimentRunner) -> ExploreHistory:
+    """Render sweep history from ``explore.sqlite3``: one row per
+    (toolchain, sweep label) with its best/mean score — the cross-run
+    trend of clone fidelity as the toolchain evolves.  The live
+    toolchain is marked ``*`` and sorts first; within a toolchain, rows
+    follow recording order, so consecutive rows read as a trend line.
+    """
+    db_path = _report_db_path(runner)
+    if db_path is None:
+        return ExploreHistory(rows=[], db_path="cache disabled")
+    live = toolchain_fingerprint()
+    with ResultsDB(db_path) as db:
+        records = db.query()
+    groups: dict[tuple[str, str], list] = {}
+    for record in records:
+        groups.setdefault((record.toolchain, record.sweep),
+                          []).append(record)
+    ordered = sorted(
+        groups.items(),
+        key=lambda item: (item[0][0] != live, item[0][0],
+                          max(r.created_at for r in item[1])),
+    )
+    rows = []
+    for (toolchain, sweep), members in ordered:
+        best = min(members, key=lambda r: (r.score, r.key))
+        latest = max(r.created_at for r in members)
+        label = (toolchain[:12] or "?") + ("*" if toolchain == live else "")
+        rows.append([
+            label, sweep, len(members), best.score,
+            sum(r.score for r in members) / len(members),
+            format_point(best.point),
+            time.strftime("%Y-%m-%d %H:%M", time.localtime(latest)),
+        ])
+    return ExploreHistory(rows=rows, db_path=str(db_path))
 
 
 @dataclass(frozen=True)
@@ -136,14 +211,20 @@ FIGURES: dict[str, FigureSpec] = {
         MACHINE_PAIRS, ((_X86, 0),),
     ),
     "explore": FigureSpec(
-        "Design-space sweep — ISA × opt grid (repro.explore, isa-opt "
-        "preset)",
+        "Design-space sweep — ISA × opt grid over the full suite "
+        "(repro.explore, isa-opt preset)",
         run_explore_sweep,
-        EXPLORE_PAIRS,
+        FULL_PAIRS,
         # Derived from the preset's space so the warmed grid can never
         # drift from what run_sweep actually measures.
         tuple(sorted({(p["isa"], p["opt_level"])
                       for p in ISA_OPT_SPACE.points()})),
+    ),
+    "history": FigureSpec(
+        "Sweep history — cross-run results DB (repro.explore)",
+        run_explore_history,
+        # Pure DB read: nothing to warm.
+        (), (),
     ),
     "obfuscation": FigureSpec(
         "Obfuscation (§V-E) — Moss/JPlag similarity",

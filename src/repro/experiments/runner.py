@@ -8,7 +8,7 @@ figure calls for.
 Every step delegates to the engine, which layers an in-process memo
 (same-object returns, as the old per-runner dicts did) over a persistent
 content-addressed artifact store, and can fan a whole experiment grid
-out over a multiprocessing pool via :meth:`ExperimentRunner.warm`.
+out over any execution backend via :meth:`ExperimentRunner.warm`.
 """
 
 from __future__ import annotations
@@ -90,9 +90,10 @@ class ExperimentRunner:
     # -- bulk / observability ----------------------------------------------
 
     def warm(self, pairs, coords=(("x86", 0),), workers: int | None = None,
-             sides: tuple[str, ...] = ("org", "syn")) -> int:
+             sides: tuple[str, ...] = ("org", "syn"), backend=None) -> int:
         """Materialize the pipeline grid for *pairs* × *coords* up front."""
-        return self.engine.warm(pairs, coords, workers=workers, sides=sides)
+        return self.engine.warm(pairs, coords, workers=workers, sides=sides,
+                                backend=backend)
 
     @property
     def cache_stats(self) -> StoreStats:

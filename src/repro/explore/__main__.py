@@ -23,6 +23,7 @@ import time
 from pathlib import Path
 
 from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
+from repro.engine.backends import BACKEND_ENV, backend_names
 from repro.engine.store import CACHE_DIR_ENV
 from repro.explore.db import RESULTS_DB_ENV, ResultsDB, pareto_front
 from repro.explore.space import PRESETS, format_point, get_preset
@@ -80,6 +81,7 @@ def _cmd_run(args) -> int:
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
+        backend=args.backend,
     )
     if engine.store is not None and args.max_cache_bytes is not None:
         engine.store.max_bytes = args.max_cache_bytes
@@ -109,6 +111,7 @@ def _cmd_run(args) -> int:
             pairs=_parse_pairs(args.pairs),
             sweep_name=args.sweep_name,
             force=args.force,
+            backend=args.backend,
         )
     elapsed = time.time() - start
     print(result.format_table(top=args.top))
@@ -236,7 +239,10 @@ def main(argv=None) -> int:
     run.add_argument("--sweep-name", default=None,
                      help="DB sweep label (default: the preset name)")
     run.add_argument("--workers", type=int, default=1,
-                     help="fan engine stages out over N processes")
+                     help="fan engine stages out over N workers")
+    run.add_argument("--backend", default=None, choices=backend_names(),
+                     help=f"execution backend (default: ${BACKEND_ENV}, "
+                          "else inline for --workers 1, process otherwise)")
     run.add_argument("--target-instructions", type=int,
                      default=DEFAULT_TARGET_INSTRUCTIONS)
     run.add_argument("--cache-dir", default=None,

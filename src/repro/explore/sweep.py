@@ -3,8 +3,8 @@
 Each design point lowers to the engine pipeline at its machine's ISA and
 its optimization level: the original workloads and their synthetic
 clones are compiled and traced through :class:`repro.engine.Engine`
-(content-addressed store, optional multiprocessing fan-out via
-``warm``), then both traces are replayed on the point's parametric
+(content-addressed store, parallel fan-out over any execution backend
+via ``warm``), then both traces are replayed on the point's parametric
 :class:`~repro.sim.machines.Machine` and the clone's fidelity is scored
 as CPI / cache-miss-rate / branch-accuracy deltas (absolute runtimes
 per side ride along for Pareto ranking).
@@ -177,15 +177,17 @@ def run_sweep(
     sweep_name: str | None = None,
     force: bool = False,
     progress: ProgressFn | None = None,
+    backend=None,
 ) -> SweepResult:
     """Sweep a preset's design space through the engine into the DB.
 
     Already-scored points (matching content key) are resumed from *db*
     without touching the engine; the remaining points are warmed as one
-    task graph (parallel across ``workers``) and scored in enumeration
-    order, each persisted as soon as it is scored so an interrupted
-    sweep resumes at the first unscored point.  ``force=True`` rescores
-    everything.
+    task graph (fanned out over ``workers`` on the selected execution
+    *backend* — a name, an instance, or ``None`` for the engine's
+    default) and scored in enumeration order, each persisted as soon as
+    it is scored so an interrupted sweep resumes at the first unscored
+    point.  ``force=True`` rescores everything.
     """
     if isinstance(preset, str):
         preset = get_preset(preset)
@@ -221,7 +223,7 @@ def run_sweep(
                 missing.append((point, point_pairs, key))
 
         if missing:
-            engine = engine or Engine()
+            engine = engine or Engine(backend=backend)
             warm_pairs: set = set()
             warm_coords: set = set()
             for point, point_pairs, _ in missing:
@@ -229,7 +231,7 @@ def run_sweep(
                 spec = point.machine_spec()
                 warm_coords.add((spec.isa, point.opt_level))
             engine.warm(sorted(warm_pairs), sorted(warm_coords),
-                        workers=workers)
+                        workers=workers, backend=backend)
 
         computed: dict[str, ResultRecord] = {}
         missing_keys = {key for _, _, key in missing}

@@ -1,0 +1,246 @@
+"""Backend conformance suite.
+
+Every registered execution backend must produce the same results — and
+byte-identical store artifacts — for the same graph: the diamond DAG,
+a multi-component graph (what the shard backend actually partitions),
+cold-vs-warm replay, and error propagation are exercised across all
+four in-tree backends through the one scheduler entry point.
+"""
+
+import hashlib
+
+import pytest
+
+from repro.engine.backends import (
+    BACKEND_ENV,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    SubprocessShardBackend,
+    ThreadBackend,
+    backend_names,
+    balance_shards,
+    default_backend_name,
+    partition_components,
+    register_backend,
+    resolve_backend,
+)
+from repro.engine.scheduler import run_graph
+from repro.engine.store import ArtifactStore
+from repro.engine.tasks import Task
+
+BACKENDS = ("inline", "thread", "process", "shard")
+
+
+def _graph(*tasks: Task) -> dict[str, Task]:
+    return {task.id: task for task in tasks}
+
+
+# Module-level so worker processes can unpickle them by reference.
+def arith_runner(task: Task, deps: dict) -> int:
+    base = task.payload.get("value", 0)
+    return base + sum(deps.values())
+
+
+def arith_keyer(task: Task) -> dict:
+    return {"value": task.payload.get("value", 0), "deps": sorted(task.deps)}
+
+
+def _raise(task, deps):
+    raise RuntimeError("stage failed")
+
+
+DIAMOND = _graph(
+    Task(id="top", stage="n", payload={"value": 1}),
+    Task(id="left", stage="n", payload={"value": 10}, deps=("top",)),
+    Task(id="right", stage="n", payload={"value": 100}, deps=("top",)),
+    Task(id="bottom", stage="n", payload={"value": 1000},
+         deps=("left", "right")),
+)
+
+# Three independent chains — what the shard backend splits apart.
+COMPONENTS = _graph(
+    Task(id="a0", stage="n", payload={"value": 1}),
+    Task(id="a1", stage="n", payload={"value": 2}, deps=("a0",)),
+    Task(id="b0", stage="n", payload={"value": 3}),
+    Task(id="b1", stage="n", payload={"value": 4}, deps=("b0",)),
+    Task(id="c0", stage="n", payload={"value": 5}),
+)
+
+DIAMOND_EXPECTED = {"top": 1, "left": 11, "right": 101, "bottom": 1112}
+COMPONENTS_EXPECTED = {"a0": 1, "a1": 3, "b0": 3, "b1": 7, "c0": 5}
+
+
+def _store_digests(store: ArtifactStore) -> dict[str, str]:
+    return {
+        path.name: hashlib.sha256(path.read_bytes()).hexdigest()
+        for path, _, _ in store.entries()
+    }
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestConformance:
+    def test_diamond_matches_inline(self, backend):
+        results = run_graph(DIAMOND, workers=2, runner=arith_runner,
+                            keyer=arith_keyer, backend=backend)
+        assert results == DIAMOND_EXPECTED
+
+    def test_multi_component_graph(self, backend):
+        results = run_graph(COMPONENTS, workers=3, runner=arith_runner,
+                            keyer=arith_keyer, backend=backend)
+        assert results == COMPONENTS_EXPECTED
+
+    def test_cold_then_warm_equivalence(self, backend, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        cold = run_graph(DIAMOND, workers=2, store=store,
+                         runner=arith_runner, keyer=arith_keyer,
+                         backend=backend)
+        assert store.stats.misses == 4 and store.stats.puts == 4
+
+        store.stats.reset()
+        warm = run_graph(DIAMOND, workers=2, store=store,
+                         runner=arith_runner, keyer=arith_keyer,
+                         backend=backend)
+        assert warm == cold
+        assert store.stats.hits == 4 and store.stats.misses == 0
+        assert store.stats.puts == 0
+
+    def test_preloaded_nodes_not_recomputed(self, backend):
+        results = run_graph(DIAMOND, workers=2, runner=arith_runner,
+                            keyer=arith_keyer, preloaded={"top": 5},
+                            backend=backend)
+        assert results["top"] == 5
+        assert results["bottom"] == 1000 + 15 + 105
+
+    def test_exception_propagates(self, backend):
+        graph = _graph(Task(id="a", stage="n"), Task(id="b", stage="n"))
+        with pytest.raises(RuntimeError, match="stage failed"):
+            run_graph(graph, workers=2, runner=_raise, keyer=arith_keyer,
+                      backend=backend)
+
+
+class TestIdenticalArtifacts:
+    def test_all_backends_produce_identical_store_digests(self, tmp_path):
+        digests = {}
+        for backend in BACKENDS:
+            store = ArtifactStore(root=tmp_path / backend)
+            run_graph(COMPONENTS, workers=2, store=store,
+                      runner=arith_runner, keyer=arith_keyer,
+                      backend=backend)
+            digests[backend] = _store_digests(store)
+        baseline = digests["inline"]
+        assert len(baseline) == len(COMPONENTS)
+        for backend in BACKENDS:
+            assert digests[backend] == baseline, backend
+
+    def test_warm_replay_across_backends(self, tmp_path):
+        """A store populated by one backend satisfies every other."""
+        store = ArtifactStore(root=tmp_path)
+        run_graph(DIAMOND, workers=2, store=store, runner=arith_runner,
+                  keyer=arith_keyer, backend="shard")
+        for backend in BACKENDS:
+            store.stats.reset()
+            results = run_graph(DIAMOND, workers=2, store=store,
+                                runner=arith_runner, keyer=arith_keyer,
+                                backend=backend)
+            assert results == DIAMOND_EXPECTED
+            assert store.stats.misses == 0 and store.stats.hits == 4
+
+
+class TestResolution:
+    def test_registry_names(self):
+        assert set(BACKENDS) <= set(backend_names())
+
+    def test_workers_one_defaults_to_inline(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(None, workers=1), InlineBackend)
+        assert default_backend_name(1) == "inline"
+
+    def test_parallel_defaults_to_process(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert isinstance(resolve_backend(None, workers=4),
+                          ProcessPoolBackend)
+
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert isinstance(resolve_backend(None, workers=4), ThreadBackend)
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "thread")
+        assert isinstance(resolve_backend("shard", workers=2),
+                          SubprocessShardBackend)
+
+    def test_instance_passes_through(self):
+        backend = ThreadBackend(workers=3)
+        assert resolve_backend(backend, workers=1) is backend
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(KeyError, match="inline"):
+            resolve_backend("ssh", workers=2)
+
+    def test_third_party_registration(self):
+        @register_backend
+        class EchoBackend(InlineBackend):
+            name = "test-echo"
+
+        try:
+            assert isinstance(resolve_backend("test-echo"), EchoBackend)
+        finally:
+            from repro.engine.backends import base
+
+            base._REGISTRY.pop("test-echo")
+
+    def test_inline_flags(self):
+        assert InlineBackend.deterministic
+        assert not InlineBackend.persists
+        assert ProcessPoolBackend.persists
+        assert SubprocessShardBackend.whole_graph
+
+    def test_shard_rejects_per_task_submit(self):
+        with pytest.raises(RuntimeError, match="whole graphs"):
+            SubprocessShardBackend(workers=2).submit(
+                Task(id="t", stage="n"), {})
+
+    def test_base_rejects_whole_graph_execution(self):
+        backend = ThreadBackend()
+        with pytest.raises(NotImplementedError):
+            backend.execute_graph({}, [], {}, None)
+
+
+class TestSharding:
+    def test_partition_finds_components(self):
+        pending = [COMPONENTS[tid] for tid in sorted(COMPONENTS)]
+        comps = partition_components(COMPONENTS, pending)
+        assert comps == [["a0", "a1"], ["b0", "b1"], ["c0"]]
+
+    def test_partition_excludes_resolved_boundary(self):
+        # With a0/b0 already resolved, the chains fall apart into
+        # singleton components.
+        pending = [COMPONENTS[tid] for tid in ("a1", "b1", "c0")]
+        comps = partition_components(COMPONENTS, pending)
+        assert comps == [["a1"], ["b1"], ["c0"]]
+
+    def test_balance_is_deterministic_and_bounded(self):
+        comps = [["a", "b", "c"], ["d"], ["e", "f"]]
+        shards = balance_shards(comps, 2)
+        assert shards == [["a", "b", "c"], ["d", "e", "f"]]
+        # One component per shard when there's room, largest first.
+        assert balance_shards(comps, 10) == [["a", "b", "c"], ["e", "f"],
+                                             ["d"]]
+        assert balance_shards(comps, 1) == [["a", "b", "c", "d", "e", "f"]]
+
+    def test_shard_resumes_from_partially_resolved_graph(self, tmp_path):
+        """Boundary values reach shards even when upstream tasks were
+        resolved from the store by a previous run."""
+        store = ArtifactStore(root=tmp_path)
+        prefix = _graph(COMPONENTS["a0"], COMPONENTS["b0"])
+        run_graph(prefix, workers=1, store=store, runner=arith_runner,
+                  keyer=arith_keyer, backend="inline")
+
+        store.stats.reset()
+        results = run_graph(COMPONENTS, workers=2, store=store,
+                            runner=arith_runner, keyer=arith_keyer,
+                            backend="shard")
+        assert results == COMPONENTS_EXPECTED
+        assert store.stats.hits == 2      # a0, b0 replayed
+        assert store.stats.misses == 3    # a1, b1, c0 computed in shards

@@ -146,6 +146,133 @@ class TestMaintenance:
         assert store.info()["total_bytes"] <= total // 2
 
 
+class TestSyncing:
+    def _put(self, store, tag, value):
+        key = store.key_for("compile", source_sha=tag, isa="x86",
+                            opt_level=0)
+        store.put(key, value)
+        return key
+
+    def test_export_import_round_trip(self, store, tmp_path):
+        keys = [self._put(store, f"s{i}", f"v{i}") for i in range(3)]
+        assert store.export_keys(keys, tmp_path / "export") == 3
+
+        other = ArtifactStore(root=tmp_path / "other")
+        assert other.import_keys(tmp_path / "export") == 3
+        assert other.stats.puts == 3
+        for i, key in enumerate(keys):
+            assert other.get(key) == f"v{i}"
+
+    def test_export_skips_missing_keys(self, store, tmp_path):
+        key = self._put(store, "s", "v")
+        assert store.export_keys([key, "0" * 64], tmp_path / "export") == 1
+
+    def test_import_selected_keys_only(self, store, tmp_path):
+        keys = [self._put(store, f"s{i}", i) for i in range(3)]
+        other = ArtifactStore(root=tmp_path / "other")
+        # A whole store root is itself a valid import source.
+        assert other.import_keys(store.root, keys=keys[:1]) == 1
+        assert other.contains(keys[0])
+        assert not other.contains(keys[1])
+
+    def test_import_from_empty_source(self, store, tmp_path):
+        assert store.import_keys(tmp_path / "nothing-here") == 0
+
+    def test_import_carries_provenance(self, store, tmp_path):
+        """gc on the receiving store must still see who wrote what."""
+        key = self._put(store, "s", "v")
+        other = ArtifactStore(root=tmp_path / "other")
+        other.import_keys(store.root)
+        assert other.gc(remove=False)["stale"] == []
+        assert other.gc(remove=False)["unknown"] == []
+
+
+class TestGc:
+    def _fill(self, store, count=2):
+        keys = []
+        for i in range(count):
+            key = store.key_for("compile", source_sha=f"s{i}", isa="x86",
+                                opt_level=0)
+            store.put(key, i)
+            keys.append(key)
+        return keys
+
+    def test_keeps_live_entries(self, store):
+        self._fill(store, 3)
+        report = store.gc()
+        assert report == {"scanned": 3, "stale": [], "unknown": [],
+                          "removed": 0, "kept": 3}
+
+    def test_collects_foreign_toolchain(self, tmp_path):
+        old = ArtifactStore(root=tmp_path, toolchain="f" * 64)
+        stale_keys = self._fill(old, 2)
+        live = ArtifactStore(root=tmp_path)
+        live_keys = self._fill(live, 1)
+
+        report = live.gc()
+        assert len(report["stale"]) == 2
+        assert report["removed"] == 2
+        assert live.stats.evictions == 2
+        assert all(not live.contains(k) for k in stale_keys)
+        assert all(live.contains(k) for k in live_keys)
+
+    def test_collects_foreign_schema(self, tmp_path):
+        old = ArtifactStore(root=tmp_path, schema_version=0)
+        self._fill(old, 1)
+        live = ArtifactStore(root=tmp_path)
+        report = live.gc()
+        assert len(report["stale"]) == 1 and report["removed"] == 1
+
+    def test_keeps_entries_without_provenance_by_default(self, store):
+        # Sidecar-less entries may still be addressable (their keys
+        # don't depend on the sidecar): report them, don't delete them.
+        keys = self._fill(store, 1)
+        store._meta_path(store.path_for(keys[0])).unlink()
+        report = store.gc()
+        assert report["unknown"] == [str(store.path_for(keys[0]))]
+        assert report["removed"] == 0
+        assert store.contains(keys[0])
+
+    def test_collect_unknown_opts_in(self, store):
+        keys = self._fill(store, 1)
+        store._meta_path(store.path_for(keys[0])).unlink()
+        report = store.gc(collect_unknown=True)
+        assert report["removed"] == 1
+        assert not store.contains(keys[0])
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        old = ArtifactStore(root=tmp_path, toolchain="f" * 64)
+        keys = self._fill(old, 2)
+        live = ArtifactStore(root=tmp_path)
+        report = live.gc(remove=False)
+        assert len(report["stale"]) == 2 and report["removed"] == 0
+        assert all(live.contains(k) for k in keys)
+
+    def test_delete_drops_provenance_sidecar(self, store):
+        keys = self._fill(store, 1)
+        path = store.path_for(keys[0])
+        assert store._meta_path(path).exists()
+        store.delete(keys[0])
+        assert not store._meta_path(path).exists()
+
+    def test_gc_cli(self, tmp_path, capsys):
+        old = ArtifactStore(root=tmp_path, toolchain="f" * 64)
+        self._fill(old, 2)
+        ArtifactStore(root=tmp_path).put(
+            ArtifactStore(root=tmp_path).key_for(
+                "compile", source_sha="live", isa="x86", opt_level=0), 1)
+
+        assert main(["--cache-dir", str(tmp_path), "gc", "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "would collect 2" in out and "kept 1" in out
+
+        assert main(["--cache-dir", str(tmp_path), "gc"]) == 0
+        assert "collected 2, kept 1" in capsys.readouterr().out
+
+        assert main(["--cache-dir", str(tmp_path), "gc"]) == 0
+        assert "collected 0, kept 1" in capsys.readouterr().out
+
+
 class TestRootResolution:
     def test_env_var_overrides(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "via-env"))

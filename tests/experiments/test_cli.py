@@ -18,8 +18,14 @@ class TestFigureRegistry:
     def test_registry_covers_the_report(self):
         assert set(DEFAULT_FIGURES) == set(FIGURES)
         for name in ("fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-                     "fig10", "fig11", "obfuscation", "ablation"):
+                     "fig10", "fig11", "explore", "history", "obfuscation",
+                     "ablation"):
             assert name in FIGURES
+
+    def test_explore_section_covers_the_full_suite(self):
+        from repro.experiments.runner import FULL_PAIRS
+
+        assert FIGURES["explore"].pairs == FULL_PAIRS
 
     def test_resolve_defaults_to_everything(self):
         assert resolve_figures(None) == DEFAULT_FIGURES
@@ -39,6 +45,45 @@ class TestGenerateReport:
         assert "Fig. 4" in report
         assert "Fig. 5" not in report
         assert "artifact cache:" in report
+
+
+class TestHistorySection:
+    def _record(self, key, sweep, score, toolchain, created_at):
+        from repro.explore.db import ResultRecord
+
+        return ResultRecord(
+            key=key, sweep=sweep, created_at=created_at,
+            point={"isa": "x86", "opt_level": 0},
+            metrics={"cpi_err": score}, score=score, toolchain=toolchain,
+        )
+
+    def test_history_renders_per_toolchain_best(self, tmp_path,
+                                                monkeypatch):
+        from repro.engine.store import toolchain_fingerprint
+        from repro.explore.db import ResultsDB
+
+        db_path = tmp_path / "history.sqlite3"
+        monkeypatch.setenv("REPRO_RESULTS_DB", str(db_path))
+        live = toolchain_fingerprint()
+        with ResultsDB(db_path) as db:
+            db.put(self._record("k1", "smoke", 0.05, live, 100.0))
+            db.put(self._record("k2", "smoke", 0.03, live, 200.0))
+            db.put(self._record("k3", "isa-opt", 0.20, "f" * 64, 50.0))
+
+        report = generate_report(ExperimentRunner(), figures=["history"])
+        assert "Sweep history" in report
+        assert "smoke" in report and "isa-opt" in report
+        # The live toolchain is starred and listed before foreign ones.
+        assert f"{live[:12]}*" in report
+        assert report.index(live[:12]) < report.index("f" * 12)
+        # Best score per (toolchain, sweep), not the latest one.
+        assert "0.030" in report
+
+    def test_history_empty_db(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DB",
+                           str(tmp_path / "empty.sqlite3"))
+        report = generate_report(ExperimentRunner(), figures=["history"])
+        assert "no stored sweep results yet" in report
 
 
 class TestMainCli:

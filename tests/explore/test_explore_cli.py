@@ -25,6 +25,24 @@ class TestRun:
         assert "0 point(s) scored, 4 resumed" in out
         assert "0 hits, 0 misses, 0 puts" in err
 
+    def test_backend_shard_sweep_and_resume(self, capsys):
+        # Sharded subprocess execution end-to-end, then a DB resume.
+        assert main(["run", "--preset", "smoke", "--n", "2",
+                     "--backend", "shard", "--workers", "2",
+                     "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "2 point(s) scored, 0 resumed" in out
+        assert "misses" in err
+
+        assert main(["run", "--preset", "smoke", "--n", "2",
+                     "--backend", "shard", "--workers", "2"]) == 0
+        assert "0 point(s) scored, 2 resumed" in capsys.readouterr()[0]
+
+    def test_backend_thread_matches_inline(self, capsys):
+        assert main(["run", "--preset", "smoke", "--n", "1",
+                     "--backend", "thread", "--workers", "2"]) == 0
+        assert "1 point(s) scored" in capsys.readouterr()[0]
+
     def test_sample_and_top_flags(self, capsys):
         assert main(["run", "--preset", "smoke", "--sample", "random",
                      "--n", "2", "--seed", "3", "--top", "1"]) == 0
