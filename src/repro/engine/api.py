@@ -101,7 +101,7 @@ class Engine:
         value = run_stage(task, deps)
         if self.store is not None:
             self.store.put(self.store.key_for(task.stage, **key_fields(task)),
-                           value)
+                           value, stage=task.stage)
         self._memo[task.id] = value
         return value
 
@@ -174,6 +174,40 @@ class Engine:
                                   self.target_instructions),
         )
 
+    def replay_timing(self, workload: str, input_name: str, machine_spec,
+                      opt_level: int = REF_OPT, side: str = "org"):
+        """Time one side's trace on *machine_spec*; returns the
+        :class:`~repro.sim.timing_common.TimingResult`.
+
+        Runs through the engine like every other stage: the replay node
+        is content-addressed by the machine's fingerprint, so a warmed
+        sweep resolves it from the memo/store without ever loading the
+        trace — scoring N machine points on a warm cache costs N small
+        reads, zero decodes, zero simulations.
+        """
+        isa = machine_spec.isa
+        if side == "syn":
+            return self._chain(
+                *self._reference_chain(workload, input_name),
+                _tasks.synthesize_task(workload, input_name,
+                                       self.target_instructions),
+                _tasks.compile_clone_task(workload, input_name, isa,
+                                          opt_level,
+                                          self.target_instructions),
+                _tasks.run_clone_task(workload, input_name, isa, opt_level,
+                                      self.target_instructions),
+                _tasks.replay_task(workload, input_name, opt_level,
+                                   machine_spec, side="syn",
+                                   target_instructions=
+                                   self.target_instructions),
+            )
+        return self._chain(
+            _tasks.compile_task(workload, input_name, isa, opt_level),
+            _tasks.run_task(workload, input_name, isa, opt_level),
+            _tasks.replay_task(workload, input_name, opt_level,
+                               machine_spec, side="org"),
+        )
+
     # -- bulk execution ----------------------------------------------------
 
     def warm(
@@ -183,6 +217,7 @@ class Engine:
         workers: int | None = None,
         sides: tuple[str, ...] = ("org", "syn"),
         backend=None,
+        machine_points=(),
     ) -> int:
         """Materialize the full pipeline grid for *pairs* × *coords*.
 
@@ -192,12 +227,16 @@ class Engine:
         enabled, the persistent store.  *sides* narrows the grid to the
         original and/or synthetic pipeline (a figure that derives its
         synthetic from consolidated profiles only needs ``("org",)``).
-        Returns the number of graph nodes.
+        *machine_points* — ``(MachineSpec, opt_level)`` pairs — extends
+        the grid with timing replays (compile → run → replay per pair
+        and side), which is how a design-space sweep becomes one batched
+        engine graph.  Returns the number of graph nodes.
         """
         graph = build_pipeline_graph(
             tuple(pairs), tuple(coords),
             target_instructions=self.target_instructions,
             sides=sides,
+            machine_points=tuple(machine_points),
         )
         if any(task_id not in self._memo for task_id in graph):
             results = run_graph(graph, workers=workers or self.workers,

@@ -1,7 +1,7 @@
 """repro.engine.backends — pluggable execution backends.
 
 The scheduler delegates *where* stages run to an
-:class:`ExecutionBackend`; four ship in-tree:
+:class:`ExecutionBackend`; five ship in-tree:
 
 ========= ============================================================
 name      execution model
@@ -13,6 +13,9 @@ process   multiprocessing pool, worker-side persistence (historical
 shard     dependency-closed shards in isolated
           ``python -m repro.engine.shard`` subprocesses, each with a
           private store, merged via export_keys/import_keys
+auto      cost-aware composite: per-stage compute estimates
+          (``tasks.STAGE_COSTS``) vs pool ``dispatch_cost`` route
+          cheap replays to threads, heavy compiles to processes
 ========= ============================================================
 
 Select with ``--backend NAME`` on the CLIs, the ``REPRO_BACKEND``
@@ -35,6 +38,7 @@ from repro.engine.backends.local import (
     ProcessPoolBackend,
     ThreadBackend,
 )
+from repro.engine.backends.auto import AutoBackend
 from repro.engine.backends.shard import (
     ShardError,
     SubprocessShardBackend,
@@ -43,6 +47,7 @@ from repro.engine.backends.shard import (
 )
 
 __all__ = [
+    "AutoBackend",
     "BACKEND_ENV",
     "ExecutionBackend",
     "ExecutionContext",

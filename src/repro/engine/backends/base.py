@@ -28,6 +28,14 @@ Capability flags refine how the scheduler drives a backend:
   ``execute_graph`` (sharded/remote backends that partition work);
   ``submit`` is never called.
 
+``dispatch_cost`` is the contract's scheduling hint: the relative
+per-task overhead of handing work to this backend (thread handoff ≪
+pickling to a process pool ≪ spawning a shard subprocess), on a scale
+where process-pool dispatch is 1.0.  Cost-aware composites — the
+``auto`` backend — compare it against the scheduler's per-stage cost
+table (:data:`repro.engine.tasks.STAGE_COSTS`) so a stage cheaper than
+a pool's dispatch overhead is never shipped to that pool.
+
 Selection
 ---------
 
@@ -94,6 +102,8 @@ class ExecutionBackend(ABC):
     persists: ClassVar[bool] = False
     #: The backend executes whole graphs (``execute_graph``), not tasks.
     whole_graph: ClassVar[bool] = False
+    #: Relative per-task dispatch overhead (process-pool dispatch = 1.0).
+    dispatch_cost: ClassVar[float] = 1.0
 
     def __init__(self, workers: int = 1) -> None:
         self.workers = max(1, int(workers))

@@ -36,6 +36,7 @@ class InlineBackend(ExecutionBackend):
 
     name = "inline"
     deterministic = True
+    dispatch_cost = 0.0
 
     def submit(self, task: Task, deps: dict[str, Any]) -> Future:
         future: Future = Future()
@@ -51,6 +52,7 @@ class ThreadBackend(ExecutionBackend):
     """Thread-pool fan-out; stages share the parent's address space."""
 
     name = "thread"
+    dispatch_cost = 0.05
 
     def __init__(self, workers: int = 1) -> None:
         super().__init__(workers)
@@ -78,7 +80,8 @@ def _execute_and_persist(task: Task, deps: dict[str, Any], store_spec,
         # LRU sweeps; the parent enforces the cap once per run instead.
         store = ArtifactStore(root=root, schema_version=schema_version,
                               toolchain=toolchain, max_bytes=None)
-        store.put(store.key_for(task.stage, **keyer(task)), value)
+        store.put(store.key_for(task.stage, **keyer(task)), value,
+                  stage=task.stage)
     return value
 
 
@@ -88,6 +91,7 @@ class ProcessPoolBackend(ExecutionBackend):
 
     name = "process"
     persists = True
+    dispatch_cost = 1.0
 
     def __init__(self, workers: int = 1) -> None:
         super().__init__(workers)

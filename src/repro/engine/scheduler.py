@@ -9,7 +9,10 @@ party).  ``workers=1`` with no explicit backend resolves to the inline
 backend and stays byte-for-byte deterministic (Kahn + sorted-ready
 order); ``workers>1`` defaults to the process pool, the historical
 fan-out, unless ``REPRO_BACKEND`` or the ``backend`` argument says
-otherwise.
+otherwise.  The scheduler's per-stage cost table lives in
+:data:`repro.engine.tasks.STAGE_COSTS`; cost-aware backends (``auto``)
+compare it against each pool's ``dispatch_cost`` to route cheap warm
+replays to threads and heavy compiles to processes.
 
 Cache discipline: the parent consults the store once per node before
 dispatch (a hit skips execution entirely and counts toward
@@ -176,7 +179,7 @@ def _run_submitting(graph, results, store, backend, context):
                     # it here so the parent's counters cover the run.
                     store.stats.puts += 1
                 else:
-                    store.put(key, value)
+                    store.put(key, value, stage=graph[task_id].stage)
             resolve(task_id, value)
         ready.sort()
 

@@ -33,8 +33,11 @@ the sharded execution backend (and a future SSH/remote backend) moves
 artifacts through.
 
 ``repro-cache`` (console script, also ``python -m repro.engine.store``)
-exposes ``info`` / ``clear`` / ``evict`` / ``fsck`` / ``gc`` against
-that same resolution.
+exposes ``info`` / ``stats [--by-stage]`` / ``clear`` / ``evict`` /
+``fsck`` / ``gc`` against that same resolution.  Sidecars additionally
+record the pipeline stage that produced an entry (when the writer knows
+it), which is what ``stats --by-stage`` aggregates — replay-cache
+growth is observable as its own line.
 """
 
 from __future__ import annotations
@@ -229,17 +232,22 @@ class ArtifactStore:
         self.stats.hits += 1
         return value
 
-    def put(self, key: str, value) -> Path:
+    def put(self, key: str, value, stage: str | None = None) -> Path:
         path = self.path_for(key)
         # Provenance sidecar first, then the object: an entry is never
         # visible without the metadata gc() reads to classify it.  (A
         # failed put may orphan a sidecar; clear() reclaims those.)
+        meta: dict = {
+            "schema": self.schema_version,
+            "toolchain": self.toolchain or toolchain_fingerprint(),
+        }
+        if stage is not None:
+            # Writers that know which pipeline stage produced the entry
+            # record it, which is what `repro-cache stats --by-stage`
+            # aggregates; stage-less puts stay classifiable by gc().
+            meta["stage"] = stage
         self._atomic_write(
-            self._meta_path(path),
-            json.dumps({
-                "schema": self.schema_version,
-                "toolchain": self.toolchain or toolchain_fingerprint(),
-            }).encode("utf-8"),
+            self._meta_path(path), json.dumps(meta).encode("utf-8"),
         )
         self._atomic_write(
             path, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
@@ -353,6 +361,27 @@ class ArtifactStore:
             "total_bytes": total,
             "stats": self.stats.as_dict(),
         }
+
+    def by_stage(self) -> dict[str, dict]:
+        """Per-stage ``{"entries": n, "bytes": b}`` breakdown, read from
+        the provenance sidecars.
+
+        Entries whose sidecar predates stage recording (or is missing)
+        group under ``"(unknown)"`` — observability never guesses.  This
+        is what makes replay-cache growth visible as its own line
+        instead of disappearing into one total.
+        """
+        breakdown: dict[str, dict] = {}
+        for path, size, _ in self.entries():
+            try:
+                meta = json.loads(self._meta_path(path).read_text())
+            except (OSError, ValueError):
+                meta = None
+            stage = (meta or {}).get("stage") or "(unknown)"
+            bucket = breakdown.setdefault(stage, {"entries": 0, "bytes": 0})
+            bucket["entries"] += 1
+            bucket["bytes"] += size
+        return breakdown
 
     def clear(self) -> int:
         """Remove every entry (and any ``.tmp`` leftovers); returns the
@@ -506,6 +535,14 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("info", help="print store location, entry count, size")
+    stats = sub.add_parser(
+        "stats", help="entry-count/bytes totals, optionally per stage"
+    )
+    stats.add_argument(
+        "--by-stage", action="store_true",
+        help="break entries/bytes down per pipeline stage (from the "
+             "provenance sidecars; pre-stage entries show as (unknown))",
+    )
     sub.add_parser("clear", help="remove every cached artifact")
     evict = sub.add_parser("evict", help="LRU-evict down to the given limits")
     evict.add_argument("--max-bytes", type=int, default=None)
@@ -540,6 +577,18 @@ def main(argv=None) -> int:
         print(f"schema version: {info['schema_version']}")
         print(f"entries:        {info['entries']}")
         print(f"total bytes:    {info['total_bytes']}")
+    elif args.command == "stats":
+        info = store.info()
+        print(f"root:        {info['root']}")
+        print(f"entries:     {info['entries']}")
+        print(f"total bytes: {info['total_bytes']}")
+        if args.by_stage:
+            breakdown = store.by_stage()
+            width = max((len(stage) for stage in breakdown), default=5)
+            for stage in sorted(breakdown):
+                bucket = breakdown[stage]
+                print(f"  {stage:<{width}}  {bucket['entries']:>7} entries"
+                      f"  {bucket['bytes']:>12} bytes")
     elif args.command == "clear":
         print(f"removed {store.clear()} entries from {store.root}")
     elif args.command == "evict":

@@ -3,12 +3,12 @@
 Each node is one paper-pipeline stage applied to one (workload, input,
 ISA, opt-level) coordinate:
 
-    compile ──▶ run                      (original side, per ISA/opt)
+    compile ──▶ run ──▶ replay@machine       (original side, per ISA/opt)
     compile@ref ──▶ run@ref ──▶ profile ──▶ synthesize
                                                │
                           compile-clone ◀──────┘
                                  │
-                            run-clone            (synthetic side)
+                            run-clone ──▶ replay@machine   (synthetic side)
 
 Stage functions take ``(payload, deps)`` where ``deps`` maps dependency
 task ids to their results, and return a picklable artifact.  They are
@@ -18,6 +18,18 @@ payload (synthesis is seeded), which is what lets
 :func:`key_fields` assign every node a content-address computable
 *before* execution — upstream clone sources never need to be in hand to
 decide whether a downstream node is already cached.
+
+The seventh stage, **replay**, times an execution trace on a parametric
+:class:`~repro.sim.machines.MachineSpec`.  Its payload carries the spec
+itself (for execution) while its content-address uses
+:meth:`MachineSpec.fingerprint` — so a replay's key is computable
+without the trace in hand, exactly like every other stage, and a
+design-space sweep's hot path caches and fans out like any other node.
+
+:data:`STAGE_COSTS` is the scheduler's per-stage cost table: a relative
+estimate of each stage's compute weight, which cost-aware backends (the
+``auto`` composite) compare against a pool's ``dispatch_cost`` to route
+cheap warm replays to threads and heavy compiles to processes.
 """
 
 from __future__ import annotations
@@ -42,6 +54,7 @@ STAGE_PROFILE = "profile"
 STAGE_SYNTHESIZE = "synthesize"
 STAGE_COMPILE_CLONE = "compile-clone"
 STAGE_RUN_CLONE = "run-clone"
+STAGE_REPLAY = "replay"
 
 STAGES = (
     STAGE_COMPILE,
@@ -50,7 +63,33 @@ STAGES = (
     STAGE_SYNTHESIZE,
     STAGE_COMPILE_CLONE,
     STAGE_RUN_CLONE,
+    STAGE_REPLAY,
 )
+
+#: Relative compute weight per stage — the scheduler's cost table.
+#: Units are arbitrary; what matters is the ordering and the comparison
+#: against a backend pool's ``dispatch_cost`` (process-pool dispatch is
+#: the 1.0 reference point).  A stage cheaper than a pool's dispatch
+#: overhead should not be shipped to that pool: that is the whole
+#: routing rule of the ``auto`` backend.
+STAGE_COSTS: dict[str, float] = {
+    STAGE_COMPILE: 20.0,
+    STAGE_RUN: 15.0,
+    STAGE_PROFILE: 5.0,
+    STAGE_SYNTHESIZE: 25.0,
+    STAGE_COMPILE_CLONE: 8.0,
+    STAGE_RUN_CLONE: 4.0,
+    STAGE_REPLAY: 0.5,
+}
+
+#: Cost assumed for stages the table doesn't know (third-party graphs):
+#: heavy, so unknown work lands on the isolating pool, never a thread.
+DEFAULT_STAGE_COST = 10.0
+
+
+def stage_cost(stage: str) -> float:
+    """Estimated relative compute weight of *stage* (see STAGE_COSTS)."""
+    return STAGE_COSTS.get(stage, DEFAULT_STAGE_COST)
 
 
 @dataclass(frozen=True)
@@ -114,6 +153,11 @@ def run_stage(task: Task, deps: dict[str, Any]):
     if task.stage == STAGE_RUN_CLONE:
         compiled = _single_dep(task, deps, STAGE_COMPILE_CLONE)
         return run_binary(compiled.binary)
+    if task.stage == STAGE_REPLAY:
+        trace_stage = STAGE_RUN_CLONE if payload["side"] == "syn" \
+            else STAGE_RUN
+        trace = _single_dep(task, deps, trace_stage)
+        return payload["machine_spec"].build().simulate(trace)
     raise ValueError(f"unknown stage: {task.stage!r}")
 
 
@@ -141,6 +185,15 @@ def key_fields(task: Task) -> dict:
     elif task.stage in (STAGE_COMPILE_CLONE, STAGE_RUN_CLONE):
         fields.update(isa=payload["isa"], opt_level=payload["opt_level"],
                       target_instructions=payload["target_instructions"])
+    elif task.stage == STAGE_REPLAY:
+        # The machine enters the key as its canonical fingerprint, so
+        # the address is computable before the spec's trace exists and
+        # machines that share cycle-model axes share one artifact.
+        fields.update(isa=payload["isa"], opt_level=payload["opt_level"],
+                      side=payload["side"],
+                      machine=payload["machine_spec"].fingerprint())
+        if payload["side"] == "syn":
+            fields["target_instructions"] = payload["target_instructions"]
     else:
         raise ValueError(f"unknown stage: {task.stage!r}")
     return fields
@@ -213,13 +266,53 @@ def run_clone_task(workload: str, input_name: str, isa: str, opt_level: int,
     )
 
 
+def replay_task(workload: str, input_name: str, opt_level: int,
+                machine_spec, side: str = "org",
+                target_instructions: int | None = None) -> Task:
+    """Time one side's trace on *machine_spec* (a
+    :class:`~repro.sim.machines.MachineSpec`).
+
+    The task id embeds the fingerprint prefix so distinct machines never
+    collide; the full fingerprint goes into the content-address (see
+    :func:`key_fields`).
+    """
+    if side not in ("org", "syn"):
+        raise ValueError(f"replay side must be 'org' or 'syn', got {side!r}")
+    isa = machine_spec.isa
+    coord = _coord(workload, input_name, isa, opt_level)
+    fp = machine_spec.fingerprint()[:12]
+    payload = {"workload": workload, "input": input_name, "isa": isa,
+               "opt_level": opt_level, "side": side,
+               "machine_spec": machine_spec}
+    if side == "syn":
+        if target_instructions is None:
+            raise ValueError("synthetic replays need target_instructions")
+        payload["target_instructions"] = target_instructions
+        return Task(
+            id=f"replay:syn:{coord}#{target_instructions}@{fp}",
+            stage=STAGE_REPLAY, payload=payload,
+            deps=(f"run-clone:{coord}#{target_instructions}",),
+        )
+    return Task(id=f"replay:org:{coord}@{fp}", stage=STAGE_REPLAY,
+                payload=payload, deps=(f"run:{coord}",))
+
+
 def build_pipeline_graph(
     pairs,
     coords=((REF_ISA, REF_OPT),),
     target_instructions: int = DEFAULT_TARGET_INSTRUCTIONS,
     sides: tuple[str, ...] = ("org", "syn"),
+    machine_points=(),
 ) -> dict[str, Task]:
     """Full experiment DAG for *pairs* across (ISA, opt-level) *coords*.
+
+    *machine_points* extends the grid with timing replays: each entry is
+    a ``(MachineSpec, opt_level)`` pair, and contributes — per workload
+    pair and requested side — the compile/run chain at the machine's ISA
+    plus a replay node timing that trace on the machine.  A design-space
+    sweep is therefore one graph: shared compiles deduplicate across
+    machine points exactly like the reference chain deduplicates across
+    coordinates.
 
     Returns ``{task_id: Task}`` with shared prefixes deduplicated — the
     reference compile/run/profile/synthesize chain appears once per pair
@@ -230,6 +323,7 @@ def build_pipeline_graph(
     def add(task: Task) -> None:
         graph.setdefault(task.id, task)
 
+    machine_points = tuple(machine_points)
     for workload, input_name in pairs:
         if "syn" in sides:
             add(compile_task(workload, input_name, REF_ISA, REF_OPT))
@@ -245,6 +339,21 @@ def build_pipeline_graph(
                                        target_instructions))
                 add(run_clone_task(workload, input_name, isa, opt_level,
                                    target_instructions))
+        for spec, opt_level in machine_points:
+            isa = spec.isa
+            if "org" in sides:
+                add(compile_task(workload, input_name, isa, opt_level))
+                add(run_task(workload, input_name, isa, opt_level))
+                add(replay_task(workload, input_name, opt_level, spec,
+                                side="org"))
+            if "syn" in sides:
+                add(compile_clone_task(workload, input_name, isa, opt_level,
+                                       target_instructions))
+                add(run_clone_task(workload, input_name, isa, opt_level,
+                                   target_instructions))
+                add(replay_task(workload, input_name, opt_level, spec,
+                                side="syn",
+                                target_instructions=target_instructions))
     return graph
 
 

@@ -47,7 +47,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--backend", default=None, choices=backend_names(),
         help=f"execution backend (default: ${BACKEND_ENV}, else inline "
-             "for --workers 1, process otherwise)",
+             "for --workers 1, process otherwise; 'auto' cost-routes "
+             "cheap replays to threads and heavy compiles to processes)",
     )
     parser.add_argument(
         "--target-instructions", type=int,

@@ -90,21 +90,37 @@ def run_fig11(
     if target_instructions is None:
         target_instructions = runner.target_instructions
     result = Fig11Result()
-    # Original side: suite-average runtime per (machine, level).  Traces
-    # depend only on (ISA, level), so the engine's memo/store serve the
-    # machines that share an ISA from one compile+run; warm the grid up
-    # front (parallel when the engine has workers).
-    coords = sorted({(machine.isa.name, level) for machine in machines
+    # Original side: suite-average runtime per (machine, level), timed
+    # through the engine's replay stage — each (machine, level, pair)
+    # is a content-addressed replay node, so a warm store serves the
+    # whole grid without loading a single trace, and machines sharing
+    # cycle-model axes share artifacts.  Machines built outside
+    # MachineSpec (no ``.spec``) fall back to direct trace simulation.
+    spec_machines = [m for m in machines if m.spec is not None]
+    fallback = [m for m in machines if m.spec is None]
+    machine_points = {
+        (m.spec.fingerprint(), level): (m.spec, level)
+        for m in spec_machines for level in levels
+    }
+    coords = sorted({(m.isa.name, level) for m in fallback
                      for level in levels})
-    runner.warm(pairs, coords, sides=("org",))
+    runner.warm(pairs, coords, sides=("org",),
+                machine_points=[machine_points[key]
+                                for key in sorted(machine_points)])
     org_times: dict[tuple[str, int], float] = {}
     for machine in machines:
+        hz = machine.frequency_ghz * 1e9
         for level in levels:
             total = 0.0
             for workload, input_name in pairs:
-                trace = runner.original_trace(workload, input_name,
-                                              machine.isa.name, level)
-                total += machine.runtime_seconds(trace)
+                if machine.spec is not None:
+                    timing = runner.replay_timing(workload, input_name,
+                                                  machine.spec, level)
+                    total += timing.cycles / hz
+                else:
+                    trace = runner.original_trace(workload, input_name,
+                                                  machine.isa.name, level)
+                    total += machine.runtime_seconds(trace)
             org_times[(machine.name, level)] = total / len(pairs)
     # Synthetic side: one consolidated clone of the whole set (§II-B.e).
     profiles = [runner.profile(workload, inp) for workload, inp in pairs]

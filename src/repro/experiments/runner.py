@@ -87,13 +87,24 @@ class ExperimentRunner:
     ) -> ExecutionTrace:
         return self.engine.synthetic_trace(workload, input_name, isa, opt_level)
 
+    # -- timing replays ----------------------------------------------------
+
+    def replay_timing(self, workload: str, input_name: str, machine_spec,
+                      opt_level: int = 0, side: str = "org"):
+        """Time one side's trace on *machine_spec* through the engine's
+        cached, content-addressed replay stage."""
+        return self.engine.replay_timing(workload, input_name, machine_spec,
+                                         opt_level, side=side)
+
     # -- bulk / observability ----------------------------------------------
 
     def warm(self, pairs, coords=(("x86", 0),), workers: int | None = None,
-             sides: tuple[str, ...] = ("org", "syn"), backend=None) -> int:
+             sides: tuple[str, ...] = ("org", "syn"), backend=None,
+             machine_points=()) -> int:
         """Materialize the pipeline grid for *pairs* × *coords* up front."""
         return self.engine.warm(pairs, coords, workers=workers, sides=sides,
-                                backend=backend)
+                                backend=backend,
+                                machine_points=machine_points)
 
     @property
     def cache_stats(self) -> StoreStats:

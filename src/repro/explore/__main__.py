@@ -48,7 +48,7 @@ def _record_rows(records, metric: str | None = None,
                 for col in _RANK_COLUMNS]
         row.append(record.score)
         if metric and metric not in ("score", *_RANK_COLUMNS):
-            row.append(record.metric(metric))
+            row.append(record.metrics.get(metric, float("nan")))
         if pareto_keys is not None:
             row.append("*" if record.key in pareto_keys else "")
         rows.append(row)
@@ -242,7 +242,9 @@ def main(argv=None) -> int:
                      help="fan engine stages out over N workers")
     run.add_argument("--backend", default=None, choices=backend_names(),
                      help=f"execution backend (default: ${BACKEND_ENV}, "
-                          "else inline for --workers 1, process otherwise)")
+                          "else inline for --workers 1, process otherwise; "
+                          "'auto' cost-routes cheap replays to threads and "
+                          "heavy compiles to processes)")
     run.add_argument("--target-instructions", type=int,
                      default=DEFAULT_TARGET_INSTRUCTIONS)
     run.add_argument("--cache-dir", default=None,

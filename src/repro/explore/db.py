@@ -210,11 +210,26 @@ class ResultsDB:
     def rank(self, metric: str = "score", sweep: str | None = None,
              limit: int | None = 10,
              ascending: bool = True) -> list[ResultRecord]:
-        """Rows ordered by *metric* (lower is better by default)."""
+        """Rows ordered by *metric* (lower is better by default).
+
+        Records that don't carry the metric — e.g. a degenerate point
+        whose relative error was undefined and dropped — rank after
+        every record that does, in either direction; a metric no stored
+        record carries still raises (typo protection).
+        """
         records = self.query(sweep)
-        records.sort(key=lambda r: (r.metric(metric), r.key),
-                     reverse=not ascending)
-        return records[:limit] if limit is not None else records
+        have = [r for r in records
+                if metric == "score" or metric in r.metrics]
+        if records and not have:
+            records[0].metric(metric)  # raises the "unknown metric" error
+        have.sort(key=lambda r: (r.metric(metric), r.key),
+                  reverse=not ascending)
+        ranked = have + sorted(
+            (r for r in records
+             if metric != "score" and metric not in r.metrics),
+            key=lambda r: r.key,
+        )
+        return ranked[:limit] if limit is not None else ranked
 
     def sweeps(self) -> list[tuple[str, int, float]]:
         """``(sweep, row count, latest created_at)`` per stored sweep."""
@@ -239,10 +254,17 @@ class ResultsDB:
         matched = []
         for point_json in sorted(set(left) & set(right)):
             record_a = left[point_json]
+            record_b = right[point_json]
+            if metric != "score" and (metric not in record_a.metrics
+                                      or metric not in record_b.metrics):
+                # A side that never recorded the metric (undefined
+                # relative error) can't be diffed on it; skip the point
+                # rather than abort the whole comparison.
+                continue
             matched.append((
                 record_a.point,
                 record_a.metric(metric),
-                right[point_json].metric(metric),
+                record_b.metric(metric),
             ))
         return matched
 

@@ -1,24 +1,28 @@
 """Sweep orchestrator: design points → engine task chains → scored rows.
 
-Each design point lowers to the engine pipeline at its machine's ISA and
-its optimization level: the original workloads and their synthetic
-clones are compiled and traced through :class:`repro.engine.Engine`
-(content-addressed store, parallel fan-out over any execution backend
-via ``warm``), then both traces are replayed on the point's parametric
-:class:`~repro.sim.machines.Machine` and the clone's fidelity is scored
-as CPI / cache-miss-rate / branch-accuracy deltas (absolute runtimes
-per side ride along for Pareto ranking).
+Each design point lowers **entirely** into the engine: the original
+workloads and their synthetic clones are compiled and traced at the
+point's ISA and optimization level, and the timing replays themselves
+run as engine ``replay`` nodes content-addressed by the machine's
+:meth:`~repro.sim.machines.MachineSpec.fingerprint`.  One
+:meth:`Engine.warm` call batches every missing point's whole graph
+(compile → run → replay×machines), so replays fan out over whichever
+execution backend is selected and a re-issued sweep performs zero
+compiles, zero runs, *and zero replays* — scoring a warm point costs a
+handful of small :class:`~repro.sim.timing_common.TimingResult` reads,
+never a trace load.
 
 Scored points land in the persistent :class:`~repro.explore.db.ResultsDB`
 keyed by the same content-address recipe the store uses, which makes
 sweeps resumable: a re-issued (or interrupted and restarted) sweep
-skips every already-scored point, and a fully scored sweep performs
-zero compiles and zero runs.
+skips every already-scored point.
 """
 
 from __future__ import annotations
 
+import math
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -41,10 +45,41 @@ SCORE_COMPONENTS = ("cpi_err", "miss_rate_err", "branch_acc_err")
 ProgressFn = Callable[[int, int, ResultRecord, bool], None]
 
 
-def _rel_err(reference: float, measured: float) -> float:
+def _rel_err(reference: float, measured: float) -> float | None:
+    """Relative error, or ``None`` when it is undefined.
+
+    A zero reference with a nonzero measurement has no meaningful
+    relative error; returning ``inf`` (the old behavior) poisoned the
+    averaged score and broke ``rank``, so the component is dropped from
+    the average instead, with a warning.
+    """
     if reference == 0:
-        return 0.0 if measured == 0 else float("inf")
+        if measured == 0:
+            return 0.0
+        warnings.warn(
+            f"relative error undefined (reference=0, measured={measured!r});"
+            " dropping the component from the score",
+            RuntimeWarning, stacklevel=2,
+        )
+        return None
     return abs(measured - reference) / abs(reference)
+
+
+def _score(metrics: dict) -> float:
+    """Average the defined, finite score components (lower is better).
+
+    Components that are missing (undefined relative error) or
+    non-finite are excluded so one degenerate metric can't poison the
+    ranking; a point with no usable component scores ``inf`` and sorts
+    last.
+    """
+    components = [
+        metrics[name] for name in SCORE_COMPONENTS
+        if name in metrics and math.isfinite(metrics[name])
+    ]
+    if not components:
+        return float("inf")
+    return sum(components) / len(components)
 
 
 def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
@@ -53,21 +88,20 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
     Both sides are aggregated suite-wide (total cycles over total
     instructions, pooled cache/branch events) before the deltas are
     taken, mirroring the paper's consolidated-measurement methodology.
+    Timing comes from engine ``replay`` nodes — content-addressed,
+    cached, backend-parallel — not from simulating traces in-process.
     """
-    machine: Machine = point.machine()
-    isa = machine.isa.name
+    spec = point.machine_spec()
+    machine: Machine = spec.build()
     opt_level = point.opt_level
 
     totals = {side: {"cycles": 0, "instructions": 0, "l1_hits": 0,
                      "l1_misses": 0, "branch_hits": 0, "branch_misses": 0}
               for side in ("org", "syn")}
     for workload, input_name in pairs:
-        org_trace = engine.original_trace(workload, input_name, isa,
-                                          opt_level)
-        syn_trace = engine.synthetic_trace(workload, input_name, isa,
-                                           opt_level)
-        for side, trace in (("org", org_trace), ("syn", syn_trace)):
-            result = machine.simulate(trace)
+        for side in ("org", "syn"):
+            result = engine.replay_timing(workload, input_name, spec,
+                                          opt_level, side=side)
             bucket = totals[side]
             bucket["cycles"] += result.cycles
             bucket["instructions"] += result.instructions
@@ -92,7 +126,6 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
     metrics = {
         "org_cpi": org_cpi,
         "syn_cpi": syn_cpi,
-        "cpi_err": _rel_err(org_cpi, syn_cpi),
         "org_l1_miss_rate": org_miss,
         "syn_l1_miss_rate": syn_miss,
         "miss_rate_err": abs(syn_miss - org_miss),
@@ -108,8 +141,10 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
         "org_instructions": totals["org"]["instructions"],
         "syn_instructions": totals["syn"]["instructions"],
     }
-    metrics["score"] = sum(metrics[c] for c in SCORE_COMPONENTS) / \
-        len(SCORE_COMPONENTS)
+    cpi_err = _rel_err(org_cpi, syn_cpi)
+    if cpi_err is not None:
+        metrics["cpi_err"] = cpi_err
+    metrics["score"] = _score(metrics)
     return metrics
 
 
@@ -146,7 +181,8 @@ class SweepResult:
             m = record.metrics
             rows.append([
                 labels.get(record.key) or format_point(record.point),
-                m["org_cpi"], m["syn_cpi"], m["cpi_err"],
+                m["org_cpi"], m["syn_cpi"],
+                m.get("cpi_err", float("nan")),
                 m["miss_rate_err"], m["branch_acc_err"],
                 record.score,
                 "*" if record.key in pareto_keys else "",
@@ -225,13 +261,22 @@ def run_sweep(
         if missing:
             engine = engine or Engine(backend=backend)
             warm_pairs: set = set()
-            warm_coords: set = set()
+            machine_points: dict = {}
             for point, point_pairs, _ in missing:
                 warm_pairs.update(point_pairs)
                 spec = point.machine_spec()
-                warm_coords.add((spec.isa, point.opt_level))
-            engine.warm(sorted(warm_pairs), sorted(warm_coords),
-                        workers=workers, backend=backend)
+                machine_points[(spec.fingerprint(), spec.isa,
+                                point.opt_level)] = (spec, point.opt_level)
+            # One graph for every missing point: compile → run →
+            # replay×machines, deduplicated across points and fanned out
+            # over the selected backend.  Scoring below then reads the
+            # replay results straight from the engine's memo.
+            engine.warm(
+                sorted(warm_pairs), coords=(),
+                machine_points=[machine_points[key]
+                                for key in sorted(machine_points)],
+                workers=workers, backend=backend,
+            )
 
         computed: dict[str, ResultRecord] = {}
         missing_keys = {key for _, _, key in missing}

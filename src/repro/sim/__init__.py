@@ -9,9 +9,15 @@ outcomes).  Everything downstream is trace-driven:
 * :mod:`repro.sim.cache` — set-associative LRU caches, multi-size sweeps
   (Figs. 7, 8, 10);
 * :mod:`repro.sim.branch` — bimodal / gshare / hybrid predictors (Fig. 9);
+* :mod:`repro.sim.timing_common` — the shared replay core: decoded
+  binaries (weakly cached, one decode per live binary),
+  ``TimingConfig``/``TimingResult``, and the ``TimingModel`` base the
+  cycle models ride;
 * :mod:`repro.sim.ooo` — 2-wide out-of-order scoreboard model (Fig. 10);
 * :mod:`repro.sim.inorder` — in-order/EPIC model (Itanium in Fig. 11);
-* :mod:`repro.sim.machines` — the five Table III machines.
+* :mod:`repro.sim.machines` — the five Table III machines, built from
+  parametric ``MachineSpec``s (``spec.fingerprint()`` is the engine's
+  replay content-address).
 """
 
 from repro.sim.functional import SimTrap, Simulator, run_binary
@@ -23,7 +29,14 @@ from repro.sim.branch import (
     HybridPredictor,
     simulate_predictor,
 )
-from repro.sim.ooo import OutOfOrderModel, TimingResult
+from repro.sim.ooo import OutOfOrderModel
+from repro.sim.timing_common import (
+    DecodedBinary,
+    TimingConfig,
+    TimingModel,
+    TimingResult,
+    decode_binary,
+)
 from repro.sim.inorder import InOrderModel
 from repro.sim.machines import MACHINES, Machine, estimate_runtime
 
@@ -31,6 +44,7 @@ __all__ = [
     "BimodalPredictor",
     "Cache",
     "CacheConfig",
+    "DecodedBinary",
     "ExecutionTrace",
     "GsharePredictor",
     "HybridPredictor",
@@ -41,7 +55,10 @@ __all__ = [
     "OutOfOrderModel",
     "SimTrap",
     "Simulator",
+    "TimingConfig",
+    "TimingModel",
     "TimingResult",
+    "decode_binary",
     "estimate_runtime",
     "run_binary",
     "simulate_cache",

@@ -1,35 +1,33 @@
 """In-order (EPIC/Itanium-style) timing model.
 
-Same latency/cache/predictor machinery as the out-of-order model, but
-issue is strictly in order: an instruction whose operands are not ready
-stalls every later instruction.  This is what makes code quality matter —
--O0's load-use chains serialize, while -O2's register-resident values
-issue back to back — reproducing the paper's observation that the
+Same latency/cache/predictor machinery as the out-of-order model —
+both ride the shared replay core in :mod:`repro.sim.timing_common` —
+but issue is strictly in order: an instruction whose operands are not
+ready stalls every later instruction.  This is what makes code quality
+matter — -O0's load-use chains serialize, while -O2's register-resident
+values issue back to back — reproducing the paper's observation that the
 Itanium 2 gains ~25% from -O2/-O3 where the out-of-order x86 parts do not
 (Fig. 11).
 """
 
 from __future__ import annotations
 
-from repro.sim.branch import HybridPredictor
-from repro.sim.cache import Cache
-from repro.sim.ooo import TimingConfig, TimingResult
-from repro.sim.timing_common import decode_binary
+from repro.sim.timing_common import (
+    DecodedBinary,
+    TimingConfig,  # noqa: F401 - re-exported API
+    TimingModel,
+    TimingResult,
+)
 from repro.sim.trace import ExecutionTrace
 
 
-class InOrderModel:
+class InOrderModel(TimingModel):
     """Strictly in-order pipeline with operand scoreboarding."""
 
-    def __init__(self, config: TimingConfig | None = None):
-        self.config = config or TimingConfig()
-
-    def simulate(self, trace: ExecutionTrace) -> TimingResult:
+    def replay(self, trace: ExecutionTrace,
+               decoded: DecodedBinary) -> TimingResult:
         config = self.config
-        decoded = decode_binary(trace.binary)
-        l1 = Cache(config.l1)
-        l2 = Cache(config.l2) if config.l2 is not None else None
-        predictor = HybridPredictor(config.predictor_entries)
+        l1, l2, predictor = self._session()
         latencies = config.latencies
         width = config.width
         l1_hit_cycles = config.l1_hit_cycles
@@ -128,11 +126,5 @@ class InOrderModel:
                 elif op.is_call_or_ret:
                     ready.clear()
         total_cycles = max(cycle, max_completion)
-        return TimingResult(
-            cycles=total_cycles,
-            instructions=instructions,
-            l1_hits=l1.hits,
-            l1_misses=l1.misses,
-            branch_hits=branch_hits,
-            branch_misses=branch_misses,
-        )
+        return self._result(total_cycles, instructions, l1,
+                            branch_hits, branch_misses)

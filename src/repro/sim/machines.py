@@ -26,12 +26,15 @@ Core i7         x86_64   2.67GHz 4      128   32 KB    8 MB
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields, replace
 
 from repro.isa.targets import ISA, ISA_BY_NAME
 from repro.sim.cache import CacheConfig
 from repro.sim.inorder import InOrderModel
-from repro.sim.ooo import OutOfOrderModel, TimingConfig, TimingResult
+from repro.sim.ooo import OutOfOrderModel
+from repro.sim.timing_common import TimingConfig, TimingResult
 from repro.sim.trace import ExecutionTrace
 
 
@@ -44,6 +47,11 @@ class Machine:
     frequency_ghz: float
     in_order: bool
     timing: TimingConfig = field(hash=False)
+    #: The parametric spec this machine was built from, when it came
+    #: through :meth:`MachineSpec.build` — what lets the engine address
+    #: replays on this machine by content (``spec.fingerprint()``).
+    spec: "MachineSpec | None" = field(default=None, hash=False,
+                                       compare=False)
 
     def model(self):
         if self.in_order:
@@ -104,6 +112,7 @@ class MachineSpec:
             frequency_ghz=self.frequency_ghz,
             in_order=self.in_order,
             timing=timing,
+            spec=self,
         )
 
     def axes(self) -> dict:
@@ -113,6 +122,21 @@ class MachineSpec:
             for f in fields(self)
             if f.name != "name"
         }
+
+    def fingerprint(self) -> str:
+        """Canonical content digest of the cycle-model axes.
+
+        This is what makes a timing replay content-addressable *before*
+        execution (see ``repro.engine.tasks.STAGE_REPLAY``): equal axes
+        always digest equally, names never matter, and field order is
+        canonicalized.  ``frequency_ghz`` is deliberately excluded — the
+        clock scales cycles to seconds *outside* the cycle model, so two
+        specs differing only in clock share one replay artifact.
+        """
+        axes = self.axes()
+        axes.pop("frequency_ghz")
+        payload = json.dumps(axes, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
 def spec_from_axes(name: str | None = None, **axes) -> MachineSpec:

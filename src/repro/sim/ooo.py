@@ -17,75 +17,37 @@ superscalar core:
 * a hybrid branch predictor; a mispredict stalls dispatch until the
   branch resolves plus a pipeline-refill penalty.
 
-The model replays an :class:`repro.sim.trace.ExecutionTrace`, so one
-functional run can be timed under many configurations.
+The model replays an :class:`repro.sim.trace.ExecutionTrace` on the
+shared replay core (:class:`repro.sim.timing_common.TimingModel`), so
+one functional run can be timed under many configurations — and one
+decode (:class:`~repro.sim.timing_common.DecodedBinary`) serves them
+all.  ``TimingConfig``/``TimingResult`` live in
+:mod:`repro.sim.timing_common` and are re-exported here for
+compatibility.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
 
-from repro.sim.branch import HybridPredictor
-from repro.sim.cache import Cache, CacheConfig
-from repro.sim.timing_common import DEFAULT_LATENCIES, decode_binary
+from repro.sim.timing_common import (  # noqa: F401 - re-exported API
+    DEFAULT_LATENCIES,
+    DecodedBinary,
+    TimingConfig,
+    TimingModel,
+    TimingResult,
+    decode_binary,
+)
 from repro.sim.trace import ExecutionTrace
 
 
-@dataclass
-class TimingConfig:
-    """Microarchitecture parameters for the cycle models."""
-
-    width: int = 2
-    rob_size: int = 64
-    l1: CacheConfig = field(default_factory=lambda: CacheConfig(8 * 1024, 32, 4))
-    l2: CacheConfig | None = field(default_factory=lambda: CacheConfig(1024 * 1024, 32, 8))
-    l1_hit_cycles: int = 3
-    l2_hit_cycles: int = 14
-    memory_cycles: int = 120
-    mispredict_penalty: int = 12
-    predictor_entries: int = 4096
-    latencies: dict = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
-
-
-@dataclass
-class TimingResult:
-    """Cycle count plus the side statistics the figures report."""
-
-    cycles: int
-    instructions: int
-    l1_hits: int
-    l1_misses: int
-    branch_hits: int
-    branch_misses: int
-
-    @property
-    def cpi(self) -> float:
-        return self.cycles / self.instructions if self.instructions else 0.0
-
-    @property
-    def l1_hit_rate(self) -> float:
-        total = self.l1_hits + self.l1_misses
-        return self.l1_hits / total if total else 1.0
-
-    @property
-    def branch_accuracy(self) -> float:
-        total = self.branch_hits + self.branch_misses
-        return self.branch_hits / total if total else 1.0
-
-
-class OutOfOrderModel:
+class OutOfOrderModel(TimingModel):
     """Scoreboard out-of-order pipeline."""
 
-    def __init__(self, config: TimingConfig | None = None):
-        self.config = config or TimingConfig()
-
-    def simulate(self, trace: ExecutionTrace) -> TimingResult:
+    def replay(self, trace: ExecutionTrace,
+               decoded: DecodedBinary) -> TimingResult:
         config = self.config
-        decoded = decode_binary(trace.binary)
-        l1 = Cache(config.l1)
-        l2 = Cache(config.l2) if config.l2 is not None else None
-        predictor = HybridPredictor(config.predictor_entries)
+        l1, l2, predictor = self._session()
         latencies = config.latencies
         width = config.width
         rob_size = config.rob_size
@@ -197,11 +159,5 @@ class OutOfOrderModel:
                     # argument values' readiness is carried by `completion`).
                     ready.clear()
         total_cycles = max(cycle, max_completion)
-        return TimingResult(
-            cycles=total_cycles,
-            instructions=instructions,
-            l1_hits=l1.hits,
-            l1_misses=l1.misses,
-            branch_hits=branch_hits,
-            branch_misses=branch_misses,
-        )
+        return self._result(total_cycles, instructions, l1,
+                            branch_hits, branch_misses)

@@ -1,8 +1,22 @@
 """Shared machinery for the trace-driven timing models.
 
-``decode_binary`` precomputes, for every static instruction, the register
-keys it reads/writes, its latency class and its memory behaviour, so the
-cycle models touch only small tuples in their hot loops.
+This module is the **replay core** every cycle model builds on:
+
+* :class:`TimingConfig` / :class:`TimingResult` — the microarchitecture
+  parameter block and the replay outcome (moved here so the in-order and
+  out-of-order models, :mod:`repro.sim.machines`, and the engine's
+  replay stage all share one definition);
+* :func:`decode_binary` — precomputes, for every static instruction,
+  the register keys it reads/writes, its latency class and its memory
+  behaviour, packaged as a :class:`DecodedBinary` so the cycle models
+  touch only small tuples in their hot loops.  Decodes are cached in a
+  module-level weak map keyed by the binary object, so replaying one
+  binary on N machine configurations decodes once, not N times — for
+  direct :meth:`Machine.simulate` calls just as much as for
+  engine-routed replay tasks;
+* :class:`TimingModel` — the shared session scaffolding (cache
+  hierarchy, branch predictor, result assembly).  Subclasses implement
+  only the hot ``replay(trace, decoded)`` loop.
 
 Register keys: integer registers are their index; float registers are
 ``1000 + index`` (the two files never collide).
@@ -10,9 +24,12 @@ Register keys: integer registers are their index; float registers are
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import weakref
+from dataclasses import dataclass, field
 
 from repro.isa.machine import Binary, MOp
+from repro.sim.branch import HybridPredictor
+from repro.sim.cache import Cache, CacheConfig
 
 # Latency classes (cycles) for a contemporary out-of-order core; loads get
 # their latency from the cache model instead.
@@ -33,6 +50,49 @@ DEFAULT_LATENCIES = {
     "other": 1,
     "load": 0,  # resolved by the cache model
 }
+
+
+@dataclass
+class TimingConfig:
+    """Microarchitecture parameters for the cycle models."""
+
+    width: int = 2
+    rob_size: int = 64
+    l1: CacheConfig = field(default_factory=lambda: CacheConfig(8 * 1024, 32, 4))
+    l2: CacheConfig | None = field(default_factory=lambda: CacheConfig(1024 * 1024, 32, 8))
+    l1_hit_cycles: int = 3
+    l2_hit_cycles: int = 14
+    memory_cycles: int = 120
+    mispredict_penalty: int = 12
+    predictor_entries: int = 4096
+    latencies: dict = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+
+
+@dataclass
+class TimingResult:
+    """Cycle count plus the side statistics the figures report."""
+
+    cycles: int
+    instructions: int
+    l1_hits: int
+    l1_misses: int
+    branch_hits: int
+    branch_misses: int
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def l1_hit_rate(self) -> float:
+        total = self.l1_hits + self.l1_misses
+        return self.l1_hits / total if total else 1.0
+
+    @property
+    def branch_accuracy(self) -> float:
+        total = self.branch_hits + self.branch_misses
+        return self.branch_hits / total if total else 1.0
+
 
 _FLOAT_A_OPS = {
     "fst", "fmov", "fneg", "ftoi", "sqrt", "sin", "cos", "log", "exp",
@@ -142,14 +202,96 @@ def decode_instruction(ins: MOp) -> DecodedOp:
     )
 
 
-def decode_binary(binary: Binary) -> list[list[DecodedOp]]:
-    """Per-gbid list of decoded instructions (cached on the binary)."""
-    cached = getattr(binary, "_decoded_blocks", None)
-    if cached is not None:
-        return cached
-    decoded: list[list[DecodedOp]] = []
-    for func_idx, blk_idx in binary.block_map:
-        block = binary.functions[func_idx].blocks[blk_idx]
-        decoded.append([decode_instruction(ins) for ins in block.instrs])
-    binary._decoded_blocks = decoded
+@dataclass(frozen=True)
+class DecodedBinary:
+    """Per-gbid decoded instructions — the reusable replay-input artifact.
+
+    Indexing by global block id returns that block's decoded ops, so the
+    cycle models' hot loops are unchanged from the raw-list days.
+    """
+
+    blocks: tuple[tuple[DecodedOp, ...], ...]
+
+    def __getitem__(self, gbid: int) -> tuple[DecodedOp, ...]:
+        return self.blocks[gbid]
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+# Binary objects are unhashable (mutable dataclass), so the weak cache
+# keys on id() and guards against id reuse by checking the weakref still
+# points at the same object; the finalizer drops dead entries.
+_DECODE_CACHE: dict[int, tuple[weakref.ref, DecodedBinary]] = {}
+
+
+def decode_binary(binary: Binary) -> DecodedBinary:
+    """Decode *binary* once per live object (module-level weak cache).
+
+    Every caller — direct ``Machine.simulate``, the engine's replay
+    stage, N machine-points sweeping one trace — shares the same decode,
+    and nothing is pinned: entries die with their binary.
+    """
+    key = id(binary)
+    entry = _DECODE_CACHE.get(key)
+    if entry is not None and entry[0]() is binary:
+        return entry[1]
+    decoded = DecodedBinary(tuple(
+        tuple(decode_instruction(ins) for ins in
+              binary.functions[func_idx].blocks[blk_idx].instrs)
+        for func_idx, blk_idx in binary.block_map
+    ))
+    try:
+        ref = weakref.ref(binary,
+                          lambda _r, _k=key: _DECODE_CACHE.pop(_k, None))
+    except TypeError:  # pragma: no cover - Binary is always weakref-able
+        return decoded
+    _DECODE_CACHE[key] = (ref, decoded)
     return decoded
+
+
+def decode_cache_size() -> int:
+    """Number of live entries in the decode cache (observability/tests)."""
+    return len(_DECODE_CACHE)
+
+
+class TimingModel:
+    """Shared replay core for the trace-driven cycle models.
+
+    Owns everything the models have in common — configuration, the
+    cache hierarchy and branch predictor session state, decode lookup,
+    and result assembly.  Subclasses implement :meth:`replay`, the hot
+    per-instruction loop, against an explicit :class:`DecodedBinary`
+    (so callers holding a cached decode skip even the cache probe).
+    """
+
+    def __init__(self, config: TimingConfig | None = None):
+        self.config = config or TimingConfig()
+
+    def simulate(self, trace) -> TimingResult:
+        return self.replay(trace, decode_binary(trace.binary))
+
+    def replay(self, trace, decoded: DecodedBinary) -> TimingResult:
+        raise NotImplementedError
+
+    # -- shared session state ----------------------------------------------
+
+    def _session(self) -> tuple[Cache, Cache | None, HybridPredictor]:
+        """Fresh (l1, l2, predictor) for one replay."""
+        config = self.config
+        l1 = Cache(config.l1)
+        l2 = Cache(config.l2) if config.l2 is not None else None
+        predictor = HybridPredictor(config.predictor_entries)
+        return l1, l2, predictor
+
+    @staticmethod
+    def _result(cycles: int, instructions: int, l1: Cache,
+                branch_hits: int, branch_misses: int) -> TimingResult:
+        return TimingResult(
+            cycles=cycles,
+            instructions=instructions,
+            l1_hits=l1.hits,
+            l1_misses=l1.misses,
+            branch_hits=branch_hits,
+            branch_misses=branch_misses,
+        )

@@ -12,6 +12,7 @@ import hashlib
 import pytest
 
 from repro.engine.backends import (
+    AutoBackend,
     BACKEND_ENV,
     ExecutionBackend,
     InlineBackend,
@@ -27,9 +28,15 @@ from repro.engine.backends import (
 )
 from repro.engine.scheduler import run_graph
 from repro.engine.store import ArtifactStore
-from repro.engine.tasks import Task
+from repro.engine.tasks import (
+    DEFAULT_STAGE_COST,
+    STAGE_COMPILE,
+    STAGE_REPLAY,
+    Task,
+    stage_cost,
+)
 
-BACKENDS = ("inline", "thread", "process", "shard")
+BACKENDS = ("inline", "thread", "process", "shard", "auto")
 
 
 def _graph(*tasks: Task) -> dict[str, Task]:
@@ -195,6 +202,13 @@ class TestResolution:
         assert not InlineBackend.persists
         assert ProcessPoolBackend.persists
         assert SubprocessShardBackend.whole_graph
+        assert not AutoBackend.persists  # parent writes for both pools
+
+    def test_dispatch_costs_order_by_isolation(self):
+        assert InlineBackend.dispatch_cost \
+            < ThreadBackend.dispatch_cost \
+            < ProcessPoolBackend.dispatch_cost \
+            < SubprocessShardBackend.dispatch_cost
 
     def test_shard_rejects_per_task_submit(self):
         with pytest.raises(RuntimeError, match="whole graphs"):
@@ -205,6 +219,51 @@ class TestResolution:
         backend = ThreadBackend()
         with pytest.raises(NotImplementedError):
             backend.execute_graph({}, [], {}, None)
+
+
+class TestAutoRouting:
+    """The cost table × dispatch_cost routing rule, via the accounting
+    the auto backend records per dispatch."""
+
+    def _mixed_graph(self):
+        # Stage names drive routing; arith_runner keeps execution cheap.
+        return _graph(
+            Task(id="c", stage=STAGE_COMPILE, payload={"value": 1}),
+            Task(id="r", stage=STAGE_REPLAY, payload={"value": 10},
+                 deps=("c",)),
+        )
+
+    def test_replay_goes_to_threads_compile_to_processes(self):
+        backend = AutoBackend(workers=2)
+        results = run_graph(self._mixed_graph(), workers=2,
+                            runner=arith_runner, keyer=arith_keyer,
+                            backend=backend)
+        assert results == {"c": 1, "r": 11}
+        assert backend.routed_stages[STAGE_COMPILE] == "process"
+        assert backend.routed_stages[STAGE_REPLAY] == "thread"
+        assert backend.routed == {"process": 1, "thread": 1}
+
+    def test_unknown_stages_route_heavy(self):
+        backend = AutoBackend(workers=2)
+        run_graph(DIAMOND, workers=2, runner=arith_runner,
+                  keyer=arith_keyer, backend=backend)
+        assert backend.routed == {"process": len(DIAMOND)}
+        assert stage_cost("n") == DEFAULT_STAGE_COST
+
+    def test_heavy_cost_threshold_is_tunable(self):
+        backend = AutoBackend(workers=2, heavy_cost=1000.0)
+        run_graph(self._mixed_graph(), workers=2, runner=arith_runner,
+                  keyer=arith_keyer, backend=backend)
+        assert backend.routed == {"thread": 2}
+
+    def test_instance_survives_multiple_graphs(self):
+        # Engine.warm resolves per graph but an instance accumulates.
+        backend = AutoBackend(workers=2)
+        run_graph(self._mixed_graph(), workers=2, runner=arith_runner,
+                  keyer=arith_keyer, backend=backend)
+        run_graph(self._mixed_graph(), workers=2, runner=arith_runner,
+                  keyer=arith_keyer, backend=backend)
+        assert backend.routed == {"process": 2, "thread": 2}
 
 
 class TestSharding:

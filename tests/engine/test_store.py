@@ -289,6 +289,61 @@ class TestRootResolution:
         assert default_cache_root() == tmp_path / "xdg" / "repro"
 
 
+class TestByStage:
+    def _seed(self, store):
+        store.put(store.key_for("compile", source_sha="a"), b"x" * 100,
+                  stage="compile")
+        store.put(store.key_for("compile", source_sha="b"), b"x" * 100,
+                  stage="compile")
+        store.put(store.key_for("replay", source_sha="a", machine="m"),
+                  b"y" * 10, stage="replay")
+        store.put(store.key_for("misc", source_sha="c"), b"z")  # no stage
+
+    def test_breakdown_counts_entries_and_bytes(self, store):
+        self._seed(store)
+        breakdown = store.by_stage()
+        assert set(breakdown) == {"compile", "replay", "(unknown)"}
+        assert breakdown["compile"]["entries"] == 2
+        assert breakdown["replay"]["entries"] == 1
+        assert breakdown["(unknown)"]["entries"] == 1
+        assert breakdown["compile"]["bytes"] > breakdown["replay"]["bytes"]
+
+    def test_sidecarless_entries_group_as_unknown(self, store):
+        key = store.key_for("compile", source_sha="a")
+        store.put(key, 1, stage="compile")
+        store._meta_path(store.path_for(key)).unlink()
+        assert store.by_stage() == {
+            "(unknown)": {"entries": 1,
+                          "bytes": store.path_for(key).stat().st_size}
+        }
+
+    def test_stage_survives_export_import(self, store, tmp_path):
+        key = store.key_for("replay", source_sha="a", machine="m")
+        store.put(key, 7, stage="replay")
+        store.export_keys([key], tmp_path / "exported")
+        other = ArtifactStore(root=tmp_path / "other")
+        other.import_keys(tmp_path / "exported")
+        assert other.by_stage() == {
+            "replay": {"entries": 1,
+                       "bytes": other.path_for(key).stat().st_size}
+        }
+
+    def test_stats_cli_by_stage(self, store, capsys):
+        self._seed(store)
+        assert main(["--cache-dir", str(store.root), "stats",
+                     "--by-stage"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     4" in out
+        assert "compile" in out and "replay" in out and "(unknown)" in out
+
+    def test_stats_cli_totals_only(self, store, capsys):
+        self._seed(store)
+        assert main(["--cache-dir", str(store.root), "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "entries:     4" in out
+        assert "compile" not in out
+
+
 class TestCli:
     def test_info_and_clear(self, tmp_path, capsys):
         store = ArtifactStore(root=tmp_path)

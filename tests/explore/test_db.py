@@ -117,6 +117,18 @@ class TestRank:
         with pytest.raises(KeyError, match="unknown metric"):
             db.rank(metric="nope")
 
+    def test_records_missing_the_metric_rank_last(self, db):
+        # A degenerate point's undefined relative error is dropped at
+        # scoring time; ranking on that metric must not abort.
+        db.put(record(key="a", metrics={"cpi_err": 0.3}))
+        db.put(record(key="degenerate", metrics={"miss_rate_err": 0.1}))
+        db.put(record(key="b", metrics={"cpi_err": 0.1}))
+        assert [r.key for r in db.rank(metric="cpi_err")] == \
+            ["b", "a", "degenerate"]
+        assert [r.key for r in db.rank(metric="cpi_err",
+                                       ascending=False)] == \
+            ["a", "b", "degenerate"]
+
 
 class TestCompare:
     def test_compare_matches_points_across_sweeps(self, db):
@@ -128,6 +140,18 @@ class TestCompare:
                       score=0.7))
         matched = db.compare("left", "right")
         assert matched == [({"width": 2}, 0.5, 0.3)]
+
+    def test_compare_skips_points_missing_the_metric(self, db):
+        db.put(record(key="a1", sweep="left", point={"width": 2},
+                      metrics={"cpi_err": 0.5}))
+        db.put(record(key="a2", sweep="right", point={"width": 2},
+                      metrics={"miss_rate_err": 0.1}))  # no cpi_err
+        db.put(record(key="b1", sweep="left", point={"width": 4},
+                      metrics={"cpi_err": 0.7}))
+        db.put(record(key="b2", sweep="right", point={"width": 4},
+                      metrics={"cpi_err": 0.6}))
+        matched = db.compare("left", "right", metric="cpi_err")
+        assert matched == [({"width": 4}, 0.7, 0.6)]
 
 
 class TestKeyRecipe:

@@ -1,12 +1,17 @@
 """Sweep orchestration: scoring, DB persistence, resume after interrupt."""
 
+import math
+
 import pytest
 
 from repro.engine.api import Engine
+from repro.engine.backends import AutoBackend
+from repro.engine.store import ArtifactStore
+from repro.engine.tasks import STAGE_COMPILE, STAGE_REPLAY, STAGE_RUN
 from repro.explore import sweep as sweep_mod
 from repro.explore.db import ResultsDB
 from repro.explore.space import Axis, DesignSpace, Preset
-from repro.explore.sweep import run_sweep, score_point
+from repro.explore.sweep import _rel_err, _score, run_sweep, score_point
 
 PAIRS = (("crc32", "small"),)
 
@@ -44,6 +49,60 @@ class TestScoring:
         assert 0 <= metrics["score"] < 1
         assert metrics["org_instructions"] > \
             metrics["syn_instructions"]  # clones are much shorter
+
+
+class TestRelErr:
+    def test_normal_relative_error(self):
+        assert _rel_err(2.0, 1.0) == 0.5
+
+    def test_zero_reference_zero_measured_is_exact(self):
+        assert _rel_err(0.0, 0.0) == 0.0
+
+    def test_zero_reference_drops_component_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="relative error undefined"):
+            assert _rel_err(0.0, 1.5) is None
+
+    def test_score_averages_defined_finite_components(self):
+        assert _score({"cpi_err": 0.2, "miss_rate_err": 0.4,
+                       "branch_acc_err": 0.6}) == pytest.approx(0.4)
+        # A dropped (missing) component narrows the average, never inf.
+        assert _score({"miss_rate_err": 0.1,
+                       "branch_acc_err": 0.3}) == pytest.approx(0.2)
+        assert _score({"cpi_err": float("inf"), "miss_rate_err": 0.1,
+                       "branch_acc_err": 0.3}) == pytest.approx(0.2)
+
+    def test_score_with_no_usable_component_sorts_last(self):
+        assert _score({}) == float("inf")
+
+
+class TestEngineLowering:
+    """score_point rides the engine's replay stage, not in-process
+    simulation — the sweep hot path is cached and backend-parallel."""
+
+    def test_warmed_sweep_rerun_does_zero_work(self, db, tmp_path):
+        """The acceptance criterion: a repeated sweep performs zero
+        compiles, zero runs, and zero replays — every replay node
+        cache-hits."""
+        first = Engine(store=ArtifactStore(root=tmp_path / "store"))
+        run_sweep(TINY, engine=first, db=db)
+
+        rerun = Engine(store=ArtifactStore(root=tmp_path / "store"))
+        result = run_sweep(TINY, engine=rerun, db=db, force=True)
+        assert result.computed == TINY.space.size
+        assert rerun.stats.misses == 0 and rerun.stats.puts == 0
+        assert rerun.stats.hits > 0  # served entirely from the store
+
+    def test_auto_backend_routes_sweep_stages_by_cost(self, db, tmp_path):
+        """Replay nodes land on the thread pool, compile/run nodes on
+        the process pool (the auto backend's dispatch accounting)."""
+        backend = AutoBackend(workers=2)
+        engine = Engine(store=ArtifactStore(root=tmp_path / "store"),
+                        backend=backend)
+        run_sweep(TINY, engine=engine, db=db)
+        assert backend.routed_stages[STAGE_REPLAY] == "thread"
+        assert backend.routed_stages[STAGE_COMPILE] == "process"
+        assert backend.routed_stages[STAGE_RUN] == "process"
+        assert backend.routed["thread"] >= TINY.space.size  # the replays
 
 
 class TestRunSweep:

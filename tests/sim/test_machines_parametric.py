@@ -42,6 +42,41 @@ class TestTableIIIEquivalence:
     def test_spec_by_name_covers_the_quintet(self):
         assert set(SPEC_BY_NAME) == {m.name for m in MACHINES}
 
+    def test_built_machines_carry_their_spec(self):
+        for spec, machine in zip(TABLE_III_SPECS, MACHINES):
+            assert machine.spec is not None
+            assert machine.spec == spec
+
+
+class TestFingerprint:
+    def test_equal_axes_equal_fingerprint_names_never_matter(self):
+        a = spec_from_axes(name="alpha", isa="x86", width=4)
+        b = spec_from_axes(name="beta", isa="x86", width=4)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_every_cycle_axis_changes_the_fingerprint(self):
+        base = spec_from_axes(isa="x86")
+        for axis, value in (("isa", "ia64"), ("width", 8), ("rob", 3),
+                            ("l1_kb", 64), ("l2_kb", 4096),
+                            ("l1_hit_cycles", 9), ("l2_hit_cycles", 99),
+                            ("memory_cycles", 999),
+                            ("mispredict_penalty", 2),
+                            ("predictor_entries", 128),
+                            ("in_order", True)):
+            changed = spec_from_axes(**{axis: value})
+            assert changed.fingerprint() != base.fingerprint(), axis
+
+    def test_frequency_is_excluded(self):
+        # The clock scales cycles to seconds outside the cycle model;
+        # two specs differing only in clock share replay artifacts.
+        slow = spec_from_axes(isa="x86", frequency_ghz=1.0)
+        fast = spec_from_axes(isa="x86", frequency_ghz=4.0)
+        assert slow.fingerprint() == fast.fingerprint()
+
+    def test_table_iii_fingerprints_are_distinct(self):
+        prints = {spec.fingerprint() for spec in TABLE_III_SPECS}
+        assert len(prints) == len(TABLE_III_SPECS)
+
 
 class TestSpecConstruction:
     def test_defaults_produce_a_buildable_machine(self):

@@ -145,3 +145,57 @@ class TestMachines:
             times[machine.name] = machine.runtime_seconds(trace)
         slowest = max(times, key=times.get)
         assert slowest == "Itanium 2"
+
+
+class TestDecodeCache:
+    """The module-level weak decode cache: one decode per live binary."""
+
+    def test_same_binary_decodes_once(self, fib_source):
+        from repro.sim.timing_common import decode_binary
+
+        trace = run_source(fib_source)
+        first = decode_binary(trace.binary)
+        assert decode_binary(trace.binary) is first
+        assert len(first) == len(trace.binary.block_map)
+
+    def test_models_share_the_decode(self, fib_source):
+        """N machine configurations on one trace decode exactly once."""
+        from repro.sim import timing_common
+        from repro.sim.timing_common import decode_binary
+
+        trace = run_source(fib_source)
+        decoded = decode_binary(trace.binary)
+        seen = []
+        original = timing_common.decode_instruction
+
+        def counting(ins):
+            seen.append(ins)
+            return original(ins)
+
+        timing_common.decode_instruction = counting
+        try:
+            for machine in MACHINES:
+                machine.simulate(trace)
+        finally:
+            timing_common.decode_instruction = original
+        assert seen == []  # every model reused the cached decode
+        assert decode_binary(trace.binary) is decoded
+
+    def test_cache_entries_die_with_their_binary(self, fib_source):
+        import gc
+
+        from repro.sim.timing_common import decode_binary, decode_cache_size
+
+        trace = run_source(fib_source)
+        decode_binary(trace.binary)
+        before = decode_cache_size()
+        del trace
+        gc.collect()
+        assert decode_cache_size() < before
+
+    def test_decoded_binary_is_indexable(self, fib_source):
+        from repro.sim.timing_common import DecodedOp, decode_binary
+
+        trace = run_source(fib_source)
+        decoded = decode_binary(trace.binary)
+        assert all(isinstance(op, DecodedOp) for op in decoded[0])
