@@ -23,7 +23,9 @@ from repro.explore import (
     DesignSpace,
     PRESETS,
     ResultsDB,
+    SearchResult,
     SweepResult,
+    run_search,
     run_sweep,
 )
 from repro.obfuscation.report import SimilarityReport, compare_sources
@@ -62,6 +64,7 @@ __all__ = [
     "MachineSpec",
     "PRESETS",
     "ResultsDB",
+    "SearchResult",
     "SimTrap",
     "SimilarityReport",
     "StoreStats",
@@ -78,6 +81,7 @@ __all__ = [
     "profile_trace",
     "profile_workload",
     "run_binary",
+    "run_search",
     "run_sweep",
     "synthesize",
     "synthesize_consolidated",

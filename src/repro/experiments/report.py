@@ -156,6 +156,65 @@ def run_explore_history(runner: ExperimentRunner) -> ExploreHistory:
 
 
 @dataclass(frozen=True)
+class SearchTrace:
+    """Adaptive-search round trail read from the results DB."""
+
+    rows: list
+    db_path: str
+
+    def format_table(self) -> str:
+        title = (
+            f"Search trace — best score per adaptive-search round "
+            f"({self.db_path})"
+        )
+        if not self.rows:
+            return f"{title}\n(no stored search rounds yet)"
+        return format_table(
+            ["search", "round", "points", "pairs", "round best",
+             "best so far", "latest"],
+            self.rows, title=title,
+        )
+
+
+def run_search_trace(runner: ExperimentRunner) -> SearchTrace:
+    """Render the best-score-per-round trend of every stored adaptive
+    search (``<search>/round-<k>`` sweep labels) — pure DB read, zero
+    compiles and zero runs, like the sweep-history section.
+
+    ``best so far`` is the running minimum across the search's
+    **full-scope** rounds only: a reduced-pair cohort round (successive
+    halving screens on one pair) shows its own best but is not
+    score-comparable, so it never pins the trend — mirroring
+    ``SearchResult.format_table``.
+    """
+    db_path = _report_db_path(runner)
+    if db_path is None:
+        return SearchTrace(rows=[], db_path="cache disabled")
+    with ResultsDB(db_path) as db:
+        rows = []
+        for search in db.searches():
+            rounds = db.rounds(search)
+            full_scope = max((pairs for *_, pairs in rounds
+                              if pairs is not None), default=None)
+            best_so_far = None
+            for index, _, count, best, latest, pairs in rounds:
+                comparable = pairs is None or pairs == full_scope
+                if comparable and (best_so_far is None
+                                   or best < best_so_far):
+                    best_so_far = best
+                rows.append([
+                    search, index, count,
+                    pairs if pairs is not None else "?",
+                    best,
+                    best_so_far if best_so_far is not None
+                    else float("nan"),
+                    time.strftime("%Y-%m-%d %H:%M",
+                                  time.localtime(latest)),
+                ])
+    return SearchTrace(rows=rows, db_path=str(db_path))
+
+
+@dataclass(frozen=True)
 class FigureSpec:
     """One report section: how to run it and what grid it reads."""
 
@@ -223,6 +282,13 @@ FIGURES: dict[str, FigureSpec] = {
     "history": FigureSpec(
         "Sweep history — cross-run results DB (repro.explore)",
         run_explore_history,
+        # Pure DB read: nothing to warm.
+        (), (),
+    ),
+    "search": FigureSpec(
+        "Search trace — adaptive-search rounds from the results DB "
+        "(repro.explore.search)",
+        run_search_trace,
         # Pure DB read: nothing to warm.
         (), (),
     ),

@@ -1,6 +1,6 @@
 """repro.explore — design-space exploration on top of the engine.
 
-Three pieces:
+Four pieces:
 
 * :mod:`repro.explore.space` — declarative parametric design spaces
   (machine axes + software axes) with deterministic enumeration, named
@@ -8,12 +8,16 @@ Three pieces:
 * :mod:`repro.explore.sweep` — the orchestrator that lowers each design
   point to engine task chains, fans out via the scheduler, and scores
   clone-vs-original fidelity per point;
+* :mod:`repro.explore.search` — adaptive search (hill-climbing with
+  random restarts, successive halving) spending a fixed evaluation
+  budget in sweep-backed rounds instead of enumerating grids;
 * :mod:`repro.explore.db` — the persistent SQLite cross-run results
   database (content-addressed rows; ``query``/``rank``/``compare``
-  without re-running).
+  without re-running; search rounds stored as ``<search>/round-<k>``
+  sweeps).
 
-CLI: ``python -m repro.explore run|query|rank|compare|presets`` (also
-installed as ``repro-explore``).
+CLI: ``python -m repro.explore run|search|query|rank|compare|presets``
+(also installed as ``repro-explore``).
 """
 
 from repro.explore.db import (
@@ -23,7 +27,21 @@ from repro.explore.db import (
     ResultsDB,
     default_db_path,
     pareto_front,
+    parse_round_label,
     result_key,
+    round_label,
+)
+from repro.explore.search import (
+    DEFAULT_BUDGET,
+    HillClimbStrategy,
+    STRATEGIES,
+    SearchResult,
+    SearchRound,
+    SearchStrategy,
+    SuccessiveHalvingStrategy,
+    get_strategy,
+    register_strategy,
+    run_search,
 )
 from repro.explore.space import (
     Axis,
@@ -40,20 +58,32 @@ from repro.explore.sweep import SweepResult, run_sweep, score_point
 __all__ = [
     "Axis",
     "DB_SCHEMA_VERSION",
+    "DEFAULT_BUDGET",
     "DesignPoint",
     "DesignSpace",
     "EXPLORE_PAIRS",
+    "HillClimbStrategy",
     "ISA_OPT_SPACE",
     "PRESETS",
     "Preset",
     "RESULTS_DB_ENV",
     "ResultRecord",
     "ResultsDB",
+    "STRATEGIES",
+    "SearchResult",
+    "SearchRound",
+    "SearchStrategy",
+    "SuccessiveHalvingStrategy",
     "SweepResult",
     "default_db_path",
     "get_preset",
+    "get_strategy",
     "pareto_front",
+    "parse_round_label",
+    "register_strategy",
     "result_key",
+    "round_label",
+    "run_search",
     "run_sweep",
     "score_point",
 ]

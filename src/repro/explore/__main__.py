@@ -1,9 +1,15 @@
-"""``python -m repro.explore`` / ``repro-explore`` — sweep, query, rank.
+"""``python -m repro.explore`` — sweep, search, query, rank.
 
 Examples::
 
     # Multi-point sweep through the engine, persisted to the results DB:
     python -m repro.explore run --preset smoke --workers 2
+
+    # Adaptive search: spend a fixed evaluation budget instead of
+    # enumerating the grid; every round lands in the DB as
+    # <search>/round-<k> and a re-issued search resumes for free:
+    python -m repro.explore search smoke --strategy hill --budget 8 --seed 0
+    python -m repro.explore search microarch --strategy halving --budget 12
 
     # Answered entirely from the DB — zero compiles, zero runs:
     python -m repro.explore query --sweep smoke
@@ -26,6 +32,7 @@ from repro.engine.api import DEFAULT_TARGET_INSTRUCTIONS, Engine
 from repro.engine.backends import BACKEND_ENV, backend_names
 from repro.engine.store import CACHE_DIR_ENV
 from repro.explore.db import RESULTS_DB_ENV, ResultsDB, pareto_front
+from repro.explore.search import DEFAULT_BUDGET, STRATEGIES, run_search
 from repro.explore.space import PRESETS, format_point, get_preset
 from repro.explore.sweep import run_sweep
 from repro.tables import format_table
@@ -75,7 +82,7 @@ def _parse_pairs(text: str | None):
     return tuple(pairs)
 
 
-def _cmd_run(args) -> int:
+def _build_engine(args) -> Engine:
     engine = Engine(
         target_instructions=args.target_instructions,
         workers=args.workers,
@@ -83,12 +90,18 @@ def _cmd_run(args) -> int:
         cache_dir=args.cache_dir,
         backend=args.backend,
     )
-    if engine.store is not None and args.max_cache_bytes is not None:
+    if engine.store is not None and \
+            getattr(args, "max_cache_bytes", None) is not None:
         engine.store.max_bytes = args.max_cache_bytes
-    # Keep both halves of a sweep together: a relocated artifact store
-    # carries its results DB along unless --db says otherwise, and
-    # --no-cache gets a throwaway DB so it measures pure compute
-    # instead of resuming stale persisted points.
+    return engine
+
+
+def _resolve_db_path(args):
+    """Keep both halves of a sweep together: a relocated artifact store
+    carries its results DB along unless ``--db`` says otherwise, and
+    ``--no-cache`` gets a throwaway DB so it measures pure compute
+    instead of resuming stale persisted points.  Returns the path plus
+    the tempdir keeping a throwaway DB alive (or ``None``)."""
     db_path = args.db
     throwaway: tempfile.TemporaryDirectory | None = None
     if db_path is None:
@@ -97,6 +110,22 @@ def _cmd_run(args) -> int:
             db_path = Path(throwaway.name) / "explore.sqlite3"
         elif args.cache_dir is not None:
             db_path = Path(args.cache_dir).expanduser() / "explore.sqlite3"
+    return db_path, throwaway
+
+
+def _print_engine_stats(engine: Engine) -> None:
+    stats = engine.stats
+    print(
+        f"[repro.engine] cache: {stats.hits} hits, "
+        f"{stats.misses} misses, {stats.puts} puts, "
+        f"{stats.evictions} evictions",
+        file=sys.stderr,
+    )
+
+
+def _cmd_run(args) -> int:
+    engine = _build_engine(args)
+    db_path, throwaway = _resolve_db_path(args)
     start = time.time()
     with ResultsDB(db_path) as db:
         result = run_sweep(
@@ -122,14 +151,43 @@ def _cmd_run(args) -> int:
     if throwaway is not None:
         throwaway.cleanup()
     if args.stats:
-        stats = engine.stats
-        print(
-            f"[repro.engine] cache: {stats.hits} hits, "
-            f"{stats.misses} misses, {stats.puts} puts, "
-            f"{stats.evictions} evictions",
-            file=sys.stderr,
-        )
+        _print_engine_stats(engine)
     return 0
+
+
+def _cmd_search(args) -> int:
+    engine = _build_engine(args)
+    db_path, throwaway = _resolve_db_path(args)
+    start = time.time()
+    with ResultsDB(db_path) as db:
+        result = run_search(
+            get_preset(args.preset),
+            strategy=args.strategy,
+            budget=args.budget,
+            seed=args.seed,
+            engine=engine,
+            db=db,
+            workers=args.workers,
+            pairs=_parse_pairs(args.pairs),
+            search_name=args.search_name,
+            backend=args.backend,
+        )
+    elapsed = time.time() - start
+    print(result.format_table())
+    best = result.best
+    if best is not None:
+        print(f"\nbest score {best.score:.6g} at "
+              f"{format_point(best.point)} (sweep label {best.sweep})")
+    print(
+        f"{result.evaluated} evaluation(s) ({result.computed} scored, "
+        f"{result.resumed} resumed) over {len(result.rounds)} round(s) "
+        f"from {db.path} in {elapsed:.1f}s"
+    )
+    if throwaway is not None:
+        throwaway.cleanup()
+    if args.stats:
+        _print_engine_stats(engine)
+    return 0 if best is not None else 1
 
 
 def _cmd_presets(args) -> int:
@@ -221,6 +279,27 @@ def main(argv=None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_engine_flags(cmd) -> None:
+        cmd.add_argument("--workers", type=int, default=1,
+                         help="fan engine stages out over N workers")
+        cmd.add_argument("--backend", default=None, choices=backend_names(),
+                         help=f"execution backend (default: ${BACKEND_ENV}, "
+                              "else inline for --workers 1, process "
+                              "otherwise; 'auto' cost-routes cheap replays "
+                              "to threads and heavy compiles to processes)")
+        cmd.add_argument("--target-instructions", type=int,
+                         default=DEFAULT_TARGET_INSTRUCTIONS)
+        cmd.add_argument("--cache-dir", default=None,
+                         help=f"artifact store root (default: "
+                              f"${CACHE_DIR_ENV} or ~/.cache/repro)")
+        cmd.add_argument("--max-cache-bytes", type=int, default=None,
+                         help="size-cap the artifact store (LRU-evict on "
+                              "put)")
+        cmd.add_argument("--no-cache", action="store_true",
+                         help="skip the persistent artifact store")
+        cmd.add_argument("--stats", action="store_true",
+                         help="print engine cache counters to stderr")
+
     run = sub.add_parser("run", help="sweep a preset through the engine")
     run.add_argument("--preset", default="smoke",
                      help=f"design-space preset ({', '.join(PRESETS)})")
@@ -228,39 +307,51 @@ def main(argv=None) -> int:
                      choices=("grid", "random", "frontier"),
                      help="point selection over the space (default: grid)")
     run.add_argument("--n", type=int, default=None,
-                     help="cap the number of sampled points")
-    run.add_argument("--seed", type=int, default=0,
-                     help="random-sampling seed (default: 0)")
-    run.add_argument("--stride", type=int, default=1,
-                     help="grid-sampling stride (default: 1)")
+                     help="cap the number of sampled points (applied after "
+                          "--stride for grid sampling)")
+    run.add_argument("--seed", type=int, default=None,
+                     help="random-sampling seed (--sample random only; "
+                          "default: 0)")
+    run.add_argument("--stride", type=int, default=None,
+                     help="grid-sampling stride (--sample grid only; "
+                          "default: 1)")
     run.add_argument("--pairs", default=None,
                      help="override workload pairs, e.g. "
                           "adpcm/small,crc32/small")
     run.add_argument("--sweep-name", default=None,
                      help="DB sweep label (default: the preset name)")
-    run.add_argument("--workers", type=int, default=1,
-                     help="fan engine stages out over N workers")
-    run.add_argument("--backend", default=None, choices=backend_names(),
-                     help=f"execution backend (default: ${BACKEND_ENV}, "
-                          "else inline for --workers 1, process otherwise; "
-                          "'auto' cost-routes cheap replays to threads and "
-                          "heavy compiles to processes)")
-    run.add_argument("--target-instructions", type=int,
-                     default=DEFAULT_TARGET_INSTRUCTIONS)
-    run.add_argument("--cache-dir", default=None,
-                     help=f"artifact store root (default: ${CACHE_DIR_ENV} "
-                          "or ~/.cache/repro)")
-    run.add_argument("--max-cache-bytes", type=int, default=None,
-                     help="size-cap the artifact store (LRU-evict on put)")
-    run.add_argument("--no-cache", action="store_true",
-                     help="skip the persistent artifact store")
     run.add_argument("--force", action="store_true",
                      help="rescore points already present in the DB")
     run.add_argument("--top", type=int, default=None,
                      help="print only the N best-scoring points")
-    run.add_argument("--stats", action="store_true",
-                     help="print engine cache counters to stderr")
+    add_engine_flags(run)
     run.set_defaults(func=_cmd_run)
+
+    search = sub.add_parser(
+        "search",
+        help="adaptively search a preset's space within a budget",
+    )
+    search.add_argument("preset",
+                        help=f"design-space preset ({', '.join(PRESETS)})")
+    search.add_argument("--strategy", default="hill",
+                        choices=sorted(STRATEGIES),
+                        help="hill = hill-climbing with random restarts; "
+                             "halving = successive halving (broad cohort "
+                             "on the first pair, best half promoted to "
+                             "the full pair set)")
+    search.add_argument("--budget", type=int, default=DEFAULT_BUDGET,
+                        help="total point evaluations across all rounds "
+                             f"(default: {DEFAULT_BUDGET})")
+    search.add_argument("--seed", type=int, default=0,
+                        help="search-trajectory seed (default: 0)")
+    search.add_argument("--pairs", default=None,
+                        help="override workload pairs, e.g. "
+                             "adpcm/small,crc32/small")
+    search.add_argument("--search-name", default=None,
+                        help="DB label prefix for the round sweeps "
+                             "(default: <preset>-<strategy>-s<seed>)")
+    add_engine_flags(search)
+    search.set_defaults(func=_cmd_search)
 
     presets = sub.add_parser("presets", help="list design-space presets")
     presets.set_defaults(func=_cmd_presets)
@@ -291,13 +382,24 @@ def main(argv=None) -> int:
     compare.set_defaults(func=_cmd_compare)
 
     args = parser.parse_args(argv)
-    if args.command == "run":
+    if args.command in ("run", "search"):
         # Validate up front so a bad --preset is a usage error; KeyErrors
         # from the sweep itself keep their tracebacks.
         try:
             get_preset(args.preset)
         except KeyError as exc:
             parser.error(str(exc.args[0]) if exc.args else str(exc))
+    if args.command == "run":
+        # Mirror DesignSpace.sample's uniform validation as usage errors.
+        if args.seed is not None and args.sample != "random":
+            parser.error("--seed only applies to --sample random")
+        if args.stride is not None:
+            if args.sample != "grid":
+                parser.error("--stride only applies to --sample grid")
+            if args.stride < 1:
+                parser.error(f"--stride must be >= 1, got {args.stride}")
+    if args.command == "search" and args.budget < 1:
+        parser.error(f"--budget must be >= 1, got {args.budget}")
     return args.func(args)
 
 

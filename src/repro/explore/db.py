@@ -20,16 +20,38 @@ import json
 import os
 import sqlite3
 import time
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.engine.store import canonical_key, default_cache_root
+from repro.explore.space import format_point
 
 #: Bump when the row layout or the key recipe changes; old rows then
 #: stop matching instead of being silently misread.
 DB_SCHEMA_VERSION = 1
 
 RESULTS_DB_ENV = "REPRO_RESULTS_DB"
+
+#: Sweep-label convention for adaptive searches: round *k* of search
+#: ``name`` is persisted under the sweep label ``name/round-k``, so a
+#: search's trail is queryable (and resumable) with the ordinary sweep
+#: tooling.
+ROUND_SEP = "/round-"
+
+
+def round_label(search: str, index: int) -> str:
+    """The DB sweep label of one search round (``<search>/round-<k>``)."""
+    return f"{search}{ROUND_SEP}{index}"
+
+
+def parse_round_label(sweep: str) -> tuple[str, int] | None:
+    """``(search, round)`` if *sweep* is a search-round label, else
+    ``None`` (it is an ordinary sweep)."""
+    name, sep, suffix = sweep.rpartition(ROUND_SEP)
+    if not sep or not name or not suffix.isdigit():
+        return None
+    return name, int(suffix)
 
 _TABLE_SQL = """
 CREATE TABLE IF NOT EXISTS results (
@@ -239,6 +261,38 @@ class ResultsDB:
         ).fetchall()
         return [(row["sweep"], row["n"], row["latest"]) for row in rows]
 
+    def searches(self) -> list[str]:
+        """Sorted names of stored adaptive searches — every distinct
+        prefix of a ``<search>/round-<k>`` sweep label."""
+        names = {parsed[0] for sweep, _, _ in self.sweeps()
+                 if (parsed := parse_round_label(sweep)) is not None}
+        return sorted(names)
+
+    def rounds(self, search: str
+               ) -> list[tuple[int, str, int, float, float, int | None]]:
+        """Per-round aggregates for *search*, in round order:
+        ``(round, label, points, best score, latest created_at, pairs)``.
+
+        *pairs* is the round's scoring scope (the ``pairs_scored``
+        metric the sweep records) — reduced-scope rounds, e.g. a
+        successive-halving cohort screened on one pair, are not
+        score-comparable to full rounds.  ``None`` when the stored
+        records predate the field.
+        """
+        out = []
+        for sweep, count, latest in self.sweeps():
+            parsed = parse_round_label(sweep)
+            if parsed is None or parsed[0] != search:
+                continue
+            records = self.query(sweep=sweep)
+            best = min(r.score for r in records)
+            scopes = [int(r.metrics["pairs_scored"]) for r in records
+                      if "pairs_scored" in r.metrics]
+            out.append((parsed[1], sweep, count, best, latest,
+                        max(scopes) if scopes else None))
+        out.sort()
+        return out
+
     def compare(self, sweep_a: str, sweep_b: str, metric: str = "score"
                 ) -> list[tuple[dict, float, float]]:
         """Match points of two sweeps by axis values; returns
@@ -274,15 +328,31 @@ def pareto_front(records: list[ResultRecord],
                  ) -> list[ResultRecord]:
     """Non-dominated subset, minimizing both *metrics* — by default the
     classic explorer trade-off of machine performance (original-side
-    runtime) against clone fidelity (score)."""
+    runtime) against clone fidelity (score).
+
+    A record missing either metric — possible since undefined
+    relative-error components are dropped at scoring time — is skipped
+    with a warning instead of aborting the whole front, consistent with
+    how ``rank`` and ``compare`` treat such records.
+    """
+    usable: list[tuple[ResultRecord, tuple[float, float]]] = []
+    for record in records:
+        missing = [m for m in metrics
+                   if m != "score" and m not in record.metrics]
+        if missing:
+            warnings.warn(
+                f"dropping point {format_point(record.point)} from the "
+                f"Pareto front: missing metric(s) {', '.join(missing)}",
+                RuntimeWarning, stacklevel=2,
+            )
+            continue
+        usable.append((record, tuple(record.metric(m) for m in metrics)))
     front: list[ResultRecord] = []
-    for candidate in records:
-        cx, cy = (candidate.metric(m) for m in metrics)
+    for candidate, (cx, cy) in usable:
         dominated = False
-        for other in records:
+        for other, (ox, oy) in usable:
             if other is candidate:
                 continue
-            ox, oy = (other.metric(m) for m in metrics)
             if ox <= cx and oy <= cy and (ox < cx or oy < cy):
                 dominated = True
                 break

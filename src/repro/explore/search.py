@@ -1,0 +1,398 @@
+"""Adaptive design-space search: budgeted strategies over sweep rounds.
+
+Exhaustive grids stop scaling once a space grows past a few axes — the
+microarch and isa-opt spaces are already the practical ceiling.  This
+module spends a fixed **evaluation budget** adaptively instead.  Two
+strategies ship behind one :class:`SearchStrategy` interface:
+
+* ``hill`` — hill-climbing with random restarts: evaluate a random
+  start, batch-evaluate its one-axis-step neighbors, move to the best
+  improving neighbor, and restart from a fresh random point at local
+  optima.  Deterministic under ``seed``.
+* ``halving`` — successive halving: score a broad random cohort on a
+  small budget (the first workload pair only), promote the best
+  fraction to the full pair set, and repeat with fresh cohorts while
+  budget remains.
+
+Every round is lowered through :func:`repro.explore.sweep.run_sweep`,
+so each evaluation is engine-cached, backend-parallel, and persisted to
+the results DB under one sweep label per round
+(``<search>/round-<k>``, see :func:`repro.explore.db.round_label`).
+That makes searches **resumable and auditable exactly like sweeps**: a
+re-issued search replays every already-scored round from the DB with
+zero engine work, and the round trail answers ``query``/``rank`` (and
+the report's search-trace section) without re-running anything.
+
+CLI: ``python -m repro.explore search <preset> --strategy hill|halving
+--budget N [--seed S]``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.engine.api import Engine
+from repro.explore.db import ResultRecord, ResultsDB, round_label
+from repro.explore.space import DesignPoint, Preset, format_point, get_preset
+from repro.explore.sweep import SweepResult, run_sweep
+from repro.tables import format_table
+
+#: Default evaluation budget (total points scored across all rounds).
+DEFAULT_BUDGET = 16
+
+
+@dataclass(frozen=True)
+class SearchRound:
+    """One evaluated batch: a sweep persisted under its round label."""
+
+    index: int
+    label: str
+    #: Why the strategy issued the round: ``start``/``restart``/
+    #: ``neighbors`` (hill), ``cohort``/``promote`` (halving).
+    purpose: str
+    #: The workload pairs the round scored over (halving cohorts use a
+    #: reduced set, so their scores are not comparable to full rounds).
+    pairs: tuple[tuple[str, str], ...]
+    sweep: SweepResult
+
+    @property
+    def best(self) -> ResultRecord | None:
+        if not self.sweep.records:
+            return None
+        return min(self.sweep.records, key=lambda r: (r.score, r.key))
+
+
+@dataclass
+class SearchResult:
+    """Everything one :func:`run_search` produced (or resumed)."""
+
+    search: str
+    strategy: str
+    budget: int
+    seed: int
+    pairs: tuple[tuple[str, str], ...]
+    rounds: list[SearchRound] = field(default_factory=list)
+
+    @property
+    def evaluated(self) -> int:
+        """Budget spent: points scored or resumed, plus failed attempts."""
+        return sum(len(r.sweep.records) + len(r.sweep.failed)
+                   for r in self.rounds)
+
+    @property
+    def computed(self) -> int:
+        return sum(r.sweep.computed for r in self.rounds)
+
+    @property
+    def resumed(self) -> int:
+        return sum(r.sweep.resumed for r in self.rounds)
+
+    def full_rounds(self) -> list[SearchRound]:
+        """Rounds scored on the full pair set — the comparable ones."""
+        return [r for r in self.rounds if tuple(r.pairs) == tuple(self.pairs)]
+
+    @property
+    def best(self) -> ResultRecord | None:
+        """Best record among full-pair rounds (falling back to any round
+        when the budget ran out before a full-pair evaluation)."""
+        candidates = [r.best for r in self.full_rounds()
+                      if r.best is not None]
+        if not candidates:
+            candidates = [r.best for r in self.rounds if r.best is not None]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda r: (r.score, r.key))
+
+    def format_table(self) -> str:
+        """The search trace: per-round batch sizes and best scores."""
+        rows = []
+        best_so_far = math.inf
+        for rnd in self.rounds:
+            best = rnd.best
+            full = tuple(rnd.pairs) == tuple(self.pairs)
+            if best is not None and full:
+                best_so_far = min(best_so_far, best.score)
+            rows.append([
+                rnd.index,
+                rnd.purpose,
+                len(rnd.sweep.records),
+                rnd.sweep.resumed,
+                len(rnd.pairs),
+                best.score if best is not None else float("nan"),
+                best_so_far if math.isfinite(best_so_far) else float("nan"),
+                format_point(dict(best.point)) if best is not None else "",
+            ])
+        title = (
+            f"Adaptive search '{self.search}' ({self.strategy}, budget "
+            f"{self.budget}, seed {self.seed}): {self.evaluated} "
+            f"evaluation(s) over {len(self.rounds)} round(s), "
+            f"{self.resumed} resumed from DB"
+        )
+        return format_table(
+            ["round", "purpose", "points", "resumed", "pairs",
+             "round best", "best so far", "round best point"],
+            rows, title=title,
+        )
+
+
+class SearchContext:
+    """One in-flight search: budget accounting, per-round evaluation
+    through ``run_sweep``, and the score memory strategies decide from.
+
+    Strategies consume the budget exclusively via :meth:`evaluate`;
+    everything else is read-only state.  All randomness goes through
+    ``self.rng`` (seeded once), and decisions must depend only on
+    scores — that is what makes a re-issued search retrace the same
+    rounds and resume each one from the DB.
+    """
+
+    def __init__(self, preset: Preset, search: str, budget: int, seed: int,
+                 engine: Engine, db: ResultsDB, pairs=None,
+                 workers: int | None = None, backend=None) -> None:
+        self.preset = preset
+        self.space = preset.space
+        self.search = search
+        self.budget = budget
+        self.rng = random.Random(seed)
+        self.engine = engine
+        self.db = db
+        self.pairs = tuple(pairs) if pairs else preset.pairs
+        self.workers = workers
+        self.backend = backend
+        self.result = SearchResult(search=search, strategy="", budget=budget,
+                                   seed=seed, pairs=self.pairs)
+        #: Full-pair scores, the strategies' decision state.
+        self.scores: dict[DesignPoint, float] = {}
+        #: Every point that has cost budget (any pair scope, incl. failed).
+        self.attempted: set[DesignPoint] = set()
+        self._spent = 0
+        # Enumerate once: candidates() is called every restart/cohort
+        # and must not rebuild the Cartesian product each time.
+        self._points = self.space.points()
+
+    def remaining(self) -> int:
+        return max(0, self.budget - self._spent)
+
+    def candidates(self) -> list[DesignPoint]:
+        """Unattempted points in deterministic enumeration order."""
+        return [p for p in self._points if p not in self.attempted]
+
+    def pair_pinned(self) -> bool:
+        """Whether the space's points pin their own workload pair (a
+        ``pair`` axis or base entry) — ``run_sweep`` then scores each
+        point on its pinned pair regardless of the sweep's pair set."""
+        return "pair" in self.space.axis_names() or "pair" in self.space.base
+
+    def neighbors(self, point: DesignPoint) -> list[DesignPoint]:
+        """One-axis steps: each swept axis moved one position up or down
+        its ordered value tuple, all other axes held."""
+        swept = point.swept()
+        out = []
+        for axis in self.space.axes:
+            values = axis.values
+            index = values.index(swept[axis.name])
+            for step in (index - 1, index + 1):
+                if 0 <= step < len(values):
+                    moved = dict(swept)
+                    moved[axis.name] = values[step]
+                    out.append(DesignPoint.from_dicts(moved, self.space.base))
+        return out
+
+    def evaluate(self, points: list[DesignPoint], purpose: str,
+                 pairs=None) -> SearchRound | None:
+        """Score one batch as the next round (``<search>/round-<k>``).
+
+        The batch is truncated to the remaining budget; every submitted
+        point costs one unit whether it is freshly scored, resumed from
+        the DB, or fails.  Returns ``None`` when no budget is left.
+        """
+        pairs = tuple(pairs) if pairs else self.pairs
+        batch = list(points[:self.remaining()])
+        if not batch:
+            return None
+        label = round_label(self.search, len(self.result.rounds))
+        sweep = run_sweep(
+            self.preset, engine=self.engine, db=self.db,
+            workers=self.workers, backend=self.backend,
+            points=batch, pairs=pairs, sweep_name=label,
+        )
+        self._spent += len(batch)
+        self.attempted.update(batch)
+        if pairs == self.pairs:
+            for point, record in zip(sweep.points, sweep.records):
+                self.scores[point] = record.score
+        rnd = SearchRound(index=len(self.result.rounds), label=label,
+                          purpose=purpose, pairs=pairs, sweep=sweep)
+        self.result.rounds.append(rnd)
+        return rnd
+
+
+class SearchStrategy:
+    """Interface: spend ``ctx``'s budget via ``ctx.evaluate`` batches.
+
+    Subclasses set :attr:`name` and implement :meth:`run`; registering
+    with :func:`register_strategy` makes them addressable from the CLI
+    (``--strategy <name>``) and :func:`run_search`.
+    """
+
+    name: str = ""
+
+    def run(self, ctx: SearchContext) -> None:
+        raise NotImplementedError
+
+
+STRATEGIES: dict[str, type[SearchStrategy]] = {}
+
+
+def register_strategy(cls: type[SearchStrategy]) -> type[SearchStrategy]:
+    STRATEGIES[cls.name] = cls
+    return cls
+
+
+def get_strategy(name: str) -> SearchStrategy:
+    try:
+        return STRATEGIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown search strategy {name!r} "
+            f"(available: {', '.join(sorted(STRATEGIES))})"
+        ) from None
+
+
+@register_strategy
+class HillClimbStrategy(SearchStrategy):
+    """Hill-climbing with random restarts (score is lower-is-better).
+
+    Each climb evaluates the current point's unattempted one-axis
+    neighbors as one round and moves to the best strictly-improving
+    one; a local optimum (or exhausted neighborhood) triggers a restart
+    from a random unattempted point.  Ties break on the canonical point
+    label so the trajectory is deterministic under the seed.
+    """
+
+    name = "hill"
+
+    def run(self, ctx: SearchContext) -> None:
+        first = True
+        while ctx.remaining() > 0:
+            fresh = ctx.candidates()
+            if not fresh:
+                break  # the whole space has been attempted
+            current = ctx.rng.choice(fresh)
+            ctx.evaluate([current], "start" if first else "restart")
+            first = False
+            current_score = ctx.scores.get(current, math.inf)
+            while ctx.remaining() > 0:
+                steps = [p for p in ctx.neighbors(current)
+                         if p not in ctx.attempted]
+                if not steps:
+                    break
+                ctx.evaluate(steps, "neighbors")
+                scored = [(ctx.scores[p], p.label(), p) for p in steps
+                          if p in ctx.scores]
+                if not scored:
+                    break
+                best_score, _, best = min(scored)
+                if best_score >= current_score:
+                    break  # local optimum -> restart
+                current, current_score = best, best_score
+
+
+@register_strategy
+class SuccessiveHalvingStrategy(SearchStrategy):
+    """Successive halving over the pair dimension.
+
+    A broad random cohort is scored on the *small* budget — the
+    preset's first workload pair only — and the best :attr:`keep`
+    fraction is promoted to a full-pair-set round.  While budget
+    remains, fresh cohorts repeat the rung pair, so the budget is
+    always spent ~2:1 between broad screening and accurate promotion.
+    With a single-pair preset — or a space whose points pin their own
+    ``pair`` axis, where ``run_sweep`` scores each point on its pinned
+    pair and the reduced rung would just duplicate evaluations — the
+    two rungs coincide and the strategy degenerates to budgeted random
+    screening.
+    """
+
+    name = "halving"
+
+    #: Fraction of each cohort promoted to the full pair set.
+    keep = 0.5
+
+    def run(self, ctx: SearchContext) -> None:
+        small_pairs = ctx.pairs[:1]
+        two_rung = len(small_pairs) < len(ctx.pairs) and \
+            not ctx.pair_pinned()
+        while ctx.remaining() > 0:
+            fresh = ctx.candidates()
+            if not fresh:
+                break
+            # Reserve ~1/3 of the remaining budget for the promotion
+            # rung; the cohort takes the rest.
+            cohort_n = max(1, (2 * ctx.remaining()) // 3) if two_rung \
+                else ctx.remaining()
+            cohort_n = min(cohort_n, len(fresh))
+            cohort = ctx.rng.sample(fresh, cohort_n)
+            if not two_rung:
+                ctx.evaluate(cohort, "cohort")
+                continue
+            rnd = ctx.evaluate(cohort, "cohort", pairs=small_pairs)
+            if rnd is None or not rnd.sweep.records:
+                break
+            ranked = sorted(
+                zip(rnd.sweep.points, rnd.sweep.records),
+                key=lambda pr: (pr[1].score, pr[1].key),
+            )
+            promote_n = max(1, math.ceil(len(ranked) * self.keep))
+            survivors = [point for point, _ in ranked[:promote_n]]
+            if ctx.remaining() == 0:
+                break
+            ctx.evaluate(survivors, "promote")
+
+
+def run_search(
+    preset: Preset | str,
+    strategy: SearchStrategy | str = "hill",
+    budget: int = DEFAULT_BUDGET,
+    seed: int = 0,
+    engine: Engine | None = None,
+    db: ResultsDB | None = None,
+    workers: int | None = None,
+    pairs=None,
+    search_name: str | None = None,
+    backend=None,
+) -> SearchResult:
+    """Adaptively search a preset's space within an evaluation budget.
+
+    Each strategy round is persisted to *db* as its own sweep
+    (``<search>/round-<k>``) and lowered through the engine, so every
+    evaluation is cached and a re-issued search — same preset,
+    strategy, budget, and seed — resumes each round from the DB without
+    a single compile, run, or replay.  The default search name encodes
+    strategy and seed (``smoke-hill-s0``) so differently-seeded
+    searches never share a round trail.
+    """
+    if isinstance(preset, str):
+        preset = get_preset(preset)
+    if budget < 1:
+        raise ValueError(f"search budget must be >= 1, got {budget}")
+    if isinstance(strategy, str):
+        strategy = get_strategy(strategy)
+    engine = engine or Engine(backend=backend)
+    owns_db = db is None
+    db = db or ResultsDB()
+    try:
+        ctx = SearchContext(
+            preset=preset,
+            search=search_name or f"{preset.name}-{strategy.name}-s{seed}",
+            budget=budget, seed=seed, engine=engine, db=db, pairs=pairs,
+            workers=workers, backend=backend,
+        )
+        ctx.result.strategy = strategy.name
+        strategy.run(ctx)
+        return ctx.result
+    finally:
+        if owns_db:
+            db.close()

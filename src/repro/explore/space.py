@@ -198,43 +198,67 @@ class DesignSpace:
     # -- sampling ----------------------------------------------------------
 
     def sample(self, mode: str = "grid", n: int | None = None,
-               seed: int = 0, stride: int = 1) -> list[DesignPoint]:
+               seed: int | None = None,
+               stride: int | None = None) -> list[DesignPoint]:
         """Deterministic subset selection over the full enumeration.
 
-        * ``grid`` — every *stride*-th point, capped at *n*;
+        * ``grid`` — every *stride*-th point (default 1), then capped at
+          *n*: the cap applies **after** striding, so ``stride=2, n=3``
+          is the first three of the strided sequence, not a stride over
+          the first three points;
         * ``random`` — *n* points drawn without replacement from
-          ``random.Random(seed)`` (order-stable for equal arguments);
+          ``random.Random(seed)`` (order-stable for equal arguments;
+          ``seed=None`` means seed 0);
         * ``frontier`` — the space's corners: every combination of each
           axis's first and last value, the classic bounding sweep.
+
+        Arguments are validated uniformly: ``n <= 0`` selects nothing
+        (an empty list, never an opaque error), *seed* is rejected for
+        modes that would silently ignore it (anything but ``random``),
+        and *stride* is rejected outside ``grid`` or below 1.
         """
+        if mode not in ("grid", "random", "frontier"):
+            raise ValueError(f"unknown sampling mode {mode!r} "
+                             "(grid, random, frontier)")
+        if seed is not None and mode != "random":
+            raise ValueError(
+                f"seed only applies to 'random' sampling; {mode!r} "
+                "enumeration is already deterministic"
+            )
+        if stride is not None:
+            if mode != "grid":
+                raise ValueError(
+                    f"stride only applies to 'grid' sampling, not {mode!r}"
+                )
+            if stride < 1:
+                raise ValueError(f"stride must be >= 1, got {stride}")
+        if n is not None and n <= 0:
+            return []
         if mode == "grid":
-            selected = self.points()[::max(1, stride)]
+            selected = self.points()[::(stride or 1)]
             return selected[:n] if n is not None else selected
         if mode == "random":
             points = self.points()
             if n is None or n >= len(points):
                 return points
-            rng = random.Random(seed)
+            rng = random.Random(seed or 0)
             picked = sorted(rng.sample(range(len(points)), n))
             return [points[i] for i in picked]
-        if mode == "frontier":
-            extremes = [
-                (axis.values[0], axis.values[-1]) if len(axis.values) > 1
-                else (axis.values[0],)
-                for axis in self.axes
-            ]
-            seen: set[DesignPoint] = set()
-            corners: list[DesignPoint] = []
-            for combo in itertools.product(*extremes):
-                point = DesignPoint.from_dicts(
-                    dict(zip(self.axis_names(), combo)), self.base
-                )
-                if point not in seen:
-                    seen.add(point)
-                    corners.append(point)
-            return corners[:n] if n is not None else corners
-        raise ValueError(f"unknown sampling mode {mode!r} "
-                         "(grid, random, frontier)")
+        extremes = [
+            (axis.values[0], axis.values[-1]) if len(axis.values) > 1
+            else (axis.values[0],)
+            for axis in self.axes
+        ]
+        seen: set[DesignPoint] = set()
+        corners: list[DesignPoint] = []
+        for combo in itertools.product(*extremes):
+            point = DesignPoint.from_dicts(
+                dict(zip(self.axis_names(), combo)), self.base
+            )
+            if point not in seen:
+                seen.add(point)
+                corners.append(point)
+        return corners[:n] if n is not None else corners
 
 
 # -- presets -----------------------------------------------------------------

@@ -42,7 +42,11 @@ from repro.tables import format_table
 #: Fidelity metrics averaged into the score (lower is better).
 SCORE_COMPONENTS = ("cpi_err", "miss_rate_err", "branch_acc_err")
 
-ProgressFn = Callable[[int, int, ResultRecord, bool], None]
+#: ``progress(index, total, record, status)`` after each planned point.
+#: *status* is ``"run"`` (freshly scored), ``"resumed"`` (answered from
+#: the DB), or ``"failed"`` (scoring raised and the point was skipped —
+#: *record* is ``None`` in that case).
+ProgressFn = Callable[[int, int, "ResultRecord | None", str], None]
 
 
 def _rel_err(reference: float, measured: float) -> float | None:
@@ -156,6 +160,8 @@ class SweepResult:
     records: list[ResultRecord] = field(default_factory=list)
     resumed_keys: set = field(default_factory=set)
     points: list[DesignPoint] = field(default_factory=list)
+    #: Points whose scoring raised and were skipped, with the error.
+    failed: list[tuple[DesignPoint, Exception]] = field(default_factory=list)
 
     @property
     def computed(self) -> int:
@@ -188,10 +194,11 @@ class SweepResult:
                 "*" if record.key in pareto_keys else "",
                 "resumed" if record.key in self.resumed_keys else "run",
             ])
+        failed = f", {len(self.failed)} failed" if self.failed else ""
         title = (
             f"Explore sweep '{self.sweep}': {len(self.records)} points "
-            f"({self.computed} scored, {self.resumed} resumed from DB; "
-            f"* = Pareto runtime/fidelity front)"
+            f"({self.computed} scored, {self.resumed} resumed from DB"
+            f"{failed}; * = Pareto runtime/fidelity front)"
         )
         return format_table(
             ["point", "org_cpi", "syn_cpi", "cpi_err", "miss_err",
@@ -207,13 +214,14 @@ def run_sweep(
     workers: int | None = None,
     sample_mode: str = "grid",
     n: int | None = None,
-    seed: int = 0,
-    stride: int = 1,
+    seed: int | None = None,
+    stride: int | None = None,
     pairs=None,
     sweep_name: str | None = None,
     force: bool = False,
     progress: ProgressFn | None = None,
     backend=None,
+    points: list[DesignPoint] | None = None,
 ) -> SweepResult:
     """Sweep a preset's design space through the engine into the DB.
 
@@ -224,11 +232,22 @@ def run_sweep(
     default) and scored in enumeration order, each persisted as soon as
     it is scored so an interrupted sweep resumes at the first unscored
     point.  ``force=True`` rescores everything.
+
+    An explicit *points* list bypasses sampling entirely — the hook the
+    adaptive search rounds (:mod:`repro.explore.search`) are built on:
+    each round batches its candidate points through one ``run_sweep``
+    call under its own sweep label.
+
+    A point whose scoring raises is skipped (recorded on
+    ``SweepResult.failed``, reported to *progress* with status
+    ``"failed"``) instead of aborting the sweep; ``KeyboardInterrupt``
+    still propagates so an interrupted sweep stays interruptible.
     """
     if isinstance(preset, str):
         preset = get_preset(preset)
-    points = preset.space.sample(mode=sample_mode, n=n, seed=seed,
-                                 stride=stride)
+    if points is None:
+        points = preset.space.sample(mode=sample_mode, n=n, seed=seed,
+                                     stride=stride)
     default_pairs = tuple(pairs) if pairs else preset.pairs
     sweep = sweep_name or preset.name
     owns_db = db is None
@@ -278,30 +297,44 @@ def run_sweep(
                 workers=workers, backend=backend,
             )
 
-        computed: dict[str, ResultRecord] = {}
-        missing_keys = {key for _, _, key in missing}
         for index, (point, point_pairs, key) in enumerate(plan):
             if key in cached:
                 record = cached[key]
+                status = "resumed"
             else:
-                metrics = score_point(point, point_pairs, engine)
+                try:
+                    metrics = score_point(point, point_pairs, engine)
+                except Exception as exc:
+                    warnings.warn(
+                        f"scoring point {point.label() or '(base)'} "
+                        f"failed ({exc}); skipping it",
+                        RuntimeWarning, stacklevel=2,
+                    )
+                    result.failed.append((point, exc))
+                    if progress is not None:
+                        progress(index + 1, len(plan), None, "failed")
+                    continue
+                stored = {k: v for k, v in metrics.items() if k != "score"}
+                # Scoring scope: how many pairs the aggregates cover.
+                # Scores over different scopes are not comparable — the
+                # search-trace report uses this to keep reduced-budget
+                # cohort rounds out of the best-so-far trend.
+                stored["pairs_scored"] = len(point_pairs)
                 record = ResultRecord(
                     key=key,
                     sweep=sweep,
                     created_at=time.time(),
                     point=point.as_dict(),
-                    metrics={k: v for k, v in metrics.items()
-                             if k != "score"},
+                    metrics=stored,
                     score=metrics["score"],
                     toolchain=toolchain,
                 )
                 db.put(record)
-                computed[key] = record
+                status = "run"
             result.records.append(record)
             result.points.append(point)
             if progress is not None:
-                progress(index + 1, len(plan), record,
-                         key not in missing_keys)
+                progress(index + 1, len(plan), record, status)
         return result
     finally:
         if owns_db:

@@ -18,8 +18,8 @@ class TestFigureRegistry:
     def test_registry_covers_the_report(self):
         assert set(DEFAULT_FIGURES) == set(FIGURES)
         for name in ("fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
-                     "fig10", "fig11", "explore", "history", "obfuscation",
-                     "ablation"):
+                     "fig10", "fig11", "explore", "history", "search",
+                     "obfuscation", "ablation"):
             assert name in FIGURES
 
     def test_explore_section_covers_the_full_suite(self):
@@ -84,6 +84,68 @@ class TestHistorySection:
                            str(tmp_path / "empty.sqlite3"))
         report = generate_report(ExperimentRunner(), figures=["history"])
         assert "no stored sweep results yet" in report
+
+
+class TestSearchTraceSection:
+    def _record(self, key, sweep, score, created_at, pairs=None):
+        from repro.explore.db import ResultRecord
+
+        metrics = {"cpi_err": score}
+        if pairs is not None:
+            metrics["pairs_scored"] = pairs
+        return ResultRecord(
+            key=key, sweep=sweep, created_at=created_at,
+            point={"isa": "x86", "opt_level": 0},
+            metrics=metrics, score=score, toolchain="tc",
+        )
+
+    def test_search_trace_renders_round_trend(self, tmp_path,
+                                              monkeypatch):
+        from repro.explore.db import ResultsDB
+
+        db_path = tmp_path / "trace.sqlite3"
+        monkeypatch.setenv("REPRO_RESULTS_DB", str(db_path))
+        with ResultsDB(db_path) as db:
+            db.put(self._record("k1", "smoke-hill-s0/round-0", 0.5, 1.0))
+            db.put(self._record("k2", "smoke-hill-s0/round-1", 0.2, 2.0))
+            db.put(self._record("k3", "plain-sweep", 0.9, 3.0))
+
+        report = generate_report(ExperimentRunner(), figures=["search"])
+        assert "Search trace" in report
+        assert "smoke-hill-s0" in report
+        # Ordinary sweeps don't show up as searches.
+        assert "plain-sweep" not in report
+        # best-so-far trend: round 1 improves on round 0.
+        assert "0.500" in report and "0.200" in report
+
+    def test_reduced_scope_rounds_stay_out_of_best_so_far(
+            self, tmp_path, monkeypatch):
+        from repro.explore.db import ResultsDB
+
+        db_path = tmp_path / "scoped.sqlite3"
+        monkeypatch.setenv("REPRO_RESULTS_DB", str(db_path))
+        with ResultsDB(db_path) as db:
+            # Halving cohort screened on one pair: artificially low
+            # score that must not pin the full-scope trend.
+            db.put(self._record("c", "m-halving-s0/round-0", 0.01, 1.0,
+                                pairs=1))
+            db.put(self._record("p", "m-halving-s0/round-1", 0.30, 2.0,
+                                pairs=5))
+
+        report = generate_report(ExperimentRunner(), figures=["search"])
+        lines = [line for line in report.splitlines()
+                 if line.startswith("m-halving-s0")]
+        assert len(lines) == 2
+        # Round 0 shows its own best but best-so-far is undefined (nan)
+        # until a full-scope round lands.
+        assert "0.010" in lines[0] and "nan" in lines[0]
+        assert lines[1].count("0.300") == 2  # round best == best so far
+
+    def test_search_trace_empty_db(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DB",
+                           str(tmp_path / "empty.sqlite3"))
+        report = generate_report(ExperimentRunner(), figures=["search"])
+        assert "no stored search rounds yet" in report
 
 
 class TestMainCli:

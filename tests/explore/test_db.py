@@ -184,3 +184,47 @@ class TestPareto:
                            metrics={"org_runtime_s": 2.0})
         front = pareto_front([fast_bad, slow_good, dominated])
         assert [r.key for r in front] == ["fast_bad", "slow_good"]
+
+    def test_record_missing_a_metric_is_skipped_not_fatal(self):
+        # Possible since undefined relative-error components are
+        # dropped at scoring time: the front must warn and skip,
+        # consistent with rank/compare, instead of raising KeyError.
+        ok = record(key="ok", score=0.5,
+                    metrics={"cpi_err": 0.5, "org_runtime_s": 1.0})
+        degenerate = record(key="degenerate", score=0.1,
+                            metrics={"miss_rate_err": 0.1})
+        with pytest.warns(RuntimeWarning, match="Pareto front"):
+            front = pareto_front([ok, degenerate])
+        assert [r.key for r in front] == ["ok"]
+
+    def test_all_records_missing_the_metric_yields_empty_front(self):
+        degenerate = record(key="d", metrics={"miss_rate_err": 0.1})
+        with pytest.warns(RuntimeWarning):
+            assert pareto_front([degenerate]) == []
+
+
+class TestRounds:
+    def test_rounds_and_searches_parse_round_labels(self, db):
+        db.put(record(key="a", sweep="s/round-0", score=0.5,
+                      created=1.0))
+        db.put(record(key="b", sweep="s/round-0", score=0.4,
+                      created=2.0))
+        db.put(record(key="c", sweep="s/round-1", score=0.2,
+                      created=3.0))
+        db.put(record(key="d", sweep="plain-sweep", score=0.1))
+        assert db.searches() == ["s"]
+        # Manually-built records carry no pairs_scored metric -> scope
+        # is unknown (None).
+        assert db.rounds("s") == [
+            (0, "s/round-0", 2, 0.4, 2.0, None),
+            (1, "s/round-1", 1, 0.2, 3.0, None),
+        ]
+        assert db.rounds("absent") == []
+
+    def test_rounds_report_the_scoring_scope(self, db):
+        db.put(record(key="a", sweep="s/round-0", score=0.1,
+                      metrics={"cpi_err": 0.1, "pairs_scored": 1}))
+        db.put(record(key="b", sweep="s/round-1", score=0.3,
+                      metrics={"cpi_err": 0.3, "pairs_scored": 5}))
+        assert [(idx, pairs) for idx, _, _, _, _, pairs
+                in db.rounds("s")] == [(0, 1), (1, 5)]

@@ -76,6 +76,68 @@ class TestRun:
         assert str(cache / "explore.sqlite3") in capsys.readouterr()[0]
 
 
+class TestSearch:
+    def test_hill_search_smoke_then_warm_resume(self, capsys):
+        assert main(["search", "smoke", "--strategy", "hill",
+                     "--budget", "8", "--seed", "0", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "Adaptive search 'smoke-hill-s0'" in out
+        assert "best score" in out
+        assert "misses" in err
+
+        # The acceptance criterion: a repeated invocation resumes every
+        # round entirely from the DB — zero compiles/runs/replays.
+        assert main(["search", "smoke", "--strategy", "hill",
+                     "--budget", "8", "--seed", "0", "--stats"]) == 0
+        out, err = capsys.readouterr()
+        assert "(0 scored, 4 resumed)" in out
+        assert "0 hits, 0 misses, 0 puts" in err
+
+    def test_search_rounds_are_queryable_sweeps(self, capsys):
+        assert main(["search", "smoke", "--budget", "4"]) == 0
+        capsys.readouterr()
+        assert main(["query", "--sweep", "smoke-hill-s0/round-0"]) == 0
+        assert "stored result(s)" in capsys.readouterr()[0]
+
+    def test_halving_search(self, capsys):
+        assert main(["search", "smoke", "--strategy", "halving",
+                     "--budget", "6", "--seed", "1"]) == 0
+        out, _ = capsys.readouterr()
+        assert "cohort" in out and "promote" in out
+
+    def test_budget_below_one_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "smoke", "--budget", "0"])
+        assert "--budget" in capsys.readouterr().err
+
+    def test_unknown_preset_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "nope"])
+        assert "unknown preset 'nope'" in capsys.readouterr().err
+
+    def test_unknown_strategy_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["search", "smoke", "--strategy", "bayes"])
+
+
+class TestRunSampleFlagValidation:
+    def test_seed_outside_random_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "smoke", "--seed", "1"])
+        assert "--seed" in capsys.readouterr().err
+
+    def test_stride_outside_grid_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "smoke", "--sample", "random",
+                  "--n", "1", "--stride", "2"])
+        assert "--stride" in capsys.readouterr().err
+
+    def test_stride_below_one_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["run", "--preset", "smoke", "--stride", "0"])
+        assert "--stride" in capsys.readouterr().err
+
+
 class TestQueryRankCompare:
     @pytest.fixture(autouse=True)
     def _seeded(self, capsys):

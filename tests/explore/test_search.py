@@ -1,0 +1,327 @@
+"""Adaptive search: strategies, budget, round persistence, DB resume."""
+
+import math
+
+import pytest
+
+from repro.engine.api import Engine
+from repro.explore import sweep as sweep_mod
+from repro.explore.db import ResultsDB, parse_round_label, round_label
+from repro.explore.search import (
+    HillClimbStrategy,
+    STRATEGIES,
+    SearchContext,
+    SuccessiveHalvingStrategy,
+    get_strategy,
+    run_search,
+)
+from repro.explore.space import Axis, DesignPoint, DesignSpace, Preset, \
+    get_preset
+from repro.explore.sweep import run_sweep
+from repro.explore.sweep import score_point as real_score_point
+
+PAIRS = (("crc32", "small"), ("adpcm", "small"))
+
+#: 1-axis-dominant synthetic space: ``width`` drives the score toward a
+#: known interior optimum (width=4, opt_level=2); ``opt_level`` is a
+#: small tie-breaking ripple.  24 points.
+DOMINANT = Preset(
+    DesignSpace(
+        name="dominant",
+        axes=(
+            Axis("width", (1, 2, 3, 4, 5, 6)),
+            Axis("opt_level", (0, 1, 2, 3)),
+        ),
+        base={"isa": "x86", "l1_kb": 8},
+    ),
+    PAIRS,
+)
+
+OPTIMUM = {"width": 4, "opt_level": 2}
+
+
+def synthetic_score(point, pairs, engine):
+    """Deterministic stand-in for ``score_point``: distance from the
+    known optimum, dominated by the width axis."""
+    err = abs(point["width"] - OPTIMUM["width"]) \
+        + 0.01 * abs(point["opt_level"] - OPTIMUM["opt_level"])
+    return {
+        "org_cpi": 1.0, "syn_cpi": 1.0 + err, "cpi_err": err,
+        "miss_rate_err": err, "branch_acc_err": err,
+        "org_runtime_s": 1.0, "syn_runtime_s": 0.1,
+        "org_instructions": 1000, "syn_instructions": 100,
+        "score": err,
+    }
+
+
+class FakeEngine:
+    """Engine stand-in counting warm() batches (the real engine is
+    exercised by the sweep tests and the CLI search smoke)."""
+
+    target_instructions = 1000
+
+    def __init__(self):
+        self.warm_calls = 0
+        self.warmed_points = 0
+
+    def warm(self, pairs, coords=(), machine_points=(), workers=None,
+             backend=None):
+        self.warm_calls += 1
+        self.warmed_points += len(tuple(machine_points))
+        return 0
+
+
+@pytest.fixture
+def db(tmp_path):
+    with ResultsDB(tmp_path / "search.sqlite3") as handle:
+        yield handle
+
+
+@pytest.fixture(autouse=True)
+def _synthetic_scoring(monkeypatch):
+    monkeypatch.setattr(sweep_mod, "score_point", synthetic_score)
+
+
+class TestRoundLabels:
+    def test_round_label_round_trips(self):
+        assert round_label("my-search", 3) == "my-search/round-3"
+        assert parse_round_label("my-search/round-3") == ("my-search", 3)
+
+    def test_parse_rejects_ordinary_sweeps(self):
+        assert parse_round_label("smoke") is None
+        assert parse_round_label("smoke/round-x") is None
+        assert parse_round_label("/round-1") is None
+
+
+class TestStrategyRegistry:
+    def test_both_strategies_registered(self):
+        assert set(STRATEGIES) >= {"hill", "halving"}
+        assert isinstance(get_strategy("hill"), HillClimbStrategy)
+        assert isinstance(get_strategy("halving"),
+                          SuccessiveHalvingStrategy)
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError, match="unknown search strategy"):
+            get_strategy("bayes")
+
+
+class TestNeighbors:
+    def test_one_axis_steps_only(self, db):
+        ctx = SearchContext(DOMINANT, "s", budget=1, seed=0,
+                            engine=FakeEngine(), db=db)
+        point = DesignPoint.from_dicts({"width": 3, "opt_level": 0},
+                                       DOMINANT.space.base)
+        steps = {tuple(sorted(p.swept().items()))
+                 for p in ctx.neighbors(point)}
+        assert steps == {
+            (("opt_level", 0), ("width", 2)),
+            (("opt_level", 0), ("width", 4)),
+            (("opt_level", 1), ("width", 3)),
+        }
+
+    def test_interior_point_has_steps_both_ways(self, db):
+        ctx = SearchContext(DOMINANT, "s", budget=1, seed=0,
+                            engine=FakeEngine(), db=db)
+        point = DesignPoint.from_dicts({"width": 4, "opt_level": 2},
+                                       DOMINANT.space.base)
+        assert len(ctx.neighbors(point)) == 4
+
+
+class TestHillClimb:
+    def test_finds_the_known_optimum(self, db):
+        result = run_search(DOMINANT, strategy="hill", budget=20, seed=0,
+                            engine=FakeEngine(), db=db)
+        best = result.best
+        assert best is not None
+        assert best.point["width"] == OPTIMUM["width"]
+        assert best.score < 1.0  # reached the dominant axis optimum
+
+    def test_beats_a_random_sample_of_equal_budget(self, db):
+        budget = 8
+        result = run_search(DOMINANT, strategy="hill", budget=budget,
+                            seed=0, engine=FakeEngine(), db=db)
+        sample = DOMINANT.space.sample("random", n=budget, seed=0)
+        sample_best = min(
+            synthetic_score(p, PAIRS, None)["score"] for p in sample
+        )
+        assert result.best.score <= sample_best
+
+    def test_respects_the_budget(self, db):
+        result = run_search(DOMINANT, strategy="hill", budget=5, seed=0,
+                            engine=FakeEngine(), db=db)
+        assert result.evaluated == 5
+
+    def test_covers_small_spaces_entirely(self, db):
+        tiny = Preset(
+            DesignSpace(name="tiny", axes=(Axis("width", (2, 4)),),
+                        base={"isa": "x86", "opt_level": 0}),
+            PAIRS,
+        )
+        result = run_search(tiny, strategy="hill", budget=8, seed=0,
+                            engine=FakeEngine(), db=db)
+        # Budget exceeds the space: every point evaluated exactly once.
+        assert result.evaluated == tiny.space.size
+        assert result.best.score == min(
+            synthetic_score(p, PAIRS, None)["score"]
+            for p in tiny.space.points()
+        )
+
+    def test_budget_must_be_positive(self, db):
+        with pytest.raises(ValueError, match="budget"):
+            run_search(DOMINANT, budget=0, engine=FakeEngine(), db=db)
+
+
+class TestSuccessiveHalving:
+    def test_finds_the_known_optimum(self, db):
+        result = run_search(DOMINANT, strategy="halving", budget=24,
+                            seed=0, engine=FakeEngine(), db=db)
+        assert result.best.point["width"] == OPTIMUM["width"]
+
+    def test_cohort_scores_on_the_first_pair_only(self, db):
+        result = run_search(DOMINANT, strategy="halving", budget=9,
+                            seed=0, engine=FakeEngine(), db=db)
+        purposes = [r.purpose for r in result.rounds]
+        assert purposes[0] == "cohort"
+        assert "promote" in purposes
+        cohort = result.rounds[0]
+        promote = result.rounds[purposes.index("promote")]
+        assert cohort.pairs == PAIRS[:1]
+        assert promote.pairs == PAIRS
+        # ~2:1 budget split between screening and promotion.
+        assert len(cohort.sweep.records) == 6
+        assert len(promote.sweep.records) == 3
+
+    def test_single_pair_preset_degenerates_to_one_rung(self, db):
+        single = Preset(DOMINANT.space, PAIRS[:1])
+        result = run_search(single, strategy="halving", budget=6, seed=0,
+                            engine=FakeEngine(), db=db)
+        assert all(r.pairs == PAIRS[:1] for r in result.rounds)
+        assert all(r.purpose == "cohort" for r in result.rounds)
+        assert result.evaluated == 6
+
+    def test_pair_pinned_space_degenerates_to_one_rung(self, db):
+        # Points with a 'pair' axis score on their pinned pair no
+        # matter what pair set the sweep passes; a reduced-pair cohort
+        # rung would just re-evaluate identical measurements, so the
+        # strategy must not spend budget on one.
+        pinned = Preset(
+            DesignSpace(
+                name="pinned",
+                axes=(Axis("pair", ("crc32/small", "adpcm/small")),
+                      Axis("opt_level", (0, 2))),
+                base={"isa": "x86", "width": 2},
+            ),
+            PAIRS,
+        )
+        result = run_search(pinned, strategy="halving", budget=4, seed=0,
+                            engine=FakeEngine(), db=db)
+        assert all(r.purpose == "cohort" for r in result.rounds)
+        assert all(r.pairs == PAIRS for r in result.rounds)
+
+    def test_best_comes_from_full_pair_rounds(self, db):
+        result = run_search(DOMINANT, strategy="halving", budget=9,
+                            seed=0, engine=FakeEngine(), db=db)
+        assert result.best.sweep in {
+            r.label for r in result.full_rounds()
+        }
+
+
+class TestRoundPersistence:
+    def test_rounds_are_labeled_sweeps_in_the_db(self, db):
+        result = run_search(DOMINANT, strategy="hill", budget=6, seed=0,
+                            engine=FakeEngine(), db=db,
+                            search_name="trail")
+        assert [r.label for r in result.rounds] == \
+            [f"trail/round-{i}" for i in range(len(result.rounds))]
+        stored = db.rounds("trail")
+        assert [(idx, label) for idx, label, *_ in stored] == \
+            [(r.index, r.label) for r in result.rounds]
+        assert db.searches() == ["trail"]
+        # Each round's best and pair scope match the DB aggregates.
+        for (idx, _, count, best, _, pairs), rnd in zip(stored,
+                                                        result.rounds):
+            assert count == len(rnd.sweep.records)
+            assert best == pytest.approx(rnd.best.score)
+            assert pairs == len(rnd.pairs)
+
+    def test_reissued_search_resumes_every_round_with_zero_warms(
+            self, db):
+        first_engine = FakeEngine()
+        first = run_search(DOMINANT, strategy="hill", budget=10, seed=3,
+                           engine=first_engine, db=db)
+        assert first_engine.warm_calls == len(first.rounds)
+
+        rerun_engine = FakeEngine()
+        rerun = run_search(DOMINANT, strategy="hill", budget=10, seed=3,
+                           engine=rerun_engine, db=db)
+        # Identical trajectory, answered entirely from the DB: zero
+        # engine misses means run_sweep never even called warm().
+        assert rerun_engine.warm_calls == 0
+        assert rerun.resumed == first.evaluated
+        assert rerun.computed == 0
+        assert [r.label for r in rerun.rounds] == \
+            [r.label for r in first.rounds]
+        assert rerun.best.key == first.best.key
+
+    def test_different_seeds_use_disjoint_round_trails(self, db):
+        run_search(DOMINANT, strategy="hill", budget=4, seed=0,
+                   engine=FakeEngine(), db=db)
+        run_search(DOMINANT, strategy="hill", budget=4, seed=1,
+                   engine=FakeEngine(), db=db)
+        assert db.searches() == ["dominant-hill-s0", "dominant-hill-s1"]
+
+    def test_search_tolerates_failed_points(self, db, monkeypatch):
+        def flaky(point, pairs, engine):
+            if point["width"] == 2:
+                raise RuntimeError("boom")
+            return synthetic_score(point, pairs, engine)
+
+        monkeypatch.setattr(sweep_mod, "score_point", flaky)
+        with pytest.warns(RuntimeWarning, match="failed"):
+            result = run_search(DOMINANT, strategy="hill", budget=24,
+                                seed=0, engine=FakeEngine(), db=db)
+        # Failed points consume budget but never become the best.
+        assert result.evaluated == 24
+        assert result.best.point["width"] != 2
+
+    def test_trace_table_renders(self, db):
+        result = run_search(DOMINANT, strategy="halving", budget=9,
+                            seed=0, engine=FakeEngine(), db=db)
+        table = result.format_table()
+        assert "Adaptive search" in table
+        assert "cohort" in table and "promote" in table
+        assert "best so far" in table
+
+
+class TestRealEngineAcceptance:
+    """The ISSUE acceptance criterion, through the real engine."""
+
+    @pytest.fixture(autouse=True)
+    def _real_scoring(self, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "score_point", real_score_point)
+
+    def test_hill_budget8_seed0_matches_an_8_point_random_sample(
+            self, db):
+        preset = get_preset("smoke")
+        engine = Engine()
+        result = run_search(preset, strategy="hill", budget=8, seed=0,
+                            engine=engine, db=db)
+        assert db.searches() == ["smoke-hill-s0"]
+        assert len(db.rounds("smoke-hill-s0")) == len(result.rounds)
+        # At least as good as an equal-budget random sample of the same
+        # space (budget covers the whole 4-point space, so both find
+        # the global optimum).
+        sampled = preset.space.sample("random", n=8, seed=0)
+        sample = run_sweep(preset, engine=engine, db=db, points=sampled,
+                           sweep_name="smoke-sample")
+        assert result.best.score <= min(r.score for r in sample.records)
+
+        # A re-issued search resumes every round from the DB with zero
+        # engine work — no compiles, no runs, no replays.
+        rerun_engine = Engine(use_cache=False)  # any work would show
+        rerun = run_search(preset, strategy="hill", budget=8, seed=0,
+                           engine=rerun_engine, db=db)
+        assert rerun.computed == 0
+        assert rerun.resumed == result.evaluated
+        assert rerun_engine.stats.puts == 0
+        assert rerun_engine.stats.misses == 0

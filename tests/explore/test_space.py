@@ -92,6 +92,35 @@ class TestSampling:
         with pytest.raises(ValueError, match="unknown sampling mode"):
             SPACE.sample("sobol")
 
+    def test_nonpositive_n_selects_nothing(self):
+        # Uniform across modes: an empty selection, not an opaque
+        # ValueError out of rng.sample.
+        assert SPACE.sample("grid", n=0) == []
+        assert SPACE.sample("frontier", n=0) == []
+        assert SPACE.sample("random", n=0) == []
+        assert SPACE.sample("random", n=-3) == []
+
+    def test_seed_rejected_for_modes_that_would_ignore_it(self):
+        with pytest.raises(ValueError, match="seed"):
+            SPACE.sample("grid", seed=7)
+        with pytest.raises(ValueError, match="seed"):
+            SPACE.sample("frontier", seed=7)
+
+    def test_stride_rejected_outside_grid(self):
+        with pytest.raises(ValueError, match="stride"):
+            SPACE.sample("random", n=2, stride=2)
+        with pytest.raises(ValueError, match="stride"):
+            SPACE.sample("frontier", stride=2)
+
+    def test_stride_below_one_rejected(self):
+        with pytest.raises(ValueError, match="stride"):
+            SPACE.sample("grid", stride=0)
+
+    def test_grid_caps_after_striding(self):
+        # The documented order: stride first, then the n cap.
+        assert SPACE.sample("grid", stride=2, n=2) == \
+            SPACE.points()[::2][:2]
+
 
 class TestDesignPoint:
     def test_machine_spec_from_axes(self):

@@ -146,9 +146,48 @@ class TestRunSweep:
     def test_progress_callback_sees_every_point(self, engine, db):
         seen = []
         run_sweep(TINY, engine=engine, db=db,
-                  progress=lambda i, n, record, resumed:
-                  seen.append((i, n, resumed)))
-        assert seen == [(1, 2, False), (2, 2, False)]
+                  progress=lambda i, n, record, status:
+                  seen.append((i, n, status)))
+        assert seen == [(1, 2, "run"), (2, 2, "run")]
+
+    def test_progress_reports_resumed_status(self, engine, db):
+        run_sweep(TINY, engine=engine, db=db)
+        seen = []
+        run_sweep(TINY, engine=engine, db=db,
+                  progress=lambda i, n, record, status:
+                  seen.append(status))
+        assert seen == ["resumed", "resumed"]
+
+    def test_explicit_points_bypass_sampling(self, engine, db):
+        points = TINY.space.points()[:1]
+        result = run_sweep(TINY, engine=engine, db=db, points=points)
+        assert result.points == points
+        assert len(result.records) == 1
+
+    def test_failed_point_skipped_with_failed_status(self, engine, db,
+                                                     monkeypatch):
+        real = score_point
+
+        def flaky(point, pairs, eng):
+            if point["opt_level"] == 2:
+                raise RuntimeError("boom")
+            return real(point, pairs, eng)
+
+        monkeypatch.setattr(sweep_mod, "score_point", flaky)
+        seen = []
+        with pytest.warns(RuntimeWarning, match="failed"):
+            result = run_sweep(
+                TINY, engine=engine, db=db,
+                progress=lambda i, n, record, status:
+                seen.append((status, record is None)))
+        # The failed point is reported distinctly — not as "run" — and
+        # skipped; the surviving point still lands in the DB.
+        assert seen == [("run", False), ("failed", True)]
+        assert len(result.records) == 1
+        assert len(result.failed) == 1
+        assert result.failed[0][0]["opt_level"] == 2
+        assert "1 failed" in result.format_table()
+        assert len(db.query(sweep="tiny")) == 1
 
 
 class TestResumeAfterInterrupt:
