@@ -17,6 +17,7 @@ and parallelism without code changes.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Iterable
 
 from repro.engine import tasks as _tasks
@@ -46,6 +47,8 @@ class Engine:
         use_cache: bool = True,
         cache_dir=None,
         backend=None,
+        on_timing=None,
+        runner=None,
     ) -> None:
         self.target_instructions = target_instructions
         self.workers = max(1, workers)
@@ -54,6 +57,16 @@ class Engine:
         #: or None — resolved per warm() against $REPRO_BACKEND and the
         #: worker count (see repro.engine.backends).
         self.backend = backend
+        #: The stage runner — ``callable(task, deps)``, default
+        #: :func:`run_stage`.  The serve daemon swaps in a
+        #: :class:`~repro.serve.coalesce.CoalescingRunner` here so
+        #: overlapping jobs share in-flight nodes.
+        self.runner = runner if runner is not None else run_stage
+        #: ``callable(stage, seconds)`` observing every stage this
+        #: engine executes (inline chains and warm() graphs alike) —
+        #: the hook a :class:`~repro.serve.costs.CostModel` learns
+        #: measured stage costs through.  Cache hits are not reported.
+        self.on_timing = on_timing
         if store is not None:
             self.store = store
         elif use_cache:
@@ -98,10 +111,14 @@ class Engine:
                 return value
         deps = {dep: self._memo[dep] for dep in task.deps} if task.deps \
             else {}
-        value = run_stage(task, deps)
+        started = time.perf_counter()
+        value = self.runner(task, deps)
+        elapsed = time.perf_counter() - started
         if self.store is not None:
             self.store.put(self.store.key_for(task.stage, **key_fields(task)),
-                           value, stage=task.stage)
+                           value, stage=task.stage, seconds=elapsed)
+        if self.on_timing is not None:
+            self.on_timing(task.stage, elapsed)
         self._memo[task.id] = value
         return value
 
@@ -241,7 +258,9 @@ class Engine:
         if any(task_id not in self._memo for task_id in graph):
             results = run_graph(graph, workers=workers or self.workers,
                                 store=self.store, preloaded=self._memo,
-                                backend=backend or self.backend)
+                                runner=self.runner,
+                                backend=backend or self.backend,
+                                on_timing=self.on_timing)
             for task_id, value in results.items():
                 self._memo.setdefault(task_id, value)
         return len(graph)

@@ -13,7 +13,11 @@ units both tables share (process-pool dispatch = 1.0):
 
 With the default tables that sends ``replay`` (cost 0.5) to the thread
 pool and ``compile``/``run``/``synthesize``/clone stages — and any
-stage the table doesn't know — to the process pool.  Routing decisions
+stage the table doesn't know — to the process pool.  Attaching a
+learned cost model (``cost_model=`` — anything with ``cost(stage)`` in
+the same units, typically :class:`repro.serve.costs.CostModel`) swaps
+the estimate for an EWMA over measured stage wall-clock, so routing
+follows reality when it diverges from the static prior.  Routing decisions
 are recorded on the instance (``routed`` counts per pool,
 ``routed_stages`` stage → pool), which is the accounting the tests and
 the acceptance criteria assert against.
@@ -62,10 +66,18 @@ class AutoBackend(ExecutionBackend):
     #: A stage at least this expensive amortizes process-pool dispatch.
     heavy_cost: float = ProcessPoolBackend.dispatch_cost
 
-    def __init__(self, workers: int = 1, heavy_cost: float | None = None):
+    def __init__(self, workers: int = 1, heavy_cost: float | None = None,
+                 cost_model=None):
         super().__init__(workers)
         if heavy_cost is not None:
             self.heavy_cost = heavy_cost
+        #: Optional learned cost source — anything with a
+        #: ``cost(stage) -> float`` in static-table units, typically a
+        #: :class:`repro.serve.costs.CostModel`.  When set, routing
+        #: follows measured history (EWMA over observed wall-clock)
+        #: instead of the static table, so a stage whose real cost
+        #: diverges from its estimate re-routes itself.
+        self.cost_model = cost_model
         self._threads: ThreadPoolExecutor | None = None
         self._processes: ProcessPoolExecutor | None = None
         #: Dispatch accounting: pool name -> tasks routed there.
@@ -73,9 +85,16 @@ class AutoBackend(ExecutionBackend):
         #: stage -> pool name it was last routed to.
         self.routed_stages: dict[str, str] = {}
 
+    def task_cost(self, stage: str) -> float:
+        """The cost estimate routing uses: learned when a cost model is
+        attached, the static table otherwise."""
+        if self.cost_model is not None:
+            return self.cost_model.cost(stage)
+        return stage_cost(stage)
+
     def route(self, task: Task) -> str:
         """``"process"`` or ``"thread"`` for *task*, by the cost rule."""
-        return "process" if stage_cost(task.stage) >= self.heavy_cost \
+        return "process" if self.task_cost(task.stage) >= self.heavy_cost \
             else "thread"
 
     def submit(self, task: Task, deps: dict[str, Any]) -> Future:

@@ -18,6 +18,7 @@
 from __future__ import annotations
 
 import multiprocessing
+import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any
 
@@ -72,7 +73,9 @@ class ThreadBackend(ExecutionBackend):
 def _execute_and_persist(task: Task, deps: dict[str, Any], store_spec,
                          runner, keyer):
     """Run one task in a pool worker, persisting the result if possible."""
+    started = time.perf_counter()
     value = runner(task, deps)
+    elapsed = time.perf_counter() - started
     if store_spec is not None:
         root, schema_version, toolchain = store_spec
         # max_bytes deliberately stays None here: per-task stores would
@@ -81,7 +84,7 @@ def _execute_and_persist(task: Task, deps: dict[str, Any], store_spec,
         store = ArtifactStore(root=root, schema_version=schema_version,
                               toolchain=toolchain, max_bytes=None)
         store.put(store.key_for(task.stage, **keyer(task)), value,
-                  stage=task.stage)
+                  stage=task.stage, seconds=elapsed)
     return value
 
 

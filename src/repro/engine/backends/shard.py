@@ -23,6 +23,7 @@ import pickle
 import subprocess
 import sys
 import tempfile
+import time
 from dataclasses import replace
 from pathlib import Path
 from typing import Any
@@ -151,6 +152,27 @@ class SubprocessShardBackend(ExecutionBackend):
 
     # -- execution ---------------------------------------------------------
 
+    #: Seconds a terminated worker gets to drain its in-flight task and
+    #: write its payload before the parent resorts to SIGKILL.
+    shutdown_grace: float = 10.0
+
+    def _reap(self, launched) -> None:
+        """Terminate still-running workers gracefully: SIGTERM (the
+        worker drains, persists, exits 0), a grace period, then SIGKILL.
+        No-op on the normal path, where every worker already exited."""
+        alive = [proc for _, _, proc in launched if proc.poll() is None]
+        for proc in alive:
+            proc.terminate()
+        deadline = time.monotonic() + self.shutdown_grace
+        for proc in alive:
+            try:
+                proc.communicate(
+                    timeout=max(0.1, deadline - time.monotonic())
+                )
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.communicate()
+
     def execute_graph(self, graph: dict[str, Task], pending: list[Task],
                       resolved: dict[str, Any],
                       context: ExecutionContext) -> dict[str, Any]:
@@ -160,45 +182,64 @@ class SubprocessShardBackend(ExecutionBackend):
         computed: dict[str, Any] = {}
         with tempfile.TemporaryDirectory(prefix="repro-shard-") as tmp:
             launched = []
-            for index, shard_ids in enumerate(shards):
-                shard_dir = Path(tmp) / f"shard{index:02d}"
-                shard_dir.mkdir(parents=True)
-                spec = self._shard_spec(graph, shard_ids, resolved, context,
-                                        shard_dir)
-                input_path = shard_dir / "in.pkl"
-                output_path = shard_dir / "out.pkl"
-                with open(input_path, "wb") as fh:
-                    pickle.dump(spec, fh, protocol=pickle.HIGHEST_PROTOCOL)
-                proc = subprocess.Popen(
-                    [sys.executable, "-m", "repro.engine.shard",
-                     "--input", str(input_path),
-                     "--output", str(output_path)],
-                    env=self._worker_env(),
-                    stdout=subprocess.DEVNULL,
-                    stderr=subprocess.PIPE,
-                    text=True,
-                )
-                launched.append((shard_dir, output_path, proc))
+            try:
+                for index, shard_ids in enumerate(shards):
+                    shard_dir = Path(tmp) / f"shard{index:02d}"
+                    shard_dir.mkdir(parents=True)
+                    spec = self._shard_spec(graph, shard_ids, resolved,
+                                            context, shard_dir)
+                    input_path = shard_dir / "in.pkl"
+                    output_path = shard_dir / "out.pkl"
+                    with open(input_path, "wb") as fh:
+                        pickle.dump(spec, fh,
+                                    protocol=pickle.HIGHEST_PROTOCOL)
+                    proc = subprocess.Popen(
+                        [sys.executable, "-m", "repro.engine.shard",
+                         "--input", str(input_path),
+                         "--output", str(output_path)],
+                        env=self._worker_env(),
+                        stdout=subprocess.DEVNULL,
+                        stderr=subprocess.PIPE,
+                        text=True,
+                    )
+                    launched.append((shard_dir, output_path, proc))
 
-            failures: list[BaseException] = []
-            for shard_dir, output_path, proc in launched:
-                _, stderr = proc.communicate()
-                payload = None
-                if output_path.exists():
-                    with open(output_path, "rb") as fh:
-                        payload = pickle.load(fh)
-                if payload is None:
-                    failures.append(ShardError(
-                        f"shard worker exited with status {proc.returncode} "
-                        f"and no output\n{stderr.strip()}"
-                    ))
-                    continue
-                if "error" in payload:
-                    failures.append(payload["error"])
-                    continue
-                computed.update(payload["results"])
-                if context.store is not None and payload["export_dir"]:
-                    context.store.import_keys(payload["export_dir"])
-            if failures:
-                raise failures[0]
+                failures: list[BaseException] = []
+                drained = False
+                for shard_dir, output_path, proc in launched:
+                    _, stderr = proc.communicate()
+                    payload = None
+                    if output_path.exists():
+                        with open(output_path, "rb") as fh:
+                            payload = pickle.load(fh)
+                    if payload is None:
+                        failures.append(ShardError(
+                            f"shard worker exited with status "
+                            f"{proc.returncode} and no output\n"
+                            f"{stderr.strip()}"
+                        ))
+                        continue
+                    if "error" in payload:
+                        failures.append(payload["error"])
+                        continue
+                    computed.update(payload["results"])
+                    drained = drained or payload.get("drained", False)
+                    if context.store is not None and payload["export_dir"]:
+                        context.store.import_keys(payload["export_dir"])
+                if failures:
+                    raise failures[0]
+                if drained:
+                    # A worker was told to drain (SIGTERM mid-run): the
+                    # finished prefix is already persisted and imported,
+                    # so the interrupted remainder is a cache-resume
+                    # away — report it rather than fabricate results.
+                    raise ShardError(
+                        "shard worker(s) drained before completing "
+                        f"({len(computed)}/{len(pending)} tasks finished "
+                        "and persisted; re-run resumes from the store)"
+                    )
+            finally:
+                # Error paths (a failed sibling, KeyboardInterrupt in
+                # the parent) must not orphan worker subprocesses.
+                self._reap(launched)
         return computed

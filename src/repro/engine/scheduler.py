@@ -25,6 +25,7 @@ performs zero compiles/runs no matter the backend.
 
 from __future__ import annotations
 
+import time
 from typing import Any
 
 from repro.engine.backends import resolve_backend
@@ -109,6 +110,8 @@ def run_graph(
     runner=run_stage,
     keyer=key_fields,
     backend=None,
+    on_timing=None,
+    stop=None,
 ) -> dict[str, Any]:
     """Execute *graph*; returns ``{task_id: result}`` for every node.
 
@@ -123,6 +126,18 @@ def run_graph(
     registered name (``inline``/``thread``/``process``/``shard``), or
     ``None`` for the default (``$REPRO_BACKEND``, else inline when
     ``workers <= 1``, else the process pool).
+
+    *on_timing* — ``callable(stage, seconds)`` — observes each executed
+    node's submit-to-completion wall-clock (cache hits are never
+    reported).  The same measurement lands in the provenance sidecar of
+    every parent-persisted put; worker-persisting backends record their
+    own (exact, worker-side) seconds instead.  Whole-graph backends
+    (``shard``) time inside their workers only.
+
+    *stop* — ``callable() -> bool`` — polled before each dispatch; once
+    true the scheduler submits nothing further, drains what is already
+    in flight (persisting the results), and returns the partial result
+    map.  This is the graceful-drain hook SIGTERM handling is built on.
     """
     order = topological_order(graph)
     results: dict[str, Any] = {
@@ -142,7 +157,8 @@ def run_graph(
         results = _run_whole_graph(graph, order, results, store, backend,
                                    context)
     else:
-        results = _run_submitting(graph, results, store, backend, context)
+        results = _run_submitting(graph, results, store, backend, context,
+                                  on_timing=on_timing, stop=stop)
     if store is not None and backend.persists and store.max_bytes is not None:
         # Workers write uncapped (see backends.local/shard); settle the
         # size cap once now that the run is complete.
@@ -150,7 +166,8 @@ def run_graph(
     return results
 
 
-def _run_submitting(graph, results, store, backend, context):
+def _run_submitting(graph, results, store, backend, context,
+                    on_timing=None, stop=None):
     """The generic submit/wait loop shared by all per-task backends."""
     keyer = context.keyer
     indegree = {task.id: len(task.deps) for task in graph.values()}
@@ -171,15 +188,19 @@ def _run_submitting(graph, results, store, backend, context):
 
     def harvest(done) -> None:
         for future in done:
-            task_id, key = pending.pop(future)
+            task_id, key, submitted_at = pending.pop(future)
             value = future.result()
+            elapsed = time.perf_counter() - submitted_at
             if store is not None:
                 if backend.persists:
                     # The worker performed the actual write; account for
                     # it here so the parent's counters cover the run.
                     store.stats.puts += 1
                 else:
-                    store.put(key, value, stage=graph[task_id].stage)
+                    store.put(key, value, stage=graph[task_id].stage,
+                              seconds=elapsed)
+            if on_timing is not None:
+                on_timing(graph[task_id].stage, elapsed)
             resolve(task_id, value)
         ready.sort()
 
@@ -190,6 +211,12 @@ def _run_submitting(graph, results, store, backend, context):
             # resolve immediately (and may ready further nodes), misses
             # go to the backend.
             while ready:
+                if stop is not None and stop():
+                    # Draining: dispatch nothing further — not even
+                    # free cache hits, whose resolution would only
+                    # ready more work we are about to abandon.
+                    ready.clear()
+                    break
                 task_id = ready.pop(0)
                 task = graph[task_id]
                 if task_id in results:
@@ -202,8 +229,11 @@ def _run_submitting(graph, results, store, backend, context):
                     ready.sort()
                     continue
                 deps = {dep: results[dep] for dep in task.deps}
+                # Clock starts before submit: synchronous backends
+                # (inline) do the work inside the call itself.
+                submitted_at = time.perf_counter()
                 future = backend.submit(task, deps)
-                pending[future] = (task_id, key)
+                pending[future] = (task_id, key, submitted_at)
                 if future.done():
                     # Synchronous backends complete in submit; harvest
                     # now so execution keeps the sorted-ready order.

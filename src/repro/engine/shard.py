@@ -12,20 +12,35 @@ pickled result payload (``--output``) for the parent to merge.
 Failures are reported in-band: the original exception is pickled into
 the output payload when possible (so the parent re-raises the real
 thing), with a traceback on stderr either way.
+
+Graceful shutdown: SIGTERM/SIGINT flip a drain flag the scheduler polls
+between dispatches — the in-flight task finishes, everything already
+computed is persisted and exported, the payload is written with
+``"drained": True``, and the worker exits 0.  No partial artifacts, no
+orphaned work: what the worker finished, the parent (or the next cold
+run, via the store) keeps.
 """
 
 from __future__ import annotations
 
 import argparse
 import pickle
+import signal
 import sys
+import threading
 import traceback
 
 from repro.engine.store import ArtifactStore
 
 
-def run_shard(spec: dict) -> dict:
-    """Execute one shard spec; returns the worker's output payload."""
+def run_shard(spec: dict, stop=None) -> dict:
+    """Execute one shard spec; returns the worker's output payload.
+
+    *stop* — optional ``callable() -> bool`` polled between task
+    dispatches (see :func:`repro.engine.scheduler.run_graph`); once true
+    the shard stops submitting, persists and exports what it computed,
+    and reports ``"drained": True``.
+    """
     from repro.engine.scheduler import run_graph
 
     graph = spec["graph"]
@@ -44,6 +59,7 @@ def run_shard(spec: dict) -> dict:
         runner=spec["runner"],
         keyer=spec["keyer"],
         backend="inline",
+        stop=stop,
     )
     computed = {task_id: value for task_id, value in results.items()
                 if task_id not in preloaded}
@@ -56,8 +72,10 @@ def run_shard(spec: dict) -> dict:
             for task_id in sorted(computed)
         ]
         exported = store.export_keys(keys, export_dir)
+    drained = bool(stop is not None and stop() and
+                   len(computed) + len(preloaded) < len(graph))
     return {"results": computed, "exported": exported,
-            "export_dir": export_dir}
+            "export_dir": export_dir, "drained": drained}
 
 
 def main(argv=None) -> int:
@@ -74,8 +92,20 @@ def main(argv=None) -> int:
 
     with open(args.input, "rb") as fh:
         spec = pickle.load(fh)
+
+    # SIGTERM/SIGINT request a drain, not an abort: finish the task in
+    # flight, persist + export everything computed, exit 0.  The parent
+    # backend relies on this when it terminates workers on its own
+    # error paths — no orphaned subprocesses, no torn artifacts.
+    drain = threading.Event()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, lambda *_: drain.set())
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+
     try:
-        payload = run_shard(spec)
+        payload = run_shard(spec, stop=drain.is_set)
         status = 0
     except BaseException as exc:
         traceback.print_exc(file=sys.stderr)

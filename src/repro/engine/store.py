@@ -232,7 +232,8 @@ class ArtifactStore:
         self.stats.hits += 1
         return value
 
-    def put(self, key: str, value, stage: str | None = None) -> Path:
+    def put(self, key: str, value, stage: str | None = None,
+            seconds: float | None = None) -> Path:
         path = self.path_for(key)
         # Provenance sidecar first, then the object: an entry is never
         # visible without the metadata gc() reads to classify it.  (A
@@ -246,6 +247,11 @@ class ArtifactStore:
             # record it, which is what `repro-cache stats --by-stage`
             # aggregates; stage-less puts stay classifiable by gc().
             meta["stage"] = stage
+        if seconds is not None:
+            # Measured wall-clock of the stage execution that produced
+            # the entry — the raw history `stats --by-stage` averages
+            # and the serve layer's CostModel learns from.
+            meta["seconds"] = round(float(seconds), 6)
         self._atomic_write(
             self._meta_path(path), json.dumps(meta).encode("utf-8"),
         )
@@ -363,24 +369,35 @@ class ArtifactStore:
         }
 
     def by_stage(self) -> dict[str, dict]:
-        """Per-stage ``{"entries": n, "bytes": b}`` breakdown, read from
-        the provenance sidecars.
+        """Per-stage ``{"entries": n, "bytes": b, "mean_seconds": s}``
+        breakdown, read from the provenance sidecars.
 
         Entries whose sidecar predates stage recording (or is missing)
         group under ``"(unknown)"`` — observability never guesses.  This
         is what makes replay-cache growth visible as its own line
-        instead of disappearing into one total.
+        instead of disappearing into one total.  ``mean_seconds``
+        averages the measured stage wall-clock over the entries that
+        recorded one (``None`` when no entry did).
         """
         breakdown: dict[str, dict] = {}
+        timed: dict[str, tuple[int, float]] = {}
         for path, size, _ in self.entries():
             try:
                 meta = json.loads(self._meta_path(path).read_text())
             except (OSError, ValueError):
                 meta = None
             stage = (meta or {}).get("stage") or "(unknown)"
-            bucket = breakdown.setdefault(stage, {"entries": 0, "bytes": 0})
+            bucket = breakdown.setdefault(
+                stage, {"entries": 0, "bytes": 0, "mean_seconds": None}
+            )
             bucket["entries"] += 1
             bucket["bytes"] += size
+            seconds = (meta or {}).get("seconds")
+            if isinstance(seconds, (int, float)):
+                count, total = timed.get(stage, (0, 0.0))
+                timed[stage] = (count + 1, total + float(seconds))
+        for stage, (count, total) in timed.items():
+            breakdown[stage]["mean_seconds"] = total / count
         return breakdown
 
     def clear(self) -> int:
@@ -540,8 +557,9 @@ def main(argv=None) -> int:
     )
     stats.add_argument(
         "--by-stage", action="store_true",
-        help="break entries/bytes down per pipeline stage (from the "
-             "provenance sidecars; pre-stage entries show as (unknown))",
+        help="break entries/bytes/mean-execution-seconds down per "
+             "pipeline stage (from the provenance sidecars; pre-stage "
+             "entries show as (unknown))",
     )
     sub.add_parser("clear", help="remove every cached artifact")
     evict = sub.add_parser("evict", help="LRU-evict down to the given limits")
@@ -587,8 +605,11 @@ def main(argv=None) -> int:
             width = max((len(stage) for stage in breakdown), default=5)
             for stage in sorted(breakdown):
                 bucket = breakdown[stage]
+                mean = bucket.get("mean_seconds")
+                timing = f"  {mean:>10.4f} s mean" if mean is not None \
+                    else f"  {'-':>10}       "
                 print(f"  {stage:<{width}}  {bucket['entries']:>7} entries"
-                      f"  {bucket['bytes']:>12} bytes")
+                      f"  {bucket['bytes']:>12} bytes{timing}")
     elif args.command == "clear":
         print(f"removed {store.clear()} entries from {store.root}")
     elif args.command == "evict":

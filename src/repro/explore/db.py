@@ -12,6 +12,15 @@ resumes exactly at the first unscored point.
 The database lives next to the artifact store by default
 (``<cache-root>/explore.sqlite3``); relocate it with the
 ``REPRO_RESULTS_DB`` environment variable or an explicit path.
+Connections run in WAL mode with a generous busy timeout, so the serve
+daemon and the CLI can share the file without ``database is locked``
+failures.
+
+Besides scored points, the file carries the ``stage_costs`` table:
+append-only measured per-stage wall-clock observations (written by the
+serve daemon's timing hook) that the
+:class:`~repro.serve.costs.CostModel` learns dispatch and admission
+costs from.
 """
 
 from __future__ import annotations
@@ -66,6 +75,27 @@ CREATE TABLE IF NOT EXISTS results (
 );
 """
 _INDEX_SQL = "CREATE INDEX IF NOT EXISTS idx_results_sweep ON results(sweep);"
+
+#: Append-only measured stage wall-clock observations — the history
+#: the serve layer's :class:`~repro.serve.costs.CostModel` learns
+#: dispatch/admission costs from.  One row per executed stage.
+_STAGE_COSTS_SQL = """
+CREATE TABLE IF NOT EXISTS stage_costs (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    stage TEXT NOT NULL,
+    seconds REAL NOT NULL,
+    created_at REAL NOT NULL,
+    toolchain TEXT NOT NULL DEFAULT ''
+);
+"""
+_STAGE_COSTS_INDEX_SQL = (
+    "CREATE INDEX IF NOT EXISTS idx_stage_costs_stage "
+    "ON stage_costs(stage);"
+)
+
+#: How long a connection waits on a writer's lock before erroring —
+#: generous, because the serve daemon and CLI share one file.
+BUSY_TIMEOUT_MS = 10_000
 
 
 def default_db_path() -> Path:
@@ -141,9 +171,20 @@ class ResultsDB:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._conn = sqlite3.connect(self.path)
         self._conn.row_factory = sqlite3.Row
+        # WAL lets readers proceed while a writer commits, and the busy
+        # timeout makes racing writers queue instead of failing with
+        # "database is locked" — required now that the serve daemon and
+        # the CLI share one explore.sqlite3.  WAL needs a real file; on
+        # filesystems that refuse it (or :memory:) SQLite reports the
+        # old mode and the timeout still applies.
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
         with self._conn:
             self._conn.execute(_TABLE_SQL)
             self._conn.execute(_INDEX_SQL)
+            self._conn.execute(_STAGE_COSTS_SQL)
+            self._conn.execute(_STAGE_COSTS_INDEX_SQL)
 
     def close(self) -> None:
         self._conn.close()
@@ -174,6 +215,71 @@ class ResultsDB:
                     record.toolchain,
                 ),
             )
+
+    def record_stage_cost(self, stage: str, seconds: float,
+                          toolchain: str = "",
+                          created_at: float | None = None) -> None:
+        """Append one measured stage wall-clock observation."""
+        with self._conn:
+            self._conn.execute(
+                "INSERT INTO stage_costs (stage, seconds, created_at, "
+                "toolchain) VALUES (?, ?, ?, ?)",
+                (stage, float(seconds),
+                 created_at if created_at is not None else time.time(),
+                 toolchain),
+            )
+
+    def record_stage_costs(self, observations, toolchain: str = "") -> int:
+        """Append many ``(stage, seconds)`` observations in one
+        transaction; returns the number recorded."""
+        rows = [(stage, float(seconds), time.time(), toolchain)
+                for stage, seconds in observations]
+        if rows:
+            with self._conn:
+                self._conn.executemany(
+                    "INSERT INTO stage_costs (stage, seconds, created_at, "
+                    "toolchain) VALUES (?, ?, ?, ?)", rows,
+                )
+        return len(rows)
+
+    def stage_cost_history(self, stage: str | None = None,
+                           limit: int | None = None
+                           ) -> list[tuple[str, float, float]]:
+        """``(stage, seconds, created_at)`` observations, oldest first.
+
+        *limit* keeps only the most recent N (still returned oldest
+        first) so a long-lived deployment's warm-up replays bounded
+        history.
+        """
+        where = "WHERE stage = ?" if stage is not None else ""
+        args: tuple = (stage,) if stage is not None else ()
+        sql = (f"SELECT stage, seconds, created_at FROM stage_costs "
+               f"{where} ORDER BY id DESC")
+        if limit is not None:
+            sql += " LIMIT ?"
+            args = args + (int(limit),)
+        rows = self._conn.execute(sql, args).fetchall()
+        return [(row["stage"], row["seconds"], row["created_at"])
+                for row in reversed(rows)]
+
+    def stage_cost_stats(self) -> dict[str, dict]:
+        """Per-stage ``{"n", "mean_seconds", "last_seconds"}`` over the
+        recorded history."""
+        rows = self._conn.execute(
+            "SELECT stage, COUNT(*) AS n, AVG(seconds) AS mean, "
+            "(SELECT seconds FROM stage_costs AS inner_sc "
+            " WHERE inner_sc.stage = stage_costs.stage "
+            " ORDER BY inner_sc.id DESC LIMIT 1) AS last "
+            "FROM stage_costs GROUP BY stage ORDER BY stage"
+        ).fetchall()
+        return {
+            row["stage"]: {
+                "n": row["n"],
+                "mean_seconds": row["mean"],
+                "last_seconds": row["last"],
+            }
+            for row in rows
+        }
 
     def delete_sweep(self, sweep: str) -> int:
         with self._conn:

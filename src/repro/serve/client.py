@@ -1,0 +1,130 @@
+"""Thin stdlib client for the repro.serve daemon.
+
+:class:`ServeClient` wraps :mod:`http.client` — the same dependency
+budget as the server (none) — and exposes one method per endpoint plus
+:meth:`wait`, the submit-and-block convenience the CLI and CI smoke
+tests drive.
+
+>>> client = ServeClient("127.0.0.1", 8023)
+>>> reply = client.submit({"kind": "figure", "figure": "fig04"})
+>>> status = client.wait(reply["job"])
+>>> result = client.result(reply["job"])
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+
+class ServeError(RuntimeError):
+    """A non-2xx reply from the daemon."""
+
+    def __init__(self, status: int, body: dict) -> None:
+        super().__init__(f"HTTP {status}: {body.get('error', body)}")
+        self.status = status
+        self.body = body
+
+
+class ServeClient:
+    """One daemon address; a fresh connection per call (the server
+    closes after every response)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8023,
+                 client_id: str | None = None,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.client_id = client_id
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None,
+                 ok: tuple[int, ...] = (200, 202)) -> dict:
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode() if payload is not None \
+                else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            if response.status not in ok:
+                raise ServeError(response.status, data)
+            data["_status"] = response.status
+            return data
+        finally:
+            conn.close()
+
+    # -- endpoints ---------------------------------------------------------
+
+    def submit(self, request: dict) -> dict:
+        """POST /v1/jobs — returns the 202 body (``job``, ``key``,
+        ``coalesced``, ``estimated_seconds``)."""
+        if self.client_id and "client" not in request:
+            request = {**request, "client": self.client_id}
+        return self._request("POST", "/v1/jobs", request, ok=(202,))
+
+    def status(self, job_id: str) -> dict:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def result(self, job_id: str) -> dict:
+        """The result body; raises :class:`ServeError` on a failed job,
+        returns the 202 status body while still running."""
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def events(self, job_id: str, since: int = 0) -> list[dict]:
+        """Consume the chunked event stream until the job finishes;
+        returns every event received."""
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            conn.request("GET", f"/v1/jobs/{job_id}/events?since={since}")
+            response = conn.getresponse()
+            if response.status != 200:
+                raise ServeError(response.status,
+                                 json.loads(response.read().decode()
+                                            or "{}"))
+            events = []
+            # http.client de-chunks; the payload is JSON lines.
+            for line in response.read().decode().splitlines():
+                if line.strip():
+                    events.append(json.loads(line))
+            return events
+        finally:
+            conn.close()
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    # -- conveniences ------------------------------------------------------
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_seconds: float = 0.2) -> dict:
+        """Poll status until the job finishes; returns the final status.
+
+        Raises :class:`TimeoutError` if it doesn't finish in time.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in ("done", "failed"):
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} "
+                    f"after {timeout:.0f}s")
+            time.sleep(poll_seconds)
+
+    def run(self, request: dict, timeout: float = 300.0) -> dict:
+        """Submit, wait, and return the result body in one call."""
+        reply = self.submit(request)
+        status = self.wait(reply["job"], timeout=timeout)
+        if status["state"] == "failed":
+            raise ServeError(500, {"error": status.get("error"),
+                                   "job": reply["job"]})
+        return self.result(reply["job"])

@@ -1,0 +1,168 @@
+"""Learned stage costs: EWMA over measured history, static-table cold.
+
+The engine's static :data:`repro.engine.tasks.STAGE_COSTS` table is a
+hand-estimated prior in relative units where process-pool dispatch is
+the 1.0 reference point.  :class:`CostModel` replaces the estimate with
+measurement: every executed stage's wall-clock (captured by the
+scheduler/engine timing hook) feeds an exponentially-weighted moving
+average per stage, persisted to the results DB's ``stage_costs`` table
+so a restarted daemon resumes warm.
+
+Unit bridge: measured seconds divide by :data:`UNIT_SECONDS` — the
+assumed wall-clock of one process-pool dispatch (pickle + IPC round
+trip), i.e. of 1.0 static-table unit — so learned and static costs stay
+comparable and either can be tested against a backend's
+``dispatch_cost``.  Below :data:`MIN_SAMPLES` observations for a stage
+the model answers from the static table, so a cold daemon routes
+exactly like the static ``auto`` backend and *degrades to*, never
+*depends on*, measurement.
+
+Consumers:
+
+* :class:`repro.engine.backends.auto.AutoBackend` — pass
+  ``cost_model=`` and the thread/process routing threshold follows
+  measured history instead of the static table;
+* the serve daemon's admission control — estimated job seconds
+  (:meth:`CostModel.estimate_seconds`) bound how much queued work is
+  admitted before new submissions see 429s.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.tasks import STAGE_COSTS, stage_cost
+
+#: Assumed seconds per static cost unit (one process-pool dispatch).
+UNIT_SECONDS = 0.01
+
+#: EWMA weight of the newest observation.
+DEFAULT_ALPHA = 0.3
+
+#: Observations per stage before the learned estimate is trusted.
+MIN_SAMPLES = 3
+
+#: How much persisted history a warm-start replays per model.
+HISTORY_LIMIT = 2048
+
+
+class CostModel:
+    """Per-stage execution-cost estimator with measured-history EWMA.
+
+    Thread-safe: ``observe`` is called from scheduler harvest loops and
+    engine worker threads, ``cost``/``estimate_seconds`` from the
+    daemon's routing and admission paths.
+    """
+
+    def __init__(self, db=None, alpha: float = DEFAULT_ALPHA,
+                 unit_seconds: float = UNIT_SECONDS,
+                 min_samples: int = MIN_SAMPLES,
+                 static: dict[str, float] | None = None) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        if unit_seconds <= 0:
+            raise ValueError("unit_seconds must be positive")
+        self.alpha = alpha
+        self.unit_seconds = unit_seconds
+        self.min_samples = max(1, int(min_samples))
+        self._static = dict(static) if static is not None else None
+        #: Optional ResultsDB handle; observations persist to its
+        #: stage_costs table so history survives daemon restarts.
+        self._db = db
+        self._lock = threading.Lock()
+        self._ewma: dict[str, float] = {}
+        self._counts: dict[str, int] = {}
+        if db is not None:
+            self.warm_start(db)
+
+    # -- learning ----------------------------------------------------------
+
+    def _fold(self, stage: str, seconds: float) -> None:
+        previous = self._ewma.get(stage)
+        self._ewma[stage] = seconds if previous is None else \
+            self.alpha * seconds + (1.0 - self.alpha) * previous
+        self._counts[stage] = self._counts.get(stage, 0) + 1
+
+    def observe(self, stage: str, seconds: float,
+                persist: bool = True) -> None:
+        """Fold one measured stage wall-clock into the model.
+
+        Signature matches the engine's ``on_timing`` hook, so the model
+        itself can be handed to ``Engine(on_timing=model.observe)``.
+        """
+        seconds = float(seconds)
+        if seconds < 0:
+            return
+        with self._lock:
+            self._fold(stage, seconds)
+        if persist and self._db is not None:
+            self._db.record_stage_cost(stage, seconds)
+
+    def warm_start(self, db, limit: int = HISTORY_LIMIT) -> int:
+        """Replay persisted ``stage_costs`` history (oldest first) into
+        the EWMA state; returns the number of observations replayed."""
+        history = db.stage_cost_history(limit=limit)
+        with self._lock:
+            for stage, seconds, _ in history:
+                self._fold(stage, seconds)
+        return len(history)
+
+    # -- estimates ---------------------------------------------------------
+
+    def samples(self, stage: str) -> int:
+        with self._lock:
+            return self._counts.get(stage, 0)
+
+    def seconds(self, stage: str) -> float | None:
+        """Learned wall-clock estimate for *stage*, or ``None`` while
+        the stage is cold (fewer than ``min_samples`` observations)."""
+        with self._lock:
+            if self._counts.get(stage, 0) < self.min_samples:
+                return None
+            return self._ewma[stage]
+
+    def cost(self, stage: str) -> float:
+        """Relative cost of *stage* in static-table units (process-pool
+        dispatch = 1.0): learned when warm, static-table prior when
+        cold.  Drop-in for :func:`repro.engine.tasks.stage_cost`."""
+        learned = self.seconds(stage)
+        if learned is not None:
+            return learned / self.unit_seconds
+        if self._static is not None:
+            return self._static.get(stage, stage_cost(stage))
+        return stage_cost(stage)
+
+    def estimate_seconds(self, stages) -> float:
+        """Estimated total wall-clock of executing *stages* (an iterable
+        of stage names, repeats allowed) — the admission-control
+        currency.  Cold stages fall back to static units × unit
+        seconds."""
+        total = 0.0
+        for stage in stages:
+            learned = self.seconds(stage)
+            total += learned if learned is not None else \
+                self.cost(stage) * self.unit_seconds
+        return total
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-stage ``{"samples", "ewma_seconds", "cost", "source"}``
+        for every stage seen or statically known — the ``/v1/stats``
+        payload."""
+        with self._lock:
+            known = set(self._ewma) | set(STAGE_COSTS) | \
+                set(self._static or ())
+            out = {}
+            for stage in sorted(known):
+                count = self._counts.get(stage, 0)
+                warm = count >= self.min_samples
+                ewma = self._ewma.get(stage)
+                cost = (ewma / self.unit_seconds) if warm else (
+                    (self._static or STAGE_COSTS).get(stage,
+                                                      stage_cost(stage)))
+                out[stage] = {
+                    "samples": count,
+                    "ewma_seconds": ewma,
+                    "cost": cost,
+                    "source": "learned" if warm else "static",
+                }
+            return out

@@ -1,0 +1,110 @@
+"""Per-client token-bucket quotas for the serve daemon.
+
+Each client (the ``client`` field of a submission, or the peer address
+when anonymous) owns one :class:`TokenBucket`: ``burst`` tokens of
+capacity refilled at ``rate`` tokens/second.  A submission costs one
+token; an empty bucket means 429 with a ``Retry-After`` hint, so a
+flood from one client degrades to polite backpressure instead of
+starving everyone else — coalesced resubmissions still pay, which is
+what makes the quota meaningful under the cache-friendly request
+streams the daemon is built for.
+
+Deterministic under test: every method takes an optional ``now`` so
+clocks can be injected.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``rate`` tokens/s."""
+
+    def __init__(self, rate: float, capacity: float) -> None:
+        if rate <= 0 or capacity <= 0:
+            raise ValueError("rate and capacity must be positive")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._tokens = float(capacity)
+        self._updated = time.monotonic()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, tokens: float = 1.0,
+                    now: float | None = None) -> bool:
+        """Take *tokens* if available; never blocks."""
+        with self._lock:
+            self._refill(time.monotonic() if now is None else now)
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def retry_after(self, tokens: float = 1.0,
+                    now: float | None = None) -> float:
+        """Seconds until *tokens* will be available (0 when they are)."""
+        with self._lock:
+            self._refill(time.monotonic() if now is None else now)
+            deficit = tokens - self._tokens
+            return max(0.0, deficit / self.rate)
+
+    def available(self, now: float | None = None) -> float:
+        with self._lock:
+            self._refill(time.monotonic() if now is None else now)
+            return self._tokens
+
+
+class QuotaRegistry:
+    """One bucket per client id, created on first sight.
+
+    ``rate=None`` disables quotas entirely (every check admits) — the
+    daemon's ``--quota-rate 0`` spelling.
+    """
+
+    def __init__(self, rate: float | None, burst: float | None = None):
+        self.rate = rate if rate else None
+        self.burst = burst if burst else (rate * 10 if rate else None)
+        self._buckets: dict[str, TokenBucket] = {}
+        self._denied: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def _bucket(self, client: str) -> TokenBucket:
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.burst)
+                self._buckets[client] = bucket
+            return bucket
+
+    def admit(self, client: str, now: float | None = None
+              ) -> tuple[bool, float]:
+        """``(admitted, retry_after_seconds)`` for one submission."""
+        if self.rate is None:
+            return True, 0.0
+        bucket = self._bucket(client)
+        if bucket.try_acquire(1.0, now=now):
+            return True, 0.0
+        with self._lock:
+            self._denied[client] = self._denied.get(client, 0) + 1
+        return False, bucket.retry_after(1.0, now=now)
+
+    def snapshot(self) -> dict:
+        """Per-client quota state for ``/v1/stats``."""
+        if self.rate is None:
+            return {"enabled": False}
+        with self._lock:
+            clients = {
+                client: {
+                    "available": round(bucket.available(), 3),
+                    "denied": self._denied.get(client, 0),
+                }
+                for client, bucket in sorted(self._buckets.items())
+            }
+        return {"enabled": True, "rate": self.rate, "burst": self.burst,
+                "clients": clients}

@@ -8,6 +8,7 @@ four in-tree backends through the one scheduler entry point.
 """
 
 import hashlib
+from pathlib import Path
 
 import pytest
 
@@ -303,3 +304,122 @@ class TestSharding:
         assert results == COMPONENTS_EXPECTED
         assert store.stats.hits == 2      # a0, b0 replayed
         assert store.stats.misses == 3    # a1, b1, c0 computed in shards
+
+
+class TestShardDrain:
+    """Shard workers drain on request: the in-flight task finishes, its
+    artifact is persisted and exported, and the payload says so."""
+
+    @staticmethod
+    def _chain_spec(tmp_path, runner=arith_runner, keyer=arith_keyer):
+        graph = _graph(
+            Task(id="n0", stage="n", payload={"value": 1}),
+            Task(id="n1", stage="n", payload={"value": 10}, deps=("n0",)),
+            Task(id="n2", stage="n", payload={"value": 100}, deps=("n1",)),
+        )
+        spec = {
+            "graph": graph,
+            "preloaded": {},
+            "runner": runner,
+            "keyer": keyer,
+            "store_spec": (str(tmp_path / "store"), 1, "drain-test"),
+            "export_dir": str(tmp_path / "export"),
+        }
+        return graph, spec
+
+    def test_run_shard_drains_after_inflight_task(self, tmp_path):
+        from repro.engine.shard import run_shard
+
+        _, spec = self._chain_spec(tmp_path)
+        polls = []
+        # False on the first poll (n0 dispatches), True afterwards: the
+        # drain request lands while n0 is "in flight".
+        stop = lambda: polls.append(1) or len(polls) > 1  # noqa: E731
+
+        payload = run_shard(spec, stop=stop)
+        assert payload["drained"] is True
+        assert payload["results"] == {"n0": 1}
+        assert payload["exported"] == 1
+
+    def test_drained_export_resumes_in_parent_store(self, tmp_path):
+        from repro.engine.shard import run_shard
+
+        graph, spec = self._chain_spec(tmp_path)
+        polls = []
+        payload = run_shard(
+            spec, stop=lambda: polls.append(1) or len(polls) > 1)
+        assert payload["drained"] is True
+
+        # The parent imports what the drained worker managed to export,
+        # then a cold rerun picks up exactly where the worker stopped.
+        parent = ArtifactStore(root=tmp_path / "parent", schema_version=1,
+                               toolchain="drain-test")
+        assert parent.import_keys(payload["export_dir"]) == 1
+        parent.stats.reset()
+        results = run_graph(graph, workers=1, store=parent,
+                            runner=arith_runner, keyer=arith_keyer,
+                            backend="inline")
+        assert results == {"n0": 1, "n1": 11, "n2": 111}
+        assert parent.stats.hits == 1     # n0 came from the drained shard
+        assert parent.stats.misses == 2   # n1, n2 computed fresh
+
+    def test_full_run_reports_not_drained(self, tmp_path):
+        from repro.engine.shard import run_shard
+
+        _, spec = self._chain_spec(tmp_path)
+        payload = run_shard(spec, stop=lambda: False)
+        assert payload["drained"] is False
+        assert payload["results"] == {"n0": 1, "n1": 11, "n2": 111}
+
+    def test_worker_sigterm_exits_zero_with_drained_payload(self, tmp_path):
+        """End to end: ``python -m repro.engine.shard`` under SIGTERM
+        persists the in-flight task, writes a drained payload, exits 0."""
+        import importlib
+        import os
+        import pickle
+        import subprocess
+        import sys
+        import textwrap
+
+        # The runner SIGTERMs its own process mid-task, which makes the
+        # "signal arrives while a task is in flight" window deterministic.
+        helper = tmp_path / "shard_drain_helper.py"
+        helper.write_text(textwrap.dedent("""\
+            import os
+            import signal
+
+            def runner(task, deps):
+                os.kill(os.getpid(), signal.SIGTERM)
+                return task.payload.get("value", 0) + sum(deps.values())
+
+            def keyer(task):
+                return {"value": task.payload.get("value", 0),
+                        "deps": sorted(task.deps)}
+        """))
+        sys.path.insert(0, str(tmp_path))
+        try:
+            mod = importlib.import_module("shard_drain_helper")
+            _, spec = self._chain_spec(tmp_path, runner=mod.runner,
+                                       keyer=mod.keyer)
+            in_path = tmp_path / "spec.pkl"
+            out_path = tmp_path / "out.pkl"
+            in_path.write_bytes(pickle.dumps(spec))
+
+            import repro
+            src_dir = str(Path(repro.__file__).resolve().parents[1])
+            env = dict(os.environ)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [str(tmp_path), src_dir, env.get("PYTHONPATH", "")])
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.engine.shard",
+                 "--input", str(in_path), "--output", str(out_path)],
+                env=env, capture_output=True, text=True, timeout=60)
+        finally:
+            sys.path.remove(str(tmp_path))
+            sys.modules.pop("shard_drain_helper", None)
+
+        assert proc.returncode == 0, proc.stderr
+        payload = pickle.loads(out_path.read_bytes())
+        assert payload["drained"] is True
+        assert payload["results"] == {"n0": 1}
+        assert payload["exported"] == 1

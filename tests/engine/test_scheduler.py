@@ -121,3 +121,83 @@ class TestParallelExecution:
 
 def _raise(task, deps):
     raise RuntimeError("stage failed")
+
+
+class TestTiming:
+    def test_on_timing_fires_per_executed_node(self):
+        observed = []
+        run_graph(DIAMOND, workers=1, runner=arith_runner,
+                  keyer=arith_keyer,
+                  on_timing=lambda stage, s: observed.append((stage, s)))
+        assert len(observed) == 4
+        assert all(stage == "n" and seconds >= 0
+                   for stage, seconds in observed)
+
+    def test_cache_hits_are_never_timed(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        run_graph(DIAMOND, workers=1, store=store, runner=arith_runner,
+                  keyer=arith_keyer)
+        observed = []
+        run_graph(DIAMOND, workers=1, store=store, runner=arith_runner,
+                  keyer=arith_keyer,
+                  on_timing=lambda stage, s: observed.append(stage))
+        assert observed == []
+
+    def test_sidecars_carry_seconds(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        run_graph(DIAMOND, workers=1, store=store, runner=arith_runner,
+                  keyer=arith_keyer)
+        per_stage = store.by_stage()
+        assert per_stage["n"]["entries"] == 4
+        assert per_stage["n"]["mean_seconds"] is not None
+        assert per_stage["n"]["mean_seconds"] >= 0
+
+    def test_pooled_workers_time_too(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        observed = []
+        run_graph(DIAMOND, workers=2, store=store, runner=arith_runner,
+                  keyer=arith_keyer,
+                  on_timing=lambda stage, s: observed.append(stage))
+        assert observed == ["n"] * 4
+        assert store.by_stage()["n"]["mean_seconds"] is not None
+
+
+class TestDrain:
+    def test_stop_before_start_resolves_nothing(self):
+        results = run_graph(DIAMOND, workers=1, runner=arith_runner,
+                            keyer=arith_keyer, stop=lambda: True)
+        assert results == {}
+
+    def test_stop_midway_keeps_finished_prefix(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        done = []
+
+        def stop() -> bool:
+            return len(done) >= 1
+
+        def runner(task, deps):
+            value = arith_runner(task, deps)
+            done.append(task.id)
+            return value
+
+        results = run_graph(DIAMOND, workers=1, store=store,
+                            runner=runner, keyer=arith_keyer, stop=stop)
+        # Only the first dispatched node ran; its artifact persisted.
+        assert list(results) == ["top"]
+        assert store.stats.puts == 1
+
+    def test_drained_prefix_resumes_from_store(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        done = []
+        results = run_graph(
+            DIAMOND, workers=1, store=store,
+            runner=lambda t, d: (done.append(t.id),
+                                 arith_runner(t, d))[1],
+            keyer=arith_keyer, stop=lambda: len(done) >= 2)
+        assert len(results) == 2
+        # Re-run without the stop: the drained prefix is all hits.
+        store.stats.reset()
+        full = run_graph(DIAMOND, workers=1, store=store,
+                         runner=arith_runner, keyer=arith_keyer)
+        assert full["bottom"] == 1112
+        assert store.stats.hits == 2 and store.stats.misses == 2

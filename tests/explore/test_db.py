@@ -228,3 +228,80 @@ class TestRounds:
                       metrics={"cpi_err": 0.3, "pairs_scored": 5}))
         assert [(idx, pairs) for idx, _, _, _, _, pairs
                 in db.rounds("s")] == [(0, 1), (1, 5)]
+
+
+class TestStageCosts:
+    def test_record_and_history_round_trip(self, db):
+        db.record_stage_cost("compile", 1.5, toolchain="t" * 8)
+        db.record_stage_cost("compile", 2.5)
+        db.record_stage_cost("replay", 0.01)
+        history = db.stage_cost_history("compile")
+        assert [(s, sec) for s, sec, _ in history] == \
+            [("compile", 1.5), ("compile", 2.5)]
+
+    def test_history_is_oldest_first_with_recent_limit(self, db):
+        for index in range(5):
+            db.record_stage_cost("run", float(index))
+        history = db.stage_cost_history("run", limit=2)
+        assert [seconds for _, seconds, _ in history] == [3.0, 4.0]
+
+    def test_batch_record(self, db):
+        recorded = db.record_stage_costs(
+            [("compile", 1.0), ("run", 2.0)], toolchain="abc")
+        assert recorded == 2
+        assert len(db.stage_cost_history()) == 2
+
+    def test_stats_aggregate(self, db):
+        db.record_stage_costs([("compile", 1.0), ("compile", 3.0)])
+        stats = db.stage_cost_stats()
+        assert stats["compile"]["n"] == 2
+        assert stats["compile"]["mean_seconds"] == pytest.approx(2.0)
+        assert stats["compile"]["last_seconds"] == pytest.approx(3.0)
+
+    def test_empty_stats(self, db):
+        assert db.stage_cost_stats() == {}
+
+    def test_costs_survive_reopen(self, tmp_path):
+        path = tmp_path / "persist.sqlite3"
+        with ResultsDB(path) as first:
+            first.record_stage_cost("synthesize", 4.0)
+        with ResultsDB(path) as second:
+            assert len(second.stage_cost_history("synthesize")) == 1
+
+
+class TestSharedAccess:
+    """The daemon and the CLI open the same file concurrently."""
+
+    def test_wal_mode_and_busy_timeout(self, tmp_path):
+        with ResultsDB(tmp_path / "wal.sqlite3") as db:
+            mode = db._conn.execute("PRAGMA journal_mode").fetchone()[0]
+            timeout = db._conn.execute("PRAGMA busy_timeout").fetchone()[0]
+        assert mode == "wal"
+        assert timeout == 10_000
+
+    def test_two_connections_interleave_writes(self, tmp_path):
+        path = tmp_path / "shared.sqlite3"
+        with ResultsDB(path) as writer, ResultsDB(path) as other:
+            writer.put(record(key="w1", sweep="shared"))
+            other.put(record(key="w2", sweep="shared"))
+            other.record_stage_cost("compile", 1.0)
+            writer.record_stage_cost("compile", 2.0)
+            assert {r.key for r in writer.query(sweep="shared")} == \
+                {"w1", "w2"}
+            assert len(other.stage_cost_history("compile")) == 2
+
+    def test_concurrent_writers_queue_not_fail(self, tmp_path):
+        from concurrent.futures import ThreadPoolExecutor
+
+        path = tmp_path / "race.sqlite3"
+
+        def hammer(tag):
+            with ResultsDB(path) as db:
+                for index in range(20):
+                    db.record_stage_cost(f"stage-{tag}", float(index))
+            return True
+
+        with ThreadPoolExecutor(4) as pool:
+            assert all(pool.map(hammer, range(4)))
+        with ResultsDB(path) as db:
+            assert len(db.stage_cost_history()) == 80

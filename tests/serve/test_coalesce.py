@@ -1,0 +1,188 @@
+"""Coalescing primitives: keyed mutexes, node sharing, job attachment."""
+
+from __future__ import annotations
+
+import pickle
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.engine.store import ArtifactStore
+from repro.engine.tasks import Task
+from repro.serve.coalesce import Coalescer, CoalescingRunner, KeyedMutex
+
+
+def _keyer(task: Task) -> dict:
+    """Key fields for synthetic test tasks (the real ``key_fields``
+    fingerprints actual workload sources)."""
+    return dict(task.payload, id=task.id)
+
+
+class TestKeyedMutex:
+    def test_serializes_same_key(self):
+        mutex = KeyedMutex()
+        order = []
+
+        def worker(tag):
+            with mutex.holding("k"):
+                order.append((tag, "in"))
+                time.sleep(0.01)
+                order.append((tag, "out"))
+
+        with ThreadPoolExecutor(4) as pool:
+            list(pool.map(worker, range(4)))
+        # Critical sections never interleave: in/out strictly alternate.
+        assert [io for _, io in order] == ["in", "out"] * 4
+
+    def test_distinct_keys_do_not_block(self):
+        mutex = KeyedMutex()
+        entered = threading.Event()
+        release = threading.Event()
+
+        def hold_a():
+            with mutex.holding("a"):
+                entered.set()
+                release.wait(2.0)
+
+        thread = threading.Thread(target=hold_a)
+        thread.start()
+        assert entered.wait(2.0)
+        acquired_b = threading.Event()
+
+        def try_b():
+            with mutex.holding("b"):
+                acquired_b.set()
+
+        threading.Thread(target=try_b).start()
+        assert acquired_b.wait(2.0)  # "b" proceeds while "a" is held
+        release.set()
+        thread.join()
+
+    def test_entries_dropped_when_idle(self):
+        mutex = KeyedMutex()
+        with mutex.holding("x"):
+            assert mutex.active_keys() == 1
+        assert mutex.active_keys() == 0
+
+
+def _counting_runner(counter, lock, seconds=0.0):
+    def runner(task, deps):
+        with lock:
+            counter[task.id] = counter.get(task.id, 0) + 1
+        if seconds:
+            time.sleep(seconds)
+        return f"value-of-{task.id}"
+
+    return runner
+
+
+class TestCoalescingRunner:
+    def test_concurrent_same_node_executes_once(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        counter, lock = {}, threading.Lock()
+        runner = CoalescingRunner(
+            store, _counting_runner(counter, lock, seconds=0.02),
+            _keyer)
+        task = Task(id="compile:a", stage="compile",
+                    payload={"workload": "w", "input": "i"})
+
+        with ThreadPoolExecutor(8) as pool:
+            results = list(pool.map(lambda _: runner(task, {}), range(8)))
+
+        assert counter == {"compile:a": 1}
+        assert set(results) == {"value-of-compile:a"}
+        snap = runner.snapshot()
+        assert snap["executed"] == 1
+        assert snap["coalesced"] == 7
+
+    def test_distinct_nodes_all_execute(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        counter, lock = {}, threading.Lock()
+        runner = CoalescingRunner(store, _counting_runner(counter, lock),
+                                  _keyer)
+        tasks = [Task(id=f"run:{i}", stage="run", payload={"n": i})
+                 for i in range(4)]
+        with ThreadPoolExecutor(4) as pool:
+            list(pool.map(lambda t: runner(t, {}), tasks))
+        assert all(count == 1 for count in counter.values())
+        assert runner.snapshot()["executed"] == 4
+
+    def test_no_store_degrades_to_plain_runner(self):
+        counter, lock = {}, threading.Lock()
+        runner = CoalescingRunner(None, _counting_runner(counter, lock),
+                                  _keyer)
+        task = Task(id="t", stage="run", payload={})
+        runner(task, {})
+        runner(task, {})
+        assert counter == {"t": 2}
+
+    def test_private_store_counters_stay_separate(self, tmp_path):
+        store = ArtifactStore(root=tmp_path / "store")
+        counter, lock = {}, threading.Lock()
+        runner = CoalescingRunner(store, _counting_runner(counter, lock),
+                                  _keyer)
+        runner(Task(id="t", stage="run", payload={}), {})
+        # The coalescing probe/put never touches the shared handle's
+        # headline accounting.
+        assert store.stats.misses == 0
+        assert store.stats.puts == 0
+
+    def test_pickles_to_wrapped_runner(self, tmp_path):
+        from repro.engine.tasks import run_stage
+
+        store = ArtifactStore(root=tmp_path / "store")
+        runner = CoalescingRunner(store, run_stage, _keyer)
+        assert pickle.loads(pickle.dumps(runner)) is run_stage
+
+
+class _FakeJob:
+    def __init__(self):
+        self.waiters = 1
+        self.finished = False
+
+    def add_waiter(self):
+        self.waiters += 1
+
+
+class TestCoalescer:
+    def test_attaches_to_in_flight_job(self):
+        coalescer = Coalescer()
+        first, coalesced = coalescer.attach_or_register("k", _FakeJob)
+        assert not coalesced
+        second, coalesced = coalescer.attach_or_register("k", _FakeJob)
+        assert coalesced
+        assert second is first
+        assert first.waiters == 2
+
+    def test_finished_job_is_not_attached_to(self):
+        coalescer = Coalescer()
+        job, _ = coalescer.attach_or_register("k", _FakeJob)
+        job.finished = True
+        fresh, coalesced = coalescer.attach_or_register("k", _FakeJob)
+        assert not coalesced
+        assert fresh is not job
+
+    def test_release_clears_registration(self):
+        coalescer = Coalescer()
+        job, _ = coalescer.attach_or_register("k", _FakeJob)
+        coalescer.release("k", job)
+        assert coalescer.snapshot()["in_flight"] == 0
+
+    def test_release_ignores_stale_job(self):
+        coalescer = Coalescer()
+        job, _ = coalescer.attach_or_register("k", _FakeJob)
+        job.finished = True
+        newer, _ = coalescer.attach_or_register("k", _FakeJob)
+        coalescer.release("k", job)  # stale: newer owns the slot now
+        assert coalescer.snapshot()["in_flight"] == 1
+        coalescer.release("k", newer)
+        assert coalescer.snapshot()["in_flight"] == 0
+
+    def test_hit_miss_accounting(self):
+        coalescer = Coalescer()
+        coalescer.attach_or_register("a", _FakeJob)
+        coalescer.attach_or_register("a", _FakeJob)
+        coalescer.attach_or_register("b", _FakeJob)
+        snap = coalescer.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 2

@@ -1,0 +1,76 @@
+"""Token-bucket quotas: deterministic via injected clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.quota import QuotaRegistry, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0)
+        assert [bucket.try_acquire(now=0.0) for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        assert bucket.try_acquire(2.0, now=0.0)
+        assert not bucket.try_acquire(1.0, now=0.0)
+        assert bucket.try_acquire(1.0, now=0.5)  # 0.5 s × 2/s = 1 token
+
+    def test_never_exceeds_capacity(self):
+        bucket = TokenBucket(rate=10.0, capacity=2.0)
+        assert bucket.available(now=100.0) == pytest.approx(2.0)
+
+    def test_retry_after_names_the_deficit(self):
+        bucket = TokenBucket(rate=0.5, capacity=1.0)
+        assert bucket.try_acquire(now=0.0)
+        assert bucket.retry_after(1.0, now=0.0) == pytest.approx(2.0)
+
+    def test_retry_after_zero_when_available(self):
+        assert TokenBucket(1.0, 1.0).retry_after(1.0, now=0.0) == 0.0
+
+    def test_rejects_nonpositive_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(1.0, -1.0)
+
+    def test_clock_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=1.0, capacity=1.0)
+        assert bucket.try_acquire(now=10.0)
+        assert not bucket.try_acquire(now=5.0)
+
+
+class TestQuotaRegistry:
+    def test_disabled_always_admits(self):
+        registry = QuotaRegistry(rate=None)
+        for _ in range(100):
+            assert registry.admit("anyone") == (True, 0.0)
+        assert registry.snapshot() == {"enabled": False}
+
+    def test_per_client_isolation(self):
+        registry = QuotaRegistry(rate=0.001, burst=1.0)
+        assert registry.admit("a", now=0.0)[0]
+        assert not registry.admit("a", now=0.0)[0]
+        assert registry.admit("b", now=0.0)[0]  # b's bucket is fresh
+
+    def test_denial_reports_retry_after(self):
+        registry = QuotaRegistry(rate=1.0, burst=1.0)
+        assert registry.admit("c", now=0.0)[0]
+        admitted, retry_after = registry.admit("c", now=0.0)
+        assert not admitted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_burst_defaults_to_ten_times_rate(self):
+        assert QuotaRegistry(rate=2.0).burst == 20.0
+
+    def test_snapshot_counts_denials(self):
+        registry = QuotaRegistry(rate=0.001, burst=1.0)
+        registry.admit("d", now=0.0)
+        registry.admit("d", now=0.0)
+        registry.admit("d", now=0.0)
+        snap = registry.snapshot()
+        assert snap["enabled"] is True
+        assert snap["clients"]["d"]["denied"] == 2
