@@ -49,6 +49,8 @@ class Engine:
         backend=None,
         on_timing=None,
         runner=None,
+        metrics=None,
+        tracer=None,
     ) -> None:
         self.target_instructions = target_instructions
         self.workers = max(1, workers)
@@ -67,6 +69,12 @@ class Engine:
         #: the hook a :class:`~repro.serve.costs.CostModel` learns
         #: measured stage costs through.  Cache hits are not reported.
         self.on_timing = on_timing
+        #: Optional observability handles (:mod:`repro.obs`): a
+        #: :class:`~repro.obs.MetricsRegistry` and/or
+        #: :class:`~repro.obs.Tracer` threaded through every graph this
+        #: engine runs (and inline chains via :meth:`_materialize`).
+        self.metrics = metrics
+        self.tracer = tracer
         if store is not None:
             self.store = store
         elif use_cache:
@@ -119,6 +127,15 @@ class Engine:
                            value, stage=task.stage, seconds=elapsed)
         if self.on_timing is not None:
             self.on_timing(task.stage, elapsed)
+        if self.metrics is not None:
+            self.metrics.count("engine_stages_executed", tag=task.stage,
+                               label="stage")
+            self.metrics.observe_latency("engine_dispatch_seconds", elapsed,
+                                         tags={"stage": task.stage})
+        if self.tracer is not None:
+            self.tracer.add_span(task.id, task.stage,
+                                 started - self.tracer.epoch_perf, elapsed,
+                                 {"outcome": "executed"})
         self._memo[task.id] = value
         return value
 
@@ -260,7 +277,8 @@ class Engine:
                                 store=self.store, preloaded=self._memo,
                                 runner=self.runner,
                                 backend=backend or self.backend,
-                                on_timing=self.on_timing)
+                                on_timing=self.on_timing,
+                                metrics=self.metrics, tracer=self.tracer)
             for task_id, value in results.items():
                 self._memo.setdefault(task_id, value)
         return len(graph)

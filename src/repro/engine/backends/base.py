@@ -65,11 +65,19 @@ BACKEND_ENV = "REPRO_BACKEND"
 @dataclass
 class ExecutionContext:
     """Everything a backend needs to run stages: the shared store handle
-    plus the (picklable) stage executor and content-address recipe."""
+    plus the (picklable) stage executor and content-address recipe.
+
+    *metrics* and *tracer* are the scheduler's observability handles
+    (``repro.obs``), or ``None`` when the run is uninstrumented.
+    Whole-graph backends use them to fold worker-side registry
+    snapshots and spans back into the parent (see
+    ``backends.shard.SubprocessShardBackend.execute_graph``)."""
 
     store: ArtifactStore | None
     runner: Callable[[Task, dict], Any]
     keyer: Callable[[Task], dict]
+    metrics: Any = None
+    tracer: Any = None
     _store_spec: tuple | None = field(default=None, init=False, repr=False)
 
     def store_spec(self) -> tuple | None:

@@ -129,6 +129,13 @@ class SubprocessShardBackend(ExecutionBackend):
             "keyer": context.keyer,
             "store_spec": None,
             "export_dir": None,
+            # Observability flags: a worker asked for metrics ships a
+            # registry snapshot back (merged into the parent's via the
+            # same commutative seam store stats already use); one asked
+            # for tracing ships its spans plus its wall-clock epoch so
+            # the parent can remap them onto its own timeline.
+            "metrics": context.metrics is not None,
+            "trace": context.tracer is not None,
         }
         if context.store is not None:
             _, schema_version, toolchain = context.store_spec()
@@ -224,6 +231,11 @@ class SubprocessShardBackend(ExecutionBackend):
                         continue
                     computed.update(payload["results"])
                     drained = drained or payload.get("drained", False)
+                    if context.metrics is not None and payload.get("metrics"):
+                        context.metrics.merge(payload["metrics"])
+                    if context.tracer is not None and payload.get("spans"):
+                        context.tracer.absorb(payload["spans"],
+                                              payload.get("trace_epoch_wall"))
                     if context.store is not None and payload["export_dir"]:
                         context.store.import_keys(payload["export_dir"])
                 if failures:

@@ -82,6 +82,7 @@ def _run_whole_graph(graph, order, results, store, backend, context):
     """Drive a ``whole_graph`` backend: probe the cache for every node
     up front (deterministic order, parent-side counters), hand the
     unresolved remainder to the backend in one call."""
+    metrics, tracer = context.metrics, context.tracer
     pending: list[Task] = []
     for task in order:
         if task.id in results:
@@ -89,7 +90,14 @@ def _run_whole_graph(graph, order, results, store, backend, context):
         _, cached = _lookup(store, task, context.keyer)
         if cached is not _MISS:
             results[task.id] = cached
+            if metrics is not None:
+                metrics.count("engine_cache", tag="hit", label="outcome")
+            if tracer is not None:
+                tracer.add_span(task.id, task.stage, tracer.now(), 0.0,
+                                {"outcome": "hit"})
             continue
+        if metrics is not None and store is not None:
+            metrics.count("engine_cache", tag="miss", label="outcome")
         pending.append(task)
     if pending:
         backend.start(context)
@@ -112,6 +120,8 @@ def run_graph(
     backend=None,
     on_timing=None,
     stop=None,
+    metrics=None,
+    tracer=None,
 ) -> dict[str, Any]:
     """Execute *graph*; returns ``{task_id: result}`` for every node.
 
@@ -138,6 +148,16 @@ def run_graph(
     true the scheduler submits nothing further, drains what is already
     in flight (persisting the results), and returns the partial result
     map.  This is the graceful-drain hook SIGTERM handling is built on.
+
+    *metrics* — a :class:`repro.obs.MetricsRegistry` — collects cache
+    probe outcomes, executed-stage counts, store-op deltas, and
+    (volatile) ready-queue depth and dispatch latency.  *tracer* — a
+    :class:`repro.obs.Tracer` — records one span per graph node
+    (category = stage, cache outcome in ``args``) plus a root
+    ``run_graph`` span; shard workers report their own spans, which the
+    backend remaps onto this tracer's timeline.  The store-op and
+    cache-probe accounting is parent-side and therefore identical
+    across backends for the same graph and store state.
     """
     order = topological_order(graph)
     results: dict[str, Any] = {
@@ -151,18 +171,42 @@ def run_graph(
         # explicit backend choice is honored even here.
         backend = "inline"
     backend = resolve_backend(backend, workers=workers)
-    context = ExecutionContext(store=store, runner=runner, keyer=keyer)
+    if tracer is not None:
+        # Worker threads record exact in-worker stage spans; the wrapper
+        # degrades to the bare runner under pickling (process/shard),
+        # where the parent-side dispatch span or the worker's own tracer
+        # covers the node instead.
+        from repro.obs.trace import TracedRunner
+        runner = TracedRunner(tracer, runner)
+    context = ExecutionContext(store=store, runner=runner, keyer=keyer,
+                               metrics=metrics, tracer=tracer)
+    stats_before = (store.stats.as_dict()
+                    if metrics is not None and store is not None else None)
+    root_start = tracer.now() if tracer is not None else 0.0
 
-    if backend.whole_graph:
-        results = _run_whole_graph(graph, order, results, store, backend,
-                                   context)
-    else:
-        results = _run_submitting(graph, results, store, backend, context,
-                                  on_timing=on_timing, stop=stop)
-    if store is not None and backend.persists and store.max_bytes is not None:
-        # Workers write uncapped (see backends.local/shard); settle the
-        # size cap once now that the run is complete.
-        store.evict(max_bytes=store.max_bytes)
+    try:
+        if backend.whole_graph:
+            results = _run_whole_graph(graph, order, results, store, backend,
+                                       context)
+        else:
+            results = _run_submitting(graph, results, store, backend, context,
+                                      on_timing=on_timing, stop=stop)
+        if (store is not None and backend.persists
+                and store.max_bytes is not None):
+            # Workers write uncapped (see backends.local/shard); settle
+            # the size cap once now that the run is complete.
+            store.evict(max_bytes=store.max_bytes)
+    finally:
+        if tracer is not None:
+            tracer.add_span("run_graph", "scheduler", root_start,
+                            tracer.now() - root_start,
+                            {"nodes": len(graph), "backend": backend.name})
+        if stats_before is not None:
+            for op, value in store.stats.as_dict().items():
+                delta = value - stats_before.get(op, 0)
+                if delta:
+                    metrics.count("engine_store_ops", delta, tag=op,
+                                  label="op")
     return results
 
 
@@ -170,6 +214,7 @@ def _run_submitting(graph, results, store, backend, context,
                     on_timing=None, stop=None):
     """The generic submit/wait loop shared by all per-task backends."""
     keyer = context.keyer
+    metrics, tracer = context.metrics, context.tracer
     indegree = {task.id: len(task.deps) for task in graph.values()}
     dependents: dict[str, list[str]] = {task_id: [] for task_id in graph}
     for task in graph.values():
@@ -201,6 +246,16 @@ def _run_submitting(graph, results, store, backend, context,
                               seconds=elapsed)
             if on_timing is not None:
                 on_timing(graph[task_id].stage, elapsed)
+            if metrics is not None:
+                stage = graph[task_id].stage
+                metrics.count("engine_stages_executed", tag=stage,
+                              label="stage")
+                metrics.observe_latency("engine_dispatch_seconds", elapsed,
+                                        tags={"stage": stage})
+            if tracer is not None:
+                tracer.add_span(task_id, graph[task_id].stage,
+                                submitted_at - tracer.epoch_perf, elapsed,
+                                {"outcome": "executed"})
             resolve(task_id, value)
         ready.sort()
 
@@ -225,10 +280,23 @@ def _run_submitting(graph, results, store, backend, context,
                     continue
                 key, cached = _lookup(store, task, keyer)
                 if cached is not _MISS:
+                    if metrics is not None:
+                        metrics.count("engine_cache", tag="hit",
+                                      label="outcome")
+                    if tracer is not None:
+                        tracer.add_span(task_id, task.stage, tracer.now(),
+                                        0.0, {"outcome": "hit"})
                     resolve(task_id, cached)
                     ready.sort()
                     continue
+                if metrics is not None and store is not None:
+                    metrics.count("engine_cache", tag="miss", label="outcome")
                 deps = {dep: results[dep] for dep in task.deps}
+                if metrics is not None:
+                    # Queue depth at dispatch (this task included);
+                    # interleaving-dependent, hence volatile.
+                    metrics.observe("engine_ready_depth", len(ready) + 1,
+                                    volatile=True)
                 # Clock starts before submit: synchronous backends
                 # (inline) do the work inside the call itself.
                 submitted_at = time.perf_counter()

@@ -51,6 +51,29 @@ def run_shard(spec: dict, stop=None) -> dict:
         root, schema_version, toolchain = store_spec
         store = ArtifactStore(root=root, schema_version=schema_version,
                               toolchain=toolchain, max_bytes=None)
+
+    # Per-worker observability.  The registry records only what the
+    # parent cannot see from outside — which stages actually executed
+    # here, and how long each took — via the on_timing hook; the
+    # worker's private-store probe/put counters stay out of the
+    # snapshot because the parent's own accounting (probe misses before
+    # sharding, puts on import) is authoritative and already
+    # backend-invariant.  The tracer records full per-node spans, which
+    # the parent remaps onto its timeline.
+    registry = None
+    if spec.get("metrics"):
+        from repro.obs.metrics import MetricsRegistry
+        registry = MetricsRegistry()
+    tracer = None
+    if spec.get("trace"):
+        from repro.obs.trace import Tracer
+        tracer = Tracer()
+
+    def observe_stage(stage: str, seconds: float) -> None:
+        registry.count("engine_stages_executed", tag=stage, label="stage")
+        registry.observe_latency("engine_dispatch_seconds", seconds,
+                                 tags={"stage": stage})
+
     results = run_graph(
         graph,
         workers=1,
@@ -59,6 +82,8 @@ def run_shard(spec: dict, stop=None) -> dict:
         runner=spec["runner"],
         keyer=spec["keyer"],
         backend="inline",
+        on_timing=observe_stage if registry is not None else None,
+        tracer=tracer,
         stop=stop,
     )
     computed = {task_id: value for task_id, value in results.items()
@@ -74,8 +99,14 @@ def run_shard(spec: dict, stop=None) -> dict:
         exported = store.export_keys(keys, export_dir)
     drained = bool(stop is not None and stop() and
                    len(computed) + len(preloaded) < len(graph))
-    return {"results": computed, "exported": exported,
-            "export_dir": export_dir, "drained": drained}
+    payload = {"results": computed, "exported": exported,
+               "export_dir": export_dir, "drained": drained}
+    if registry is not None:
+        payload["metrics"] = registry.snapshot()
+    if tracer is not None:
+        payload["spans"] = tracer.spans()
+        payload["trace_epoch_wall"] = tracer.epoch_wall
+    return payload
 
 
 def main(argv=None) -> int:

@@ -54,7 +54,8 @@ from pathlib import Path
 
 #: Bump whenever the pickled artifact layout or the key recipe changes;
 #: old entries then become unreachable instead of silently wrong.
-SCHEMA_VERSION = 1
+#: 2: TimingResult grew mem_lat_hist/branch_run_hist snapshot fields.
+SCHEMA_VERSION = 2
 
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 CACHE_MAX_BYTES_ENV = "REPRO_CACHE_MAX_BYTES"
@@ -369,15 +370,18 @@ class ArtifactStore:
         }
 
     def by_stage(self) -> dict[str, dict]:
-        """Per-stage ``{"entries": n, "bytes": b, "mean_seconds": s}``
-        breakdown, read from the provenance sidecars.
+        """Per-stage ``{"entries": n, "bytes": b, "mean_seconds": s,
+        "timed_entries": t}`` breakdown, read from the provenance
+        sidecars.
 
         Entries whose sidecar predates stage recording (or is missing)
         group under ``"(unknown)"`` — observability never guesses.  This
         is what makes replay-cache growth visible as its own line
         instead of disappearing into one total.  ``mean_seconds``
-        averages the measured stage wall-clock over the entries that
-        recorded one (``None`` when no entry did).
+        averages the measured stage wall-clock over the
+        ``timed_entries`` entries that recorded one (``None``/0 when no
+        entry did) — the sample count is what distinguishes one outlier
+        compile from a trend.
         """
         breakdown: dict[str, dict] = {}
         timed: dict[str, tuple[int, float]] = {}
@@ -388,7 +392,8 @@ class ArtifactStore:
                 meta = None
             stage = (meta or {}).get("stage") or "(unknown)"
             bucket = breakdown.setdefault(
-                stage, {"entries": 0, "bytes": 0, "mean_seconds": None}
+                stage, {"entries": 0, "bytes": 0, "mean_seconds": None,
+                        "timed_entries": 0}
             )
             bucket["entries"] += 1
             bucket["bytes"] += size
@@ -398,6 +403,7 @@ class ArtifactStore:
                 timed[stage] = (count + 1, total + float(seconds))
         for stage, (count, total) in timed.items():
             breakdown[stage]["mean_seconds"] = total / count
+            breakdown[stage]["timed_entries"] = count
         return breakdown
 
     def clear(self) -> int:
@@ -606,8 +612,9 @@ def main(argv=None) -> int:
             for stage in sorted(breakdown):
                 bucket = breakdown[stage]
                 mean = bucket.get("mean_seconds")
-                timing = f"  {mean:>10.4f} s mean" if mean is not None \
-                    else f"  {'-':>10}       "
+                samples = bucket.get("timed_entries", 0)
+                timing = (f"  {mean:>10.4f} s mean over {samples} sample(s)"
+                          if mean is not None else f"  {'-':>10}       ")
                 print(f"  {stage:<{width}}  {bucket['entries']:>7} entries"
                       f"  {bucket['bytes']:>12} bytes{timing}")
     elif args.command == "clear":

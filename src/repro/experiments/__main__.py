@@ -73,14 +73,28 @@ def main(argv=None) -> int:
         "--stats", action="store_true",
         help="print cache hit/miss counters to stderr afterwards",
     )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record per-stage spans and a metrics snapshot to PATH "
+             "(inspect with repro-trace summary/export)",
+    )
     args = parser.parse_args(argv)
 
+    metrics = tracer = None
+    if args.trace:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        metrics = MetricsRegistry()
+        tracer = Tracer()
     engine = Engine(
         target_instructions=args.target_instructions,
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         backend=args.backend,
+        metrics=metrics,
+        tracer=tracer,
     )
     if engine.store is not None and args.max_cache_bytes is not None:
         engine.store.max_bytes = args.max_cache_bytes
@@ -103,6 +117,10 @@ def main(argv=None) -> int:
             f"{stats.evictions} evictions",
             file=sys.stderr,
         )
+    if tracer is not None:
+        tracer.save(args.trace, metrics=metrics.snapshot())
+        print(f"[repro.obs] trace: {len(tracer.spans())} span(s) -> "
+              f"{args.trace}", file=sys.stderr)
     return 0
 
 

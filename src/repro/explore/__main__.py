@@ -83,17 +83,36 @@ def _parse_pairs(text: str | None):
 
 
 def _build_engine(args) -> Engine:
+    metrics = tracer = None
+    if getattr(args, "trace", None):
+        from repro.obs.metrics import MetricsRegistry
+        from repro.obs.trace import Tracer
+
+        metrics = MetricsRegistry()
+        tracer = Tracer()
     engine = Engine(
         target_instructions=args.target_instructions,
         workers=args.workers,
         use_cache=not args.no_cache,
         cache_dir=args.cache_dir,
         backend=args.backend,
+        metrics=metrics,
+        tracer=tracer,
     )
     if engine.store is not None and \
             getattr(args, "max_cache_bytes", None) is not None:
         engine.store.max_bytes = args.max_cache_bytes
     return engine
+
+
+def _save_trace(args, engine: Engine) -> None:
+    if engine.tracer is None:
+        return
+    snapshot = engine.metrics.snapshot() if engine.metrics is not None \
+        else None
+    engine.tracer.save(args.trace, metrics=snapshot)
+    print(f"[repro.obs] trace: {len(engine.tracer.spans())} span(s) -> "
+          f"{args.trace}", file=sys.stderr)
 
 
 def _resolve_db_path(args):
@@ -152,6 +171,7 @@ def _cmd_run(args) -> int:
         throwaway.cleanup()
     if args.stats:
         _print_engine_stats(engine)
+    _save_trace(args, engine)
     return 0
 
 
@@ -187,6 +207,7 @@ def _cmd_search(args) -> int:
         throwaway.cleanup()
     if args.stats:
         _print_engine_stats(engine)
+    _save_trace(args, engine)
     return 0 if best is not None else 1
 
 
@@ -299,6 +320,10 @@ def main(argv=None) -> int:
                          help="skip the persistent artifact store")
         cmd.add_argument("--stats", action="store_true",
                          help="print engine cache counters to stderr")
+        cmd.add_argument("--trace", default=None, metavar="PATH",
+                         help="record per-stage spans and a metrics "
+                              "snapshot to PATH (inspect with repro-trace "
+                              "summary/export)")
 
     run = sub.add_parser("run", help="sweep a preset through the engine")
     run.add_argument("--preset", default="smoke",

@@ -36,11 +36,18 @@ from repro.explore.db import (
     result_key,
 )
 from repro.explore.space import DesignPoint, Preset, format_point, get_preset
+from repro.obs.metrics import hist_distance, merge_hist_data
 from repro.sim.machines import Machine
 from repro.tables import format_table
 
-#: Fidelity metrics averaged into the score (lower is better).
-SCORE_COMPONENTS = ("cpi_err", "miss_rate_err", "branch_acc_err")
+#: Fidelity metrics averaged into the score (lower is better).  The
+#: ``*_div`` components are distribution divergences (total-variation
+#: distance, 0..1) between the clone's and the original's simulator
+#: exp-histograms — memory-access latencies and correct-prediction run
+#: lengths — so two sides can't score as twins on matching scalar
+#: CPI/miss rates while their latency *shapes* disagree.
+SCORE_COMPONENTS = ("cpi_err", "miss_rate_err", "branch_acc_err",
+                    "mem_lat_div", "branch_run_div")
 
 #: ``progress(index, total, record, status)`` after each planned point.
 #: *status* is ``"run"`` (freshly scored), ``"resumed"`` (answered from
@@ -102,6 +109,7 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
     totals = {side: {"cycles": 0, "instructions": 0, "l1_hits": 0,
                      "l1_misses": 0, "branch_hits": 0, "branch_misses": 0}
               for side in ("org", "syn")}
+    hists = {side: {"mem": None, "branch": None} for side in ("org", "syn")}
     for workload, input_name in pairs:
         for side in ("org", "syn"):
             result = engine.replay_timing(workload, input_name, spec,
@@ -113,6 +121,14 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
             bucket["l1_misses"] += result.l1_misses
             bucket["branch_hits"] += result.branch_hits
             bucket["branch_misses"] += result.branch_misses
+            # Pool the latency/run-length distributions suite-wide, like
+            # the scalar counters above.  getattr guards results replayed
+            # from pre-histogram artifacts.
+            side_hists = hists[side]
+            side_hists["mem"] = merge_hist_data(
+                side_hists["mem"], getattr(result, "mem_lat_hist", None))
+            side_hists["branch"] = merge_hist_data(
+                side_hists["branch"], getattr(result, "branch_run_hist", None))
 
     def derived(bucket: dict) -> tuple[float, float, float, float]:
         instructions = bucket["instructions"] or 1
@@ -148,6 +164,13 @@ def score_point(point: DesignPoint, pairs, engine: Engine) -> dict:
     cpi_err = _rel_err(org_cpi, syn_cpi)
     if cpi_err is not None:
         metrics["cpi_err"] = cpi_err
+    mem_div = hist_distance(hists["org"]["mem"], hists["syn"]["mem"])
+    if mem_div is not None:
+        metrics["mem_lat_div"] = mem_div
+    branch_div = hist_distance(hists["org"]["branch"],
+                               hists["syn"]["branch"])
+    if branch_div is not None:
+        metrics["branch_run_div"] = branch_div
     metrics["score"] = _score(metrics)
     return metrics
 

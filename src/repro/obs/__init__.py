@@ -1,0 +1,31 @@
+"""Unified observability: metrics registry, span tracing, structured logs.
+
+``repro.obs`` is the one place the engine, the simulators, the explorer,
+and the serve daemon report what they did and how long it took:
+
+* :mod:`repro.obs.metrics` — declarative metrics (counters, tagged
+  counters, exponential histograms, latency measurers) with
+  deterministic JSON snapshots and a commutative ``merge()`` so
+  per-worker registries from the process/shard backends flow back
+  through the same seam that already merges store stats.
+* :mod:`repro.obs.trace` — hierarchical wall-clock spans recorded from
+  ``run_graph`` down to individual stages, exportable as
+  Chrome-trace-event JSON (loadable in Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.log` — structured stderr logging (timestamp, level)
+  behind the ``REPRO_LOG_LEVEL`` env var.
+
+CLI: ``repro-trace`` (``python -m repro.obs``) records, summarizes, and
+exports traces.
+"""
+
+from repro.obs.metrics import (  # noqa: F401
+    Counter,
+    ExpHistogram,
+    LatencyMeasurer,
+    MetricsRegistry,
+    TaggedCounter,
+    hist_distance,
+    merge_hist_data,
+)
+from repro.obs.trace import Tracer, chrome_trace, load_trace  # noqa: F401
+from repro.obs.log import StructuredLogger  # noqa: F401

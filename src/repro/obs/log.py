@@ -1,0 +1,68 @@
+"""Structured stderr logging behind the ``REPRO_LOG_LEVEL`` env var.
+
+One line per event: ``[name] <ISO-8601 UTC> LEVEL [job=...] message``.
+The bracketed name leads the line (and the timestamp/level are inserted
+*after* it), so existing consumers that grep for ``[repro-serve] `` plus
+a message substring keep working unchanged.
+
+``REPRO_LOG_LEVEL`` (debug/info/warning/error, default info) gates
+emission; the logger is callable with a bare message for drop-in
+compatibility with the plain ``log(message)`` callbacks it replaces.
+"""
+
+from __future__ import annotations
+
+import datetime
+import os
+import sys
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+DEFAULT_LEVEL = "info"
+
+
+def env_level() -> str:
+    """The configured minimum level (unknown values fall back to info)."""
+    raw = os.environ.get(LOG_LEVEL_ENV, DEFAULT_LEVEL).strip().lower()
+    return raw if raw in LEVELS else DEFAULT_LEVEL
+
+
+class StructuredLogger:
+    """Callable leveled logger writing one structured line per event."""
+
+    def __init__(self, name: str = "repro", stream=None,
+                 level: str | None = None) -> None:
+        self.name = name
+        self.stream = stream
+        self.level = (level or env_level()).lower()
+        if self.level not in LEVELS:
+            self.level = DEFAULT_LEVEL
+
+    def log(self, message: str, level: str = "info",
+            job: str | None = None) -> None:
+        if LEVELS.get(level, LEVELS["info"]) < LEVELS[self.level]:
+            return
+        now = datetime.datetime.now(datetime.timezone.utc)
+        stamp = now.strftime("%Y-%m-%dT%H:%M:%S.") + f"{now.microsecond // 1000:03d}Z"
+        job_part = f" job={job}" if job else ""
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(f"[{self.name}] {stamp} {level.upper()}{job_part} {message}",
+              file=stream, flush=True)
+
+    # Drop-in for plain `log(message)` callbacks.
+    def __call__(self, message: str, level: str = "info",
+                 job: str | None = None) -> None:
+        self.log(message, level=level, job=job)
+
+    def debug(self, message: str, **kw) -> None:
+        self.log(message, level="debug", **kw)
+
+    def info(self, message: str, **kw) -> None:
+        self.log(message, level="info", **kw)
+
+    def warning(self, message: str, **kw) -> None:
+        self.log(message, level="warning", **kw)
+
+    def error(self, message: str, **kw) -> None:
+        self.log(message, level="error", **kw)

@@ -14,6 +14,7 @@ Endpoints::
     GET  /v1/jobs/<id>/result   the result JSON (202 while running)
     GET  /v1/jobs/<id>/events   chunked JSON-lines progress stream
     GET  /v1/stats              store/coalescing/quota/cost-model stats
+    GET  /v1/metrics            Prometheus text exposition
     GET  /healthz               liveness (also reports draining)
 
 Admission runs in order: quota (per-client token bucket → 429 +
@@ -31,7 +32,6 @@ from __future__ import annotations
 import asyncio
 import json
 import signal
-import sys
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -39,6 +39,8 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.engine.api import Engine
 from repro.engine.backends import resolve_backend
 from repro.engine.store import ArtifactStore
+from repro.obs.log import StructuredLogger
+from repro.obs.metrics import PROMETHEUS_CONTENT_TYPE, MetricsRegistry
 from repro.serve.coalesce import Coalescer, CoalescingRunner, KeyedMutex
 from repro.serve.costs import CostModel
 from repro.serve.jobs import (
@@ -83,7 +85,8 @@ class ServeApp:
         queue_limit: int = 32,
         log=None,
     ) -> None:
-        self.log = log if log is not None else _stderr_log
+        self.log = log if log is not None else StructuredLogger("repro-serve")
+        self.metrics = MetricsRegistry()
         self.db_path = db_path
         self.queue_limit = max(1, queue_limit)
         self.max_inflight = max(1, max_inflight)
@@ -119,6 +122,17 @@ class ServeApp:
         self.started_at = time.time()
         self.draining = False
 
+    def _log(self, message: str, level: str = "info") -> None:
+        """Log with a severity when the sink understands one.
+
+        Injected test sinks are often plain ``list.append``-style
+        callables; fall back to message-only for those.
+        """
+        try:
+            self.log(message, level=level)
+        except TypeError:
+            self.log(message)
+
     # -- learned costs -----------------------------------------------------
 
     def _warm_start_costs(self) -> None:
@@ -130,7 +144,8 @@ class ServeApp:
             with ResultsDB(self.db_path) as db:
                 replayed = self.cost_model.warm_start(db)
         except Exception as exc:  # a corrupt DB must not kill startup
-            self.log(f"cost-model warm start skipped: {exc}")
+            self._log(f"cost-model warm start skipped: {exc}",
+                      level="warning")
             return
         if replayed:
             self.log(f"cost model warm-started from {replayed} "
@@ -162,8 +177,8 @@ class ServeApp:
                 return db.record_stage_costs(
                     batch, toolchain=toolchain_fingerprint())
         except Exception as exc:
-            self.log(f"stage-cost flush failed ({len(batch)} dropped): "
-                     f"{exc}")
+            self._log(f"stage-cost flush failed ({len(batch)} dropped): "
+                      f"{exc}", level="error")
             return 0
 
     # -- submission --------------------------------------------------------
@@ -184,7 +199,9 @@ class ServeApp:
             client = peer
         admitted, retry_after = self.quota.admit(client)
         if not admitted:
+            self.metrics.count("serve_quota_rejections")
             raise QuotaExceeded(client, retry_after)
+        self.metrics.count("serve_submissions", tag=kind, label="kind")
         key = job_key(kind, params)
 
         def factory() -> Job:
@@ -197,6 +214,7 @@ class ServeApp:
         estimated = self.cost_model.estimate_seconds(
             estimate_stages(kind, params))
         if coalesced:
+            self.metrics.count("serve_coalesced_attaches")
             job.add_event("coalesced", client=client)
             self.log(f"submit kind={kind} key={key[:12]} job={job.id} "
                      f"client={client} coalesced=true waiters={job.waiters}")
@@ -216,7 +234,9 @@ class ServeApp:
         except Exception as exc:
             self.flush_costs()
             job.set_failed(f"{type(exc).__name__}: {exc}")
-            self.log(f"failed job={job.id} error={exc}")
+            self.metrics.count("serve_jobs_failed", tag=job.kind,
+                               label="kind")
+            self._log(f"failed job={job.id} error={exc}", level="error")
         else:
             # Flush measured costs before the job reads as finished, so
             # a client observing "done" sees the history persisted too.
@@ -225,6 +245,15 @@ class ServeApp:
         finally:
             self.coalescer.release(job.key, job)
         after = self.stats_snapshot_counters()
+        for op in ("hits", "misses", "executed", "coalesced"):
+            delta = after[op] - before[op]
+            if delta:
+                self.metrics.count("serve_store_ops", delta, tag=op,
+                                   label="op")
+        elapsed = (job.finished_at or 0) - (job.started_at or 0)
+        self.metrics.observe_latency("serve_job_seconds", elapsed,
+                                     tags={"kind": job.kind})
+        self.metrics.observe("serve_job_waiters", job.waiters)
         self.log(
             f"finish job={job.id} state={job.state} "
             f"waiters={job.waiters} "
@@ -254,7 +283,34 @@ class ServeApp:
             "nodes": self.node_coalescer.snapshot(),
             "quota": self.quota.snapshot(),
             "stage_costs": self.cost_model.snapshot(),
+            "metrics": self.metrics.snapshot(),
         }
+
+    def metrics_text(self) -> str:
+        """Prometheus exposition: registry series plus live gauges
+        sampled from the store, coalescers, and quota registry."""
+        lines = [self.metrics.render_prometheus().rstrip("\n")]
+        for op, value in sorted(self.store.stats.as_dict().items()):
+            lines.append(
+                f'repro_store_ops_total{{op="{op}"}} {int(value)}')
+        submissions = self.coalescer.snapshot()
+        for field in ("hits", "misses", "in_flight"):
+            lines.append(f"repro_serve_submission_coalescer_{field} "
+                         f"{int(submissions.get(field, 0))}")
+        nodes = self.node_coalescer.snapshot()
+        for field in ("executed", "coalesced"):
+            lines.append(f"repro_serve_node_coalescer_{field} "
+                         f"{int(nodes.get(field, 0))}")
+        quota = self.quota.snapshot()
+        denied = sum(entry.get("denied", 0)
+                     for entry in quota.get("clients", {}).values())
+        lines.append(
+            f"repro_serve_quota_enabled {int(bool(quota.get('enabled')))}")
+        lines.append(f"repro_serve_quota_denied_total {int(denied)}")
+        lines.append(f"repro_serve_jobs_live {self.live_jobs()}")
+        lines.append(f"repro_serve_uptime_seconds "
+                     f"{time.time() - self.started_at:.3f}")
+        return "\n".join(lines) + "\n"
 
     # -- shutdown ----------------------------------------------------------
 
@@ -276,10 +332,6 @@ class QuotaExceeded(RuntimeError):
         super().__init__(f"quota exceeded for client {client!r}")
         self.client = client
         self.retry_after = retry_after
-
-
-def _stderr_log(message: str) -> None:
-    print(f"[repro-serve] {message}", file=sys.stderr, flush=True)
 
 
 def _default_runner():
@@ -322,6 +374,17 @@ class ReproServer:
         ]
         for name, value in (extra_headers or {}).items():
             headers.append(f"{name}: {value}")
+        return ("\r\n".join(headers) + "\r\n\r\n").encode() + payload
+
+    @staticmethod
+    def _encode_text(status: int, text: str, content_type: str) -> bytes:
+        payload = text.encode()
+        headers = [
+            f"{PROTOCOL} {status} {_REASONS.get(status, 'Unknown')}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
         return ("\r\n".join(headers) + "\r\n\r\n").encode() + payload
 
     async def _read_request(self, reader: asyncio.StreamReader):
@@ -384,6 +447,10 @@ class ReproServer:
             return
         if path == "/v1/stats" and method == "GET":
             writer.write(self._encode(200, app.stats()))
+            return
+        if path == "/v1/metrics" and method == "GET":
+            writer.write(self._encode_text(
+                200, app.metrics_text(), PROMETHEUS_CONTENT_TYPE))
             return
         if path == "/v1/jobs" and method == "POST":
             await self._submit(body, writer)

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import ExpHistogram
+
 
 class BimodalPredictor:
     """Per-PC 2-bit saturating counters."""
@@ -65,6 +67,13 @@ class HybridPredictor:
         self.gshare = GsharePredictor(entries, history_bits)
         self.meta = [2] * entries  # >=2 prefers gshare
         self.mask = entries - 1
+        #: Distribution of correct-prediction run lengths (branches
+        #: between consecutive mispredicts).  The scalar accuracy hides
+        #: burstiness — evenly-spaced mispredicts and clustered ones
+        #: pipeline-flush very differently; fidelity scoring compares
+        #: these run-length histograms between clone and original.
+        self.run_hist = ExpHistogram()
+        self._run = 0
 
     def predict(self, pc: int) -> bool:
         if self.meta[pc & self.mask] >= 2:
@@ -75,6 +84,15 @@ class HybridPredictor:
         bimodal_correct = self.bimodal.predict(pc) == taken
         gshare_correct = self.gshare.predict(pc) == taken
         index = pc & self.mask
+        # The chooser's pick before any table updates — identical to
+        # what predict(pc) returned for this branch.
+        overall_correct = (gshare_correct if self.meta[index] >= 2
+                           else bimodal_correct)
+        if overall_correct:
+            self._run += 1
+        else:
+            self.run_hist.add(self._run)
+            self._run = 0
         if gshare_correct != bimodal_correct:
             counter = self.meta[index]
             if gshare_correct:
@@ -84,6 +102,12 @@ class HybridPredictor:
                 self.meta[index] = counter - 1
         self.bimodal.update(pc, taken)
         self.gshare.update(pc, taken)
+
+    def finalize_runs(self) -> None:
+        """Flush the trailing correct-prediction run into the histogram."""
+        if self._run:
+            self.run_hist.add(self._run)
+            self._run = 0
 
 
 @dataclass

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.obs.metrics import ExpHistogram
+
 
 @dataclass(frozen=True)
 class CacheConfig:
@@ -45,6 +47,12 @@ class Cache:
         self.sets: list[dict] = [dict() for _ in range(self.num_sets)]
         self.hits = 0
         self.misses = 0
+        #: Distribution of resolved access latencies (cycles), fed by
+        #: the timing models via :meth:`record_latency`.  Scalar
+        #: hit/miss rates can agree while the latency *shape* differs
+        #: (e.g. all misses clustered vs. spread); fidelity scoring
+        #: compares these histograms between clone and original.
+        self.latency_hist = ExpHistogram()
 
     def access(self, byte_addr: int) -> bool:
         """Access one address; returns True on hit."""
@@ -75,9 +83,14 @@ class Cache:
     def miss_rate(self) -> float:
         return 1.0 - self.hit_rate
 
+    def record_latency(self, cycles: int) -> None:
+        """Record one access's resolved latency (hit, L2, or memory)."""
+        self.latency_hist.add(cycles)
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.latency_hist = ExpHistogram()
         for ways in self.sets:
             ways.clear()
 

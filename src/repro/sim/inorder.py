@@ -91,6 +91,7 @@ class InOrderModel(TimingModel):
                         mem_latency = l2_hit_cycles
                     else:
                         mem_latency = memory_cycles
+                    l1.record_latency(mem_latency)
                     if op.is_store:
                         latency = 1
                         store_ready[addr] = cycle + 1
@@ -127,4 +128,4 @@ class InOrderModel(TimingModel):
                     ready.clear()
         total_cycles = max(cycle, max_completion)
         return self._result(total_cycles, instructions, l1,
-                            branch_hits, branch_misses)
+                            branch_hits, branch_misses, predictor)

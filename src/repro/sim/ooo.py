@@ -109,6 +109,7 @@ class OutOfOrderModel(TimingModel):
                         mem_latency = l2_hit_cycles
                     else:
                         mem_latency = memory_cycles
+                    l1.record_latency(mem_latency)
                     if op.is_store:
                         latency = 1  # write buffer hides store latency
                         store_ready[addr] = issue + 1
@@ -160,4 +161,4 @@ class OutOfOrderModel(TimingModel):
                     ready.clear()
         total_cycles = max(cycle, max_completion)
         return self._result(total_cycles, instructions, l1,
-                            branch_hits, branch_misses)
+                            branch_hits, branch_misses, predictor)

@@ -70,7 +70,15 @@ class TimingConfig:
 
 @dataclass
 class TimingResult:
-    """Cycle count plus the side statistics the figures report."""
+    """Cycle count plus the side statistics the figures report.
+
+    ``mem_lat_hist`` / ``branch_run_hist`` carry exp-histogram
+    snapshots (:meth:`repro.obs.metrics.ExpHistogram.snapshot_data`) of
+    per-access memory latencies and correct-prediction run lengths —
+    the distributions fidelity scoring compares between clone and
+    original beyond scalar CPI/miss rates.  ``None`` on results from
+    models that don't record them.
+    """
 
     cycles: int
     instructions: int
@@ -78,6 +86,8 @@ class TimingResult:
     l1_misses: int
     branch_hits: int
     branch_misses: int
+    mem_lat_hist: dict | None = None
+    branch_run_hist: dict | None = None
 
     @property
     def cpi(self) -> float:
@@ -286,7 +296,15 @@ class TimingModel:
 
     @staticmethod
     def _result(cycles: int, instructions: int, l1: Cache,
-                branch_hits: int, branch_misses: int) -> TimingResult:
+                branch_hits: int, branch_misses: int,
+                predictor: HybridPredictor | None = None) -> TimingResult:
+        mem_hist = (l1.latency_hist.snapshot_data()
+                    if l1.latency_hist.count else None)
+        branch_hist = None
+        if predictor is not None:
+            predictor.finalize_runs()
+            if predictor.run_hist.count:
+                branch_hist = predictor.run_hist.snapshot_data()
         return TimingResult(
             cycles=cycles,
             instructions=instructions,
@@ -294,4 +312,6 @@ class TimingModel:
             l1_misses=l1.misses,
             branch_hits=branch_hits,
             branch_misses=branch_misses,
+            mem_lat_hist=mem_hist,
+            branch_run_hist=branch_hist,
         )

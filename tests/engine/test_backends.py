@@ -155,6 +155,64 @@ class TestIdenticalArtifacts:
             assert store.stats.misses == 0 and store.stats.hits == 4
 
 
+class TestMetricsParity:
+    """The registry merge seam is backend-invariant: identical
+    non-volatile snapshots for the same graph across all backends."""
+
+    @staticmethod
+    def _run(backend, root):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        store = ArtifactStore(root=root)
+        run_graph(COMPONENTS, workers=2, store=store,
+                  runner=arith_runner, keyer=arith_keyer,
+                  backend=backend, metrics=registry)
+        return registry
+
+    def test_cold_snapshots_identical_across_backends(self, tmp_path):
+        snapshots = {
+            backend: self._run(backend, tmp_path / backend)
+            .snapshot(include_volatile=False)
+            for backend in BACKENDS
+        }
+        baseline = snapshots["inline"]
+        names = {e["name"] for e in baseline["metrics"]}
+        assert {"engine_cache", "engine_stages_executed",
+                "engine_store_ops"} <= names
+        for backend in BACKENDS:
+            assert snapshots[backend] == baseline, backend
+
+    def test_warm_snapshots_identical_across_backends(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        run_graph(COMPONENTS, workers=2, store=store,
+                  runner=arith_runner, keyer=arith_keyer, backend="inline")
+        snapshots = {}
+        for backend in BACKENDS:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+            run_graph(COMPONENTS, workers=2, store=store,
+                      runner=arith_runner, keyer=arith_keyer,
+                      backend=backend, metrics=registry)
+            snapshots[backend] = registry.snapshot(include_volatile=False)
+        baseline = snapshots["inline"]
+        entries = {e["name"]: e for e in baseline["metrics"]}
+        assert entries["engine_cache"]["data"]["values"] == \
+            {"hit": len(COMPONENTS)}
+        for backend in BACKENDS:
+            assert snapshots[backend] == baseline, backend
+
+    def test_volatile_metrics_present_but_excluded(self, tmp_path):
+        registry = self._run("thread", tmp_path)
+        full = {e["name"] for e in registry.snapshot()["metrics"]}
+        stable = {e["name"] for e in
+                  registry.snapshot(include_volatile=False)["metrics"]}
+        assert "engine_dispatch_seconds" in full
+        assert "engine_dispatch_seconds" not in stable
+        assert "engine_ready_depth" not in stable
+
+
 class TestResolution:
     def test_registry_names(self):
         assert set(BACKENDS) <= set(backend_names())

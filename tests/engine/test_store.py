@@ -315,7 +315,8 @@ class TestByStage:
         assert store.by_stage() == {
             "(unknown)": {"entries": 1,
                           "bytes": store.path_for(key).stat().st_size,
-                          "mean_seconds": None}
+                          "mean_seconds": None,
+                          "timed_entries": 0}
         }
 
     def test_stage_survives_export_import(self, store, tmp_path):
@@ -327,7 +328,8 @@ class TestByStage:
         assert other.by_stage() == {
             "replay": {"entries": 1,
                        "bytes": other.path_for(key).stat().st_size,
-                       "mean_seconds": None}
+                       "mean_seconds": None,
+                       "timed_entries": 0}
         }
 
     def test_stats_cli_by_stage(self, store, capsys):
@@ -337,6 +339,28 @@ class TestByStage:
         out = capsys.readouterr().out
         assert "entries:     4" in out
         assert "compile" in out and "replay" in out and "(unknown)" in out
+
+    def test_breakdown_counts_timed_entries(self, store):
+        store.put(store.key_for("compile", source_sha="a"), 1,
+                  stage="compile", seconds=0.25)
+        store.put(store.key_for("compile", source_sha="b"), 2,
+                  stage="compile", seconds=0.75)
+        store.put(store.key_for("compile", source_sha="c"), 3,
+                  stage="compile")  # untimed
+        bucket = store.by_stage()["compile"]
+        assert bucket["entries"] == 3
+        assert bucket["timed_entries"] == 2
+        assert bucket["mean_seconds"] == pytest.approx(0.5)
+
+    def test_stats_cli_by_stage_prints_sample_counts(self, store, capsys):
+        store.put(store.key_for("replay", source_sha="a", machine="m"),
+                  1, stage="replay", seconds=0.5)
+        store.put(store.key_for("replay", source_sha="b", machine="m"),
+                  2, stage="replay", seconds=1.5)
+        assert main(["--cache-dir", str(store.root), "stats",
+                     "--by-stage"]) == 0
+        out = capsys.readouterr().out
+        assert "mean over 2 sample(s)" in out
 
     def test_stats_cli_totals_only(self, store, capsys):
         self._seed(store)

@@ -38,6 +38,28 @@ class TestRun:
                      "--backend", "shard", "--workers", "2"]) == 0
         assert "0 point(s) scored, 2 resumed" in capsys.readouterr()[0]
 
+    def test_trace_flag_writes_stage_spans(self, tmp_path, capsys):
+        """Acceptance: a shard-backend sweep leaves one merged metrics
+        snapshot and one trace whose stage spans cover the graph."""
+        import json
+
+        trace_path = tmp_path / "sweep-trace.json"
+        # Private cache dir: a warm store would satisfy every node from
+        # probes, leaving no executed stages to assert on.
+        assert main(["run", "--preset", "smoke", "--n", "1",
+                     "--backend", "shard", "--workers", "2",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--trace", str(trace_path)]) == 0
+        _, err = capsys.readouterr()
+        assert "span(s)" in err
+        trace = json.loads(trace_path.read_text())
+        assert trace["format"] == "repro-trace"
+        cats = {s["cat"] for s in trace["spans"]}
+        assert {"compile", "run", "profile", "replay"} <= cats
+        names = {e["name"] for e in trace["metrics"]["metrics"]}
+        assert {"engine_cache", "engine_stages_executed",
+                "engine_store_ops"} <= names
+
     def test_backend_thread_matches_inline(self, capsys):
         assert main(["run", "--preset", "smoke", "--n", "1",
                      "--backend", "thread", "--workers", "2"]) == 0

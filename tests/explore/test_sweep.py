@@ -50,6 +50,23 @@ class TestScoring:
         assert metrics["org_instructions"] > \
             metrics["syn_instructions"]  # clones are much shorter
 
+    def test_score_point_reports_distribution_divergence(self, engine):
+        """Acceptance: scoring carries >= 1 distribution-divergence
+        component from the simulator exp-histograms, not just scalars."""
+        point = TINY.space.points()[0]
+        metrics = score_point(point, PAIRS, engine)
+        divergences = [name for name in ("mem_lat_div", "branch_run_div")
+                       if name in metrics]
+        assert divergences, "no distribution-divergence component scored"
+        for name in divergences:
+            assert 0.0 <= metrics[name] <= 1.0
+
+    def test_score_averages_divergence_components(self):
+        with_div = _score({"cpi_err": 0.2, "mem_lat_div": 0.8})
+        assert with_div == pytest.approx(0.5)
+        # Absent divergences (pre-histogram artifacts) drop cleanly.
+        assert _score({"cpi_err": 0.2}) == pytest.approx(0.2)
+
 
 class TestRelErr:
     def test_normal_relative_error(self):

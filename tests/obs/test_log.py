@@ -1,0 +1,85 @@
+"""Structured logging: line shape, level gating, env-var default."""
+
+import io
+import re
+
+from repro.obs.log import LOG_LEVEL_ENV, StructuredLogger, env_level
+
+LINE = re.compile(
+    r"^\[(?P<name>[^\]]+)\] "
+    r"(?P<stamp>\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z) "
+    r"(?P<level>DEBUG|INFO|WARNING|ERROR)"
+    r"(?: job=(?P<job>\S+))? "
+    r"(?P<message>.*)$"
+)
+
+
+def _logger(level=None):
+    stream = io.StringIO()
+    return StructuredLogger("repro-test", stream=stream, level=level), stream
+
+
+class TestLineShape:
+    def test_basic_line(self):
+        log, stream = _logger()
+        log("hello world")
+        match = LINE.match(stream.getvalue().rstrip("\n"))
+        assert match is not None
+        assert match["name"] == "repro-test"
+        assert match["level"] == "INFO"
+        assert match["message"] == "hello world"
+        assert match["job"] is None
+
+    def test_job_id_included(self):
+        log, stream = _logger()
+        log.error("failed", job="j-0001")
+        match = LINE.match(stream.getvalue().rstrip("\n"))
+        assert match["level"] == "ERROR"
+        assert match["job"] == "j-0001"
+
+    def test_grep_compatible_prefix(self):
+        # CI greps for "[repro-serve] " + a message substring; the name
+        # must lead the line and the message must appear verbatim.
+        stream = io.StringIO()
+        StructuredLogger("repro-serve", stream=stream)(
+            "listening on http://127.0.0.1:8023")
+        line = stream.getvalue()
+        assert line.startswith("[repro-serve] ")
+        assert "listening on http://127.0.0.1:8023" in line
+
+
+class TestLevelGating:
+    def test_below_threshold_suppressed(self):
+        log, stream = _logger(level="warning")
+        log.info("quiet")
+        log.debug("quieter")
+        log.warning("loud")
+        lines = stream.getvalue().splitlines()
+        assert len(lines) == 1
+        assert "loud" in lines[0]
+
+    def test_default_level_hides_debug(self):
+        log, stream = _logger()
+        log.debug("hidden")
+        assert stream.getvalue() == ""
+
+    def test_unknown_level_falls_back_to_info(self):
+        log, _ = _logger(level="chatty")
+        assert log.level == "info"
+
+
+class TestEnvLevel:
+    def test_env_var_respected(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "debug")
+        assert env_level() == "debug"
+        log, stream = _logger()
+        log.debug("visible now")
+        assert "visible now" in stream.getvalue()
+
+    def test_unset_defaults_to_info(self, monkeypatch):
+        monkeypatch.delenv(LOG_LEVEL_ENV, raising=False)
+        assert env_level() == "info"
+
+    def test_garbage_value_defaults_to_info(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV, "verbose")
+        assert env_level() == "info"

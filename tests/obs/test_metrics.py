@@ -1,0 +1,246 @@
+"""The metrics registry: deterministic snapshots, commutative merge,
+Prometheus rendering, and the histogram-dict helpers the sweep scores
+with."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    ExpHistogram,
+    LatencyMeasurer,
+    MetricsRegistry,
+    TaggedCounter,
+    bucket_index,
+    hist_distance,
+    merge_hist_data,
+)
+
+
+class TestBucketIndex:
+    def test_powers_of_two_boundaries(self):
+        # Bucket k covers [2**(k-1), 2**k).
+        assert bucket_index(1.0) == 1
+        assert bucket_index(1.999) == 1
+        assert bucket_index(2.0) == 2
+        assert bucket_index(4.0) == 3
+
+    def test_non_positive_values_land_in_bucket_zero(self):
+        assert bucket_index(0.0) == 0
+        assert bucket_index(-3.0) == 0
+
+    def test_sub_unit_floats_use_negative_exponents(self):
+        # 1.5 ms: 2**-10 <= v < 2**-9.
+        assert bucket_index(0.0015) == -9
+        k = bucket_index(0.75)
+        assert 2.0 ** (k - 1) <= 0.75 < 2.0 ** k
+
+
+class TestMetricKinds:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.snapshot_data() == {"value": 5}
+        c.merge_data({"value": 3})
+        assert c.value == 8
+
+    def test_tagged_counter(self):
+        t = TaggedCounter(label="stage")
+        t.inc("compile")
+        t.inc("run", 2)
+        data = t.snapshot_data()
+        assert data == {"label": "stage",
+                        "values": {"compile": 1, "run": 2}}
+        t.merge_data({"values": {"run": 1, "profile": 5}})
+        assert t.values == {"compile": 1, "run": 3, "profile": 5}
+
+    def test_exp_histogram_tracks_count_sum_min_max(self):
+        h = ExpHistogram()
+        for v in (0.5, 1.5, 3.0, 3.5):
+            h.add(v)
+        data = h.snapshot_data()
+        assert data["count"] == 4
+        assert data["sum"] == pytest.approx(8.5)
+        assert data["min"] == 0.5
+        assert data["max"] == 3.5
+        assert data["buckets"] == {0: 1, 1: 1, 2: 2}
+        assert h.mean == pytest.approx(8.5 / 4)
+
+    def test_exp_histogram_bucket_keys_are_ints(self):
+        # Int keys pickle by value — the byte-identical-artifact
+        # invariant depends on this.
+        h = ExpHistogram()
+        h.add(3.0)
+        assert all(isinstance(k, int)
+                   for k in h.snapshot_data()["buckets"])
+
+    def test_exp_histogram_merge_accepts_json_round_trip(self):
+        h = ExpHistogram()
+        h.add(1.0)
+        other = ExpHistogram()
+        other.add(8.0)
+        # JSON coerces int keys to strings; merge must normalize.
+        h.merge_data(json.loads(json.dumps(other.snapshot_data())))
+        assert h.count == 2
+        assert h.buckets == {1: 1, 4: 1}
+        assert h.max == 8.0
+
+    def test_empty_histogram_merge(self):
+        h = ExpHistogram()
+        h.merge_data(ExpHistogram().snapshot_data())
+        assert h.count == 0
+        assert h.min is None and h.max is None
+
+    def test_latency_measurer_context_manager(self):
+        m = LatencyMeasurer()
+        with m:
+            math.sqrt(2.0)
+        m.observe(0.25)
+        assert m.hist.count == 2
+        assert m.snapshot_data()["count"] == 2
+
+
+class TestRegistry:
+    def test_count_and_observe_accessors(self):
+        reg = MetricsRegistry()
+        reg.count("jobs")
+        reg.count("jobs", 2)
+        reg.count("stages", tag="compile", label="stage")
+        reg.observe("depth", 3.0)
+        reg.observe_latency("lat", 0.01)
+        assert reg.counter("jobs").value == 3
+        assert reg.tagged("stages", label="stage").values == {"compile": 1}
+        assert reg.histogram("depth").count == 1
+        assert reg.latency("lat").hist.count == 1
+
+    def test_snapshot_is_deterministic_and_sorted(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for name in order:
+                reg.count(name)
+            return reg.snapshot()
+
+        a = build(["z", "a", "m"])
+        b = build(["m", "z", "a"])
+        assert a == b
+        assert [e["name"] for e in a["metrics"]] == ["a", "m", "z"]
+        assert a["format"] == "repro-metrics"
+
+    def test_volatile_metrics_dropped_on_request(self):
+        reg = MetricsRegistry()
+        reg.count("stable")
+        reg.observe("depth", 1.0, volatile=True)
+        reg.observe_latency("lat", 0.5)  # latency: always volatile
+        full = reg.snapshot()
+        stable = reg.snapshot(include_volatile=False)
+        assert {e["name"] for e in full["metrics"]} == \
+            {"stable", "depth", "lat"}
+        assert [e["name"] for e in stable["metrics"]] == ["stable"]
+
+    def test_merge_is_commutative(self):
+        def build(pairs):
+            reg = MetricsRegistry()
+            for name, n in pairs:
+                reg.count(name, n, tag="x", label="k")
+                reg.observe("h", float(n))
+            return reg
+
+        a1, b1 = build([("c", 1)]), build([("c", 2), ("d", 5)])
+        a2, b2 = build([("c", 1)]), build([("c", 2), ("d", 5)])
+        a1.merge(b1)
+        b2.merge(a2)
+        assert a1.snapshot() == b2.snapshot()
+
+    def test_merge_accepts_snapshot_dict(self):
+        a = MetricsRegistry()
+        a.count("c", 2)
+        b = MetricsRegistry()
+        b.merge(json.loads(json.dumps(a.snapshot())))
+        b.merge(a)
+        assert b.counter("c").value == 4
+
+    def test_merge_preserves_tagged_label(self):
+        a = MetricsRegistry()
+        a.count("stages", tag="compile", label="stage")
+        b = MetricsRegistry()
+        b.merge(a)
+        assert b.tagged("stages", label="stage").label == "stage"
+
+    def test_tags_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.count("ops", tags={"stage": "a"})
+        reg.count("ops", tags={"stage": "b"}, n=2)
+        entries = reg.snapshot()["metrics"]
+        assert [(e["tags"], e["data"]["value"]) for e in entries] == \
+            [({"stage": "a"}, 1), ({"stage": "b"}, 2)]
+
+
+class TestPrometheus:
+    def test_counter_and_tagged_lines(self):
+        reg = MetricsRegistry()
+        reg.count("serve_quota_rejections", 3)
+        reg.count("engine_stages_executed", tag="compile", label="stage")
+        text = reg.render_prometheus()
+        assert "# TYPE serve_quota_rejections counter" in text
+        assert "serve_quota_rejections 3" in text
+        assert 'engine_stages_executed{stage="compile"} 1' in text
+
+    def test_histogram_renders_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        for v in (1.5, 3.0, 3.5):
+            reg.observe("lat", v)
+        text = reg.render_prometheus()
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="2.0"} 1' in text
+        assert 'lat_bucket{le="4.0"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
+        assert "lat_count 3" in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.count("c", tag='with"quote', label="k")
+        assert 'k="with\\"quote"' in reg.render_prometheus()
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+
+
+class TestHistHelpers:
+    def test_merge_hist_data_none_handling(self):
+        h = ExpHistogram()
+        h.add(1.0)
+        data = h.snapshot_data()
+        assert merge_hist_data(None, None) is None
+        assert merge_hist_data(data, None) == data
+        assert merge_hist_data(None, data) == data
+        merged = merge_hist_data(data, data)
+        assert merged["count"] == 2
+        assert merged["buckets"] == {1: 2}
+
+    def test_hist_distance_identical_is_zero(self):
+        h = ExpHistogram()
+        for v in (1.0, 2.0, 4.0):
+            h.add(v)
+        assert hist_distance(h.snapshot_data(), h.snapshot_data()) == 0.0
+
+    def test_hist_distance_disjoint_is_one(self):
+        a, b = ExpHistogram(), ExpHistogram()
+        a.add(1.0)
+        b.add(64.0)
+        assert hist_distance(a.snapshot_data(), b.snapshot_data()) == 1.0
+
+    def test_hist_distance_missing_or_empty_is_none(self):
+        h = ExpHistogram()
+        h.add(1.0)
+        data = h.snapshot_data()
+        assert hist_distance(None, data) is None
+        assert hist_distance(data, ExpHistogram().snapshot_data()) is None
+
+    def test_hist_distance_normalizes_str_keys(self):
+        h = ExpHistogram()
+        h.add(2.0)
+        via_json = json.loads(json.dumps(h.snapshot_data()))
+        assert hist_distance(h.snapshot_data(), via_json) == 0.0

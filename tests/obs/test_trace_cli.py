@@ -1,0 +1,60 @@
+"""The ``repro-trace`` CLI: summary, export, record delegation."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    tracer = Tracer()
+    tracer.add_span("t1", "compile", 0.0, 0.5, {"outcome": "executed"})
+    tracer.add_span("t2", "run", 0.5, 0.25, {"outcome": "hit"})
+    registry = MetricsRegistry()
+    registry.count("engine_cache", tag="hit", label="outcome")
+    registry.count("jobs", 2)
+    return tracer.save(tmp_path / "trace.json",
+                       metrics=registry.snapshot())
+
+
+class TestSummary:
+    def test_rollup_and_metrics(self, trace_file, capsys):
+        assert main(["summary", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "compile" in out and "run" in out
+        assert "2 metric(s) in embedded snapshot" in out
+        assert "engine_cache [tagged_counter] = {'hit': 1}" in out
+        assert "jobs [counter] = 2" in out
+
+    def test_empty_trace(self, tmp_path, capsys):
+        path = Tracer().save(tmp_path / "empty.json")
+        assert main(["summary", str(path)]) == 0
+        assert "no spans recorded" in capsys.readouterr().out
+
+
+class TestExport:
+    def test_chrome_json_parses(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "chrome.json"
+        assert main(["export", str(trace_file),
+                     "--out", str(out_path)]) == 0
+        chrome = json.loads(out_path.read_text())
+        assert len(chrome["traceEvents"]) == 2
+        assert {e["name"] for e in chrome["traceEvents"]} == {"t1", "t2"}
+        assert "wrote 2 events" in capsys.readouterr().out
+
+
+class TestRecord:
+    def test_figure_records_stage_spans(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
+        out = tmp_path / "trace.json"
+        assert main(["record", "--figure", "fig04", "--out", str(out),
+                     "--workers", "2"]) == 0
+        trace = json.loads(out.read_text())
+        cats = {s["cat"] for s in trace["spans"]}
+        assert {"compile", "run", "profile"} <= cats
+        assert "scheduler" in cats
+        assert trace["metrics"]["metrics"], "metrics snapshot embedded"

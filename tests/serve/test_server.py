@@ -385,3 +385,78 @@ class TestHTTP:
             assert exc_info.value.body["retry_after_seconds"] > 0
         finally:
             stop()
+
+
+class TestObservability:
+    def test_job_metrics_recorded(self, make_app):
+        app = make_app()
+        job, _, _ = app.submit(dict(REPLAY_REQUEST))
+        assert job.wait(timeout=60.0)
+        entries = {(e["name"], tuple(sorted(e["tags"].items()))): e
+                   for e in app.metrics.snapshot()["metrics"]}
+        assert entries[("serve_submissions", ())]["data"]["values"] == \
+            {"replay": 1}
+        latency = entries[("serve_job_seconds", (("kind", "replay"),))]
+        assert latency["data"]["count"] == 1
+        assert latency["volatile"] is True
+        assert entries[("serve_job_waiters", ())]["data"]["count"] == 1
+        store_ops = entries[("serve_store_ops", ())]["data"]["values"]
+        assert store_ops.get("misses", 0) > 0
+
+    def test_quota_rejection_counted(self, make_app):
+        app = make_app(quota_rate=0.001, quota_burst=1.0)
+        job, _, _ = app.submit(dict(REPLAY_REQUEST))
+        assert job.wait(timeout=60.0)
+        with pytest.raises(QuotaExceeded):
+            app.submit(dict(REPLAY_REQUEST))
+        assert app.metrics.counter("serve_quota_rejections").value == 1
+
+    def test_stats_includes_metrics_snapshot(self, make_app):
+        app = make_app()
+        stats = app.stats()
+        assert stats["metrics"]["format"] == "repro-metrics"
+
+    def test_metrics_text_includes_live_gauges(self, make_app):
+        app = make_app()
+        job, _, _ = app.submit(dict(REPLAY_REQUEST))
+        assert job.wait(timeout=60.0)
+        text = app.metrics_text()
+        assert 'repro_store_ops_total{op="misses"}' in text
+        assert "repro_serve_submission_coalescer_hits 0" in text
+        assert "repro_serve_node_coalescer_executed" in text
+        assert "repro_serve_quota_enabled 0" in text
+        assert "repro_serve_jobs_live 0" in text
+        assert 'serve_submissions{kind="replay"} 1' in text
+        assert "serve_job_seconds_count" in text
+
+    def test_http_metrics_endpoint(self, live_server):
+        import http.client
+
+        app, server, client = live_server
+        reply = client.submit(dict(REPLAY_REQUEST))
+        client.wait(reply["job"], timeout=60.0)
+        conn = http.client.HTTPConnection("127.0.0.1", server.port,
+                                          timeout=10)
+        conn.request("GET", "/v1/metrics")
+        response = conn.getresponse()
+        body = response.read().decode()
+        conn.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert "# TYPE serve_submissions counter" in body
+        assert "repro_store_ops_total" in body
+        assert "repro_serve_quota_denied_total 0" in body
+        assert "serve_job_seconds_bucket" in body
+
+    def test_default_log_is_structured(self, make_app):
+        from repro.obs.log import StructuredLogger
+
+        app = make_app(log=None)
+        assert isinstance(app.log, StructuredLogger)
+        assert app.log.name == "repro-serve"
+
+    def test_log_helper_falls_back_to_plain_callable(self, make_app):
+        lines = []
+        app = make_app(log=lines.append)
+        app._log("plain sink", level="error")
+        assert lines == ["plain sink"]

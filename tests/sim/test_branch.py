@@ -89,3 +89,36 @@ class TestHybrid:
     def test_default_predictor_is_hybrid(self):
         result = simulate_predictor(make_log([True] * 10))
         assert result.branches == 10
+
+
+class TestRunHistogram:
+    def test_mispredicts_record_run_lengths(self):
+        predictor = HybridPredictor()
+        # Alternating pattern at one PC: early mispredicts while the
+        # tables train, so at least one run gets flushed.
+        simulate_predictor(make_log([bool(i % 2) for i in range(64)]),
+                           predictor)
+        predictor.finalize_runs()
+        data = predictor.run_hist.snapshot_data()
+        assert data["count"] > 0
+        assert sum(data["buckets"].values()) == data["count"]
+
+    def test_finalize_flushes_trailing_run(self):
+        predictor = HybridPredictor()
+        simulate_predictor(make_log([True] * 50), predictor)
+        before = predictor.run_hist.count
+        predictor.finalize_runs()
+        assert predictor.run_hist.count >= before
+        # A second finalize is a no-op.
+        after = predictor.run_hist.count
+        predictor.finalize_runs()
+        assert predictor.run_hist.count == after
+
+    def test_run_count_matches_mispredicts_plus_tail(self):
+        predictor = HybridPredictor()
+        result = simulate_predictor(
+            make_log([bool((i // 3) % 2) for i in range(90)]), predictor)
+        predictor.finalize_runs()
+        # One run recorded per mispredict, plus at most one trailing run.
+        assert result.misses <= predictor.run_hist.count \
+            <= result.misses + 1

@@ -110,3 +110,21 @@ class TestSweep:
     def test_counters_sum_to_accesses(self, addrs):
         cache = simulate_cache(addrs, CacheConfig(2048, 32, 4))
         assert cache.hits + cache.misses == len(addrs)
+
+
+class TestLatencyHistogram:
+    def test_record_latency_populates_histogram(self):
+        cache = Cache(CacheConfig(1024, 32, 2))
+        for cycles in (2, 2, 12, 120):
+            cache.record_latency(cycles)
+        data = cache.latency_hist.snapshot_data()
+        assert data["count"] == 4
+        assert data["min"] == 2
+        assert data["max"] == 120
+        assert sum(data["buckets"].values()) == 4
+
+    def test_reset_clears_histogram(self):
+        cache = Cache(CacheConfig(1024, 32, 2))
+        cache.record_latency(5)
+        cache.reset()
+        assert cache.latency_hist.count == 0

@@ -199,3 +199,41 @@ class TestDecodeCache:
         trace = run_source(fib_source)
         decoded = decode_binary(trace.binary)
         assert all(isinstance(op, DecodedOp) for op in decoded[0])
+
+
+class TestResultHistograms:
+    """TimingResult carries the simulator latency/run distributions the
+    sweep scores as divergence components."""
+
+    def test_memory_code_fills_mem_latency_histogram(self):
+        model = OutOfOrderModel(TimingConfig(
+            l1=CacheConfig(4096, 32, 2), l2=None, memory_cycles=100))
+        trace = run_source(MEMORY_STREAM)
+        result = model.simulate(trace)
+        hist = result.mem_lat_hist
+        assert hist is not None
+        assert hist["count"] > 0
+        assert hist["max"] >= hist["min"] > 0
+        assert all(isinstance(k, int) for k in hist["buckets"])
+
+    def test_branchy_code_fills_run_histogram(self):
+        model = OutOfOrderModel(TimingConfig())
+        trace = run_source(DEPENDENT_CHAIN)
+        result = model.simulate(trace)
+        assert result.branch_run_hist is not None
+        assert result.branch_run_hist["count"] > 0
+
+    def test_in_order_model_also_records(self):
+        model = InOrderModel(TimingConfig(l1=CacheConfig(4096, 32, 2)))
+        trace = run_source(MEMORY_STREAM)
+        result = model.simulate(trace)
+        assert result.mem_lat_hist is not None
+        assert result.mem_lat_hist["count"] > 0
+
+    def test_repeat_simulation_is_deterministic(self):
+        model = OutOfOrderModel(TimingConfig())
+        trace = run_source(DEPENDENT_CHAIN)
+        first = model.simulate(trace)
+        second = model.simulate(trace)
+        assert first.mem_lat_hist == second.mem_lat_hist
+        assert first.branch_run_hist == second.branch_run_hist
