@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""CI perf-trajectory summary for the ``BENCH_engine.json`` artifact.
+
+Writes a markdown per-benchmark delta table (and, when present, the
+replay-kernel throughput table) to ``$GITHUB_STEP_SUMMARY`` — falling
+back to stdout outside Actions — by diffing the current run against the
+previous run's artifact, in the spirit of coreblocks'
+``ci/print_benchmark_summary.py``:
+
+    python scripts/print_bench_summary.py BENCH_engine.json \
+        --baseline previous/BENCH_engine.json
+
+Comparison is cache-aware (:mod:`repro.engine.bench`): warm-replay
+speedups and cache-state flips are labelled as such, and only genuine
+compute slowdowns can fail the job.  The exit code is non-zero when any
+**cold-path** benchmark (a run that did real compute, not a store
+replay) regressed by more than ``--threshold`` (default 25%).  Without
+a baseline — the first run, or an expired artifact — the script prints
+the current numbers and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engine.bench import (  # noqa: E402
+    BenchRecord,
+    compare_baselines,
+    load_benchmark_json,
+    replay_records,
+)
+
+#: Relative slowdown past which a cold-path benchmark fails the job.
+DEFAULT_THRESHOLD = 0.25
+
+_VERDICT_LABELS = {
+    "compute-regression": ":red_circle: regression",
+    "compute-improvement": ":green_circle: improvement",
+    "stable": "stable",
+    "cache-speedup": "cache speedup",
+    "cache-cold": "cache cold",
+    "new": "new",
+    "missing": "missing",
+}
+
+
+def _fmt_seconds(value: float | None) -> str:
+    return f"{value:.3f}" if value is not None else "-"
+
+
+def _fmt_delta(ratio: float) -> str:
+    if math.isnan(ratio):
+        return "-"
+    return f"{(ratio - 1):+.1%}"
+
+
+def delta_table(old: dict[str, BenchRecord], new: dict[str, BenchRecord],
+                threshold: float) -> tuple[str, list[str]]:
+    """(markdown table, names of failing cold-path regressions)."""
+    verdicts = compare_baselines(old, new, tolerance=threshold)
+    lines = [
+        "| benchmark | mode | baseline (s) | current (s) | delta | verdict |",
+        "| --- | --- | --- | --- | ---: | --- |",
+    ]
+    failures = []
+    for verdict in verdicts:
+        old_mean = old[verdict.name].mean if verdict.name in old else None
+        new_mean = new[verdict.name].mean if verdict.name in new else None
+        mode = f"{verdict.old_mode}->{verdict.new_mode}"
+        label = _VERDICT_LABELS.get(verdict.verdict, verdict.verdict)
+        lines.append(
+            f"| `{verdict.name}` | {mode} | {_fmt_seconds(old_mean)} | "
+            f"{_fmt_seconds(new_mean)} | {_fmt_delta(verdict.ratio)} | "
+            f"{label} |"
+        )
+        # Only cold-path compute regressions gate the job: a warm run
+        # that slowed down is already classified against its own mode.
+        if verdict.verdict == "compute-regression" \
+                and verdict.new_mode != "warm":
+            failures.append(verdict.name)
+    return "\n".join(lines), failures
+
+
+def replay_table(records: dict[str, BenchRecord],
+                 baseline: dict[str, BenchRecord] | None) -> str:
+    """Markdown replay-kernel throughput table with baseline deltas."""
+    rows = replay_records(records)
+    if not rows:
+        return ""
+    base_by_name = baseline or {}
+    lines = [
+        "",
+        "### Replay-kernel throughput",
+        "",
+        "| machine | kernel | instrs/sec | vs baseline |",
+        "| --- | --- | ---: | ---: |",
+    ]
+    for record in rows:
+        info = record.replay
+        prev = base_by_name.get(record.name)
+        if prev is not None and prev.replay.get("instrs_per_sec"):
+            ratio = info["instrs_per_sec"] / prev.replay["instrs_per_sec"]
+            delta = f"{(ratio - 1):+.1%}"
+        else:
+            delta = "-"
+        lines.append(
+            f"| {info['machine']} | {info['kernel']} | "
+            f"{info['instrs_per_sec']:,.0f} | {delta} |"
+        )
+    return "\n".join(lines)
+
+
+def build_summary(current_path: str, baseline_path: str | None,
+                  threshold: float) -> tuple[str, list[str]]:
+    current = load_benchmark_json(current_path)
+    sections = ["## Engine benchmark trajectory", ""]
+    failures: list[str] = []
+    baseline = None
+    if baseline_path and Path(baseline_path).is_file():
+        baseline = load_benchmark_json(baseline_path)
+        table, failures = delta_table(baseline, current, threshold)
+        sections.append(table)
+    else:
+        sections.append("_No baseline artifact — first run or expired; "
+                        "recording current numbers only._")
+        sections.append("")
+        sections.append("| benchmark | mode | current (s) |")
+        sections.append("| --- | --- | ---: |")
+        for name in sorted(current):
+            record = current[name]
+            sections.append(f"| `{name}` | {record.mode} | "
+                            f"{_fmt_seconds(record.mean)} |")
+    replay = replay_table(current, baseline)
+    if replay:
+        sections.append(replay)
+    if failures:
+        sections.append("")
+        sections.append(f":rotating_light: **{len(failures)} cold-path "
+                        f"regression(s) over {threshold:.0%}:** "
+                        + ", ".join(f"`{name}`" for name in failures))
+    return "\n".join(sections) + "\n", failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="this run's BENCH_engine.json")
+    parser.add_argument("--baseline", default=None,
+                        help="previous run's artifact (absent: no diff)")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="cold-path failure threshold "
+                             "(default: %(default)s)")
+    parser.add_argument("--output", default=None,
+                        help="summary destination (default: "
+                             "$GITHUB_STEP_SUMMARY, else stdout)")
+    args = parser.parse_args(argv)
+
+    summary, failures = build_summary(args.current, args.baseline,
+                                      args.threshold)
+    out_path = args.output or os.environ.get("GITHUB_STEP_SUMMARY")
+    if out_path:
+        with open(out_path, "a", encoding="utf-8") as handle:
+            handle.write(summary)
+    print(summary)
+    if failures:
+        print(f"FAIL: {len(failures)} cold-path regression(s) "
+              f"over {args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

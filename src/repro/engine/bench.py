@@ -17,15 +17,17 @@ something a compute regression/improvement when both sides ran in the
 same mode; :func:`split_cold_warm` splits one mixed baseline file into
 the cold/warm pair that later runs should be compared against.
 
-CLI: ``python -m repro.engine.bench compare OLD.json NEW.json`` and
-``python -m repro.engine.bench split BENCH.json [--out-dir DIR]``.
+CLI: ``python -m repro.engine.bench compare OLD.json NEW.json``,
+``python -m repro.engine.bench split BENCH.json [--out-dir DIR]`` and
+``python -m repro.engine.bench replay BENCH.json`` (the replay-kernel
+throughput table recorded by ``benchmarks/bench_replay_kernels.py``).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 
 #: Relative timing change below which same-mode runs count as stable.
@@ -45,11 +47,17 @@ def cache_mode(cache: dict | None) -> str:
 
 @dataclass(frozen=True)
 class BenchRecord:
-    """One benchmark measurement: mean seconds + cache-counter deltas."""
+    """One benchmark measurement: mean seconds + cache-counter deltas.
+
+    ``replay`` carries the replay-kernel metadata the
+    ``bench_replay_kernels`` benchmarks record (kernel, machine,
+    instruction count, instrs/sec) — empty for every other benchmark.
+    """
 
     name: str
     mean: float
     cache: dict
+    replay: dict = dataclass_field(default_factory=dict)
 
     @property
     def mode(self) -> str:
@@ -78,10 +86,12 @@ def load_benchmark_json(path: Path | str) -> dict[str, BenchRecord]:
 def records_from_data(data: dict) -> dict[str, BenchRecord]:
     records: dict[str, BenchRecord] = {}
     for bench in data.get("benchmarks", ()):
+        extra = bench.get("extra_info") or {}
         records[bench["name"]] = BenchRecord(
             name=bench["name"],
             mean=bench["stats"]["mean"],
-            cache=(bench.get("extra_info") or {}).get("cache") or {},
+            cache=extra.get("cache") or {},
+            replay=extra.get("replay") or {},
         )
     return records
 
@@ -178,6 +188,43 @@ def write_cold_warm_pair(json_path: Path | str,
     return cold_path, warm_path
 
 
+def replay_records(records: dict[str, BenchRecord]) -> list[BenchRecord]:
+    """The replay-kernel measurements in *records* (throughput rows
+    first, grouped by machine, python before numpy)."""
+    kernel_order = {"python": 0, "numpy-cold": 1, "numpy-warm": 2}
+    rows = [r for r in records.values()
+            if r.replay and "instrs_per_sec" in r.replay]
+    rows.sort(key=lambda r: (r.replay.get("machine", ""),
+                             kernel_order.get(r.replay.get("kernel"), 9)))
+    return rows
+
+
+def format_replay_table(records: dict[str, BenchRecord]) -> str:
+    """Python-vs-numpy replay throughput per machine config.
+
+    The speedup column compares each numpy row against the same
+    machine's python row from the same file.
+    """
+    rows = replay_records(records)
+    if not rows:
+        return "(no replay-kernel records)"
+    python_secs = {r.replay["machine"]: r.mean for r in rows
+                   if r.replay.get("kernel") == "python"}
+    lines = [f"{'machine':<20} {'kernel':<12} {'instrs/sec':>14} "
+             f"{'seconds':>9} {'speedup':>8}"]
+    for record in rows:
+        info = record.replay
+        base = python_secs.get(info["machine"])
+        speedup = (f"{base / record.mean:.1f}x"
+                   if base and info["kernel"] != "python" else "-")
+        lines.append(
+            f"{info['machine']:<20} {info['kernel']:<12} "
+            f"{info['instrs_per_sec']:>14,.0f} {record.mean:>9.3f} "
+            f"{speedup:>8}"
+        )
+    return "\n".join(lines)
+
+
 def format_verdicts(verdicts: list[Verdict]) -> str:
     lines = []
     for v in verdicts:
@@ -207,8 +254,16 @@ def main(argv=None) -> int:
     )
     split.add_argument("json_path")
     split.add_argument("--out-dir", default=None)
+    replay = sub.add_parser(
+        "replay",
+        help="print the replay-kernel throughput table of a baseline",
+    )
+    replay.add_argument("json_path")
     args = parser.parse_args(argv)
 
+    if args.command == "replay":
+        print(format_replay_table(load_benchmark_json(args.json_path)))
+        return 0
     if args.command == "compare":
         verdicts = compare_baselines(
             load_benchmark_json(args.old), load_benchmark_json(args.new),

@@ -107,6 +107,20 @@ class MachineLoop:
         return depth
 
 
+def loop_header_gbids(binary) -> list[int]:
+    """Global block ids of every natural-loop header in *binary*.
+
+    The replay kernels use these as anchors for periodic-region
+    detection: a steady-state loop shows up in the dynamic block
+    sequence as equally spaced occurrences of its header block.
+    """
+    headers: list[int] = []
+    for func in binary.functions:
+        for loop in find_machine_loops(func):
+            headers.append(func.blocks[loop.header].gbid)
+    return sorted(set(headers))
+
+
 def find_machine_loops(func: MachineFunction) -> list[MachineLoop]:
     """Natural loops of one machine function, outermost-first."""
     if not func.blocks:

@@ -112,13 +112,38 @@ def sweep_cache_sizes(
 ) -> dict[int, float]:
     """Hit rate per cache size for one recorded address stream.
 
-    All configurations are evaluated in a single pass over the stream.
+    All configurations are evaluated in a single pass over the stream,
+    with the per-config geometry (line shift, set count, LRU state)
+    hoisted out of the access loop: every config shares one line-number
+    computation per address instead of re-deriving shift and set masks
+    inside ``Cache.access`` for each of them.  Results are pinned
+    against per-config :class:`Cache` replays by the regression suite.
     """
-    caches = [
-        Cache(CacheConfig(size, line_bytes, associativity)) for size in sizes_bytes
+    configs = [
+        CacheConfig(size, line_bytes, associativity) for size in sizes_bytes
     ]
-    accessors = [cache.access for cache in caches]
+    shift = line_bytes.bit_length() - 1
+    assoc = associativity
+    states = list(enumerate(
+        (config.num_sets, [dict() for _ in range(config.num_sets)])
+        for config in configs))
+    hits = [0] * len(configs)
+    misses = [0] * len(configs)
     for addr in addresses:
-        for access in accessors:
-            access(addr)
-    return {cache.config.size_bytes: cache.hit_rate for cache in caches}
+        line = addr >> shift
+        for i, (num_sets, sets) in states:
+            ways = sets[line % num_sets]
+            if line in ways:
+                del ways[line]  # refresh LRU position
+                ways[line] = None
+                hits[i] += 1
+            else:
+                misses[i] += 1
+                if len(ways) >= assoc:
+                    ways.pop(next(iter(ways)))
+                ways[line] = None
+    results = {}
+    for config, hit, miss in zip(configs, hits, misses):
+        total = hit + miss
+        results[config.size_bytes] = hit / total if total else 1.0
+    return results

@@ -24,6 +24,8 @@ from repro.sim.trace import ExecutionTrace
 class InOrderModel(TimingModel):
     """Strictly in-order pipeline with operand scoreboarding."""
 
+    kernel_kind = "inorder"
+
     def replay(self, trace: ExecutionTrace,
                decoded: DecodedBinary) -> TimingResult:
         config = self.config

@@ -44,6 +44,8 @@ from repro.sim.trace import ExecutionTrace
 class OutOfOrderModel(TimingModel):
     """Scoreboard out-of-order pipeline."""
 
+    kernel_kind = "ooo"
+
     def replay(self, trace: ExecutionTrace,
                decoded: DecodedBinary) -> TimingResult:
         config = self.config

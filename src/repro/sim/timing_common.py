@@ -66,6 +66,11 @@ class TimingConfig:
     mispredict_penalty: int = 12
     predictor_entries: int = 4096
     latencies: dict = field(default_factory=lambda: dict(DEFAULT_LATENCIES))
+    #: Replay kernel: "python", "numpy" or "auto"; ``None`` defers to
+    #: the ``REPRO_SIM_KERNEL`` environment variable (default "auto").
+    #: Not a microarchitecture axis — kernels are byte-identical, so
+    #: content addressing (``MachineSpec.fingerprint``) ignores it.
+    kernel: str | None = None
 
 
 @dataclass
@@ -275,11 +280,20 @@ class TimingModel:
     (so callers holding a cached decode skip even the cache probe).
     """
 
+    #: Set by subclasses the batched kernels understand ("inorder" /
+    #: "ooo"); models that leave it unset always replay in python.
+    kernel_kind: str | None = None
+
     def __init__(self, config: TimingConfig | None = None):
         self.config = config or TimingConfig()
 
     def simulate(self, trace) -> TimingResult:
-        return self.replay(trace, decode_binary(trace.binary))
+        decoded = decode_binary(trace.binary)
+        from repro.sim import kernels  # deferred: kernels imports this module
+
+        if kernels.select_kernel(self, trace) == "numpy":
+            return kernels.replay_trace(self, trace, decoded)
+        return self.replay(trace, decoded)
 
     def replay(self, trace, decoded: DecodedBinary) -> TimingResult:
         raise NotImplementedError

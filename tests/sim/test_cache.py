@@ -111,6 +111,27 @@ class TestSweep:
         cache = simulate_cache(addrs, CacheConfig(2048, 32, 4))
         assert cache.hits + cache.misses == len(addrs)
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 1 << 18), min_size=0, max_size=400),
+        st.sampled_from([16, 32, 64]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    def test_sweep_matches_per_config_cache_replay(self, addrs, line,
+                                                   assoc):
+        """Pin the single-pass sweep (hoisted shift/set geometry)
+        against a per-config :class:`Cache` replay of the same stream —
+        hit rates must agree exactly for every size."""
+        sizes = [512, 2048, 8192, 64 * 1024]
+        swept = sweep_cache_sizes(addrs, sizes, line_bytes=line,
+                                  associativity=assoc)
+        for size in sizes:
+            cache = simulate_cache(addrs, CacheConfig(size, line, assoc))
+            assert swept[size] == cache.hit_rate, (size, line, assoc)
+
+    def test_sweep_empty_stream_reports_unit_hit_rate(self):
+        assert sweep_cache_sizes([], [1024]) == {1024: 1.0}
+
 
 class TestLatencyHistogram:
     def test_record_latency_populates_histogram(self):
