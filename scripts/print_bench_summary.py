@@ -2,7 +2,8 @@
 """CI perf-trajectory summary for the ``BENCH_engine.json`` artifact.
 
 Writes a markdown per-benchmark delta table (and, when present, the
-replay-kernel throughput table) to ``$GITHUB_STEP_SUMMARY`` — falling
+replay-kernel and functional-execution throughput tables) to
+``$GITHUB_STEP_SUMMARY`` — falling
 back to stdout outside Actions — by diffing the current run against the
 previous run's artifact, in the spirit of coreblocks'
 ``ci/print_benchmark_summary.py``:
@@ -32,6 +33,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 from repro.engine.bench import (  # noqa: E402
     BenchRecord,
     compare_baselines,
+    functional_records,
     load_benchmark_json,
     replay_records,
 )
@@ -116,6 +118,35 @@ def replay_table(records: dict[str, BenchRecord],
     return "\n".join(lines)
 
 
+def functional_table(records: dict[str, BenchRecord],
+                     baseline: dict[str, BenchRecord] | None) -> str:
+    """Markdown execution-engine throughput table with baseline deltas."""
+    rows = functional_records(records)
+    if not rows:
+        return ""
+    base_by_name = baseline or {}
+    lines = [
+        "",
+        "### Functional-execution throughput",
+        "",
+        "| pair | engine | instrs/sec | vs baseline |",
+        "| --- | --- | ---: | ---: |",
+    ]
+    for record in rows:
+        info = record.functional
+        prev = base_by_name.get(record.name)
+        if prev is not None and prev.functional.get("instrs_per_sec"):
+            ratio = info["instrs_per_sec"] / prev.functional["instrs_per_sec"]
+            delta = f"{(ratio - 1):+.1%}"
+        else:
+            delta = "-"
+        lines.append(
+            f"| {info['pair']} | {info['engine']} | "
+            f"{info['instrs_per_sec']:,.0f} | {delta} |"
+        )
+    return "\n".join(lines)
+
+
 def build_summary(current_path: str, baseline_path: str | None,
                   threshold: float) -> tuple[str, list[str]]:
     current = load_benchmark_json(current_path)
@@ -139,6 +170,9 @@ def build_summary(current_path: str, baseline_path: str | None,
     replay = replay_table(current, baseline)
     if replay:
         sections.append(replay)
+    functional = functional_table(current, baseline)
+    if functional:
+        sections.append(functional)
     if failures:
         sections.append("")
         sections.append(f":rotating_light: **{len(failures)} cold-path "

@@ -18,9 +18,12 @@ same mode; :func:`split_cold_warm` splits one mixed baseline file into
 the cold/warm pair that later runs should be compared against.
 
 CLI: ``python -m repro.engine.bench compare OLD.json NEW.json``,
-``python -m repro.engine.bench split BENCH.json [--out-dir DIR]`` and
+``python -m repro.engine.bench split BENCH.json [--out-dir DIR]``,
 ``python -m repro.engine.bench replay BENCH.json`` (the replay-kernel
-throughput table recorded by ``benchmarks/bench_replay_kernels.py``).
+throughput table recorded by ``benchmarks/bench_replay_kernels.py``)
+and ``python -m repro.engine.bench functional BENCH.json`` (the
+python-vs-fast execution-engine table from
+``benchmarks/bench_functional.py``).
 """
 
 from __future__ import annotations
@@ -51,13 +54,16 @@ class BenchRecord:
 
     ``replay`` carries the replay-kernel metadata the
     ``bench_replay_kernels`` benchmarks record (kernel, machine,
-    instruction count, instrs/sec) — empty for every other benchmark.
+    instruction count, instrs/sec); ``functional`` carries the
+    execution-engine metadata from ``bench_functional`` (engine, pair,
+    instrs/sec).  Both are empty for every other benchmark.
     """
 
     name: str
     mean: float
     cache: dict
     replay: dict = dataclass_field(default_factory=dict)
+    functional: dict = dataclass_field(default_factory=dict)
 
     @property
     def mode(self) -> str:
@@ -92,6 +98,7 @@ def records_from_data(data: dict) -> dict[str, BenchRecord]:
             mean=bench["stats"]["mean"],
             cache=extra.get("cache") or {},
             replay=extra.get("replay") or {},
+            functional=extra.get("functional") or {},
         )
     return records
 
@@ -225,6 +232,43 @@ def format_replay_table(records: dict[str, BenchRecord]) -> str:
     return "\n".join(lines)
 
 
+def functional_records(records: dict[str, BenchRecord]) -> list[BenchRecord]:
+    """The execution-engine measurements in *records* (throughput rows
+    only, python before fast-cold before fast-warm)."""
+    engine_order = {"python": 0, "fast-cold": 1, "fast-warm": 2}
+    rows = [r for r in records.values()
+            if r.functional and "instrs_per_sec" in r.functional]
+    rows.sort(key=lambda r: (r.functional.get("pair", ""),
+                             engine_order.get(r.functional.get("engine"), 9)))
+    return rows
+
+
+def format_functional_table(records: dict[str, BenchRecord]) -> str:
+    """Python-vs-fast functional execution throughput per workload pair.
+
+    The speedup column compares each fast row against the same pair's
+    python row from the same file.
+    """
+    rows = functional_records(records)
+    if not rows:
+        return "(no functional-engine records)"
+    python_secs = {r.functional["pair"]: r.mean for r in rows
+                   if r.functional.get("engine") == "python"}
+    lines = [f"{'pair':<24} {'engine':<12} {'instrs/sec':>14} "
+             f"{'seconds':>9} {'speedup':>8}"]
+    for record in rows:
+        info = record.functional
+        base = python_secs.get(info["pair"])
+        speedup = (f"{base / record.mean:.1f}x"
+                   if base and info["engine"] != "python" else "-")
+        lines.append(
+            f"{info['pair']:<24} {info['engine']:<12} "
+            f"{info['instrs_per_sec']:>14,.0f} {record.mean:>9.3f} "
+            f"{speedup:>8}"
+        )
+    return "\n".join(lines)
+
+
 def format_verdicts(verdicts: list[Verdict]) -> str:
     lines = []
     for v in verdicts:
@@ -259,10 +303,18 @@ def main(argv=None) -> int:
         help="print the replay-kernel throughput table of a baseline",
     )
     replay.add_argument("json_path")
+    functional = sub.add_parser(
+        "functional",
+        help="print the execution-engine throughput table of a baseline",
+    )
+    functional.add_argument("json_path")
     args = parser.parse_args(argv)
 
     if args.command == "replay":
         print(format_replay_table(load_benchmark_json(args.json_path)))
+        return 0
+    if args.command == "functional":
+        print(format_functional_table(load_benchmark_json(args.json_path)))
         return 0
     if args.command == "compare":
         verdicts = compare_baselines(

@@ -36,6 +36,7 @@ from repro.explore.db import RESULTS_DB_ENV, ResultsDB, pareto_front
 from repro.explore.search import DEFAULT_BUDGET, STRATEGIES, run_search
 from repro.explore.space import PRESETS, format_point, get_preset
 from repro.explore.sweep import run_sweep
+from repro.sim.fastexec import EXEC_CHOICES
 from repro.sim.kernels import KERNEL_CHOICES
 from repro.tables import format_table
 
@@ -89,6 +90,8 @@ def _build_engine(args) -> Engine:
         # The env var is the kernels' own selection channel and reaches
         # worker subprocesses (process/shard backends) for free.
         os.environ["REPRO_SIM_KERNEL"] = args.sim_kernel
+    if getattr(args, "sim_exec", None):
+        os.environ["REPRO_SIM_EXEC"] = args.sim_exec
     metrics = tracer = None
     if getattr(args, "trace", None):
         from repro.obs.metrics import MetricsRegistry
@@ -335,6 +338,12 @@ def main(argv=None) -> int:
                          help="replay kernel for the timing models "
                               "(default: $REPRO_SIM_KERNEL, else auto; "
                               "results are byte-identical either way)")
+        cmd.add_argument("--sim-exec", default=None,
+                         choices=EXEC_CHOICES,
+                         help="functional execution engine "
+                              "(default: $REPRO_SIM_EXEC, else auto = "
+                              "the block-compiling fast engine; traces "
+                              "are byte-identical either way)")
 
     run = sub.add_parser("run", help="sweep a preset through the engine")
     run.add_argument("--preset", default="smoke",

@@ -83,7 +83,23 @@ class Simulator:
 
         With ``collect_trace=False`` the block/memory/branch logs stay
         empty (fast correctness-only runs).
+
+        The actual engine is selected via ``REPRO_SIM_EXEC``
+        (``python|fast|auto``, mirroring ``REPRO_SIM_KERNEL``): ``fast``
+        routes through :mod:`repro.sim.fastexec`, the block-compiling
+        engine, which produces a byte-identical trace several times
+        faster; ``python`` pins this reference interpreter.
         """
+        from repro.sim import fastexec
+
+        if fastexec.select_exec() == "fast":
+            return fastexec.FastSimulator(
+                self.binary, self.max_instructions, self.stack_words
+            ).run(collect_trace)
+        return self._run_python(collect_trace)
+
+    def _run_python(self, collect_trace: bool = True) -> ExecutionTrace:
+        """The reference per-instruction interpreter (engine ``python``)."""
         binary = self.binary
         memory: list = [0] * (binary.stack_base + self.stack_words)
         base = binary.data_base
@@ -136,6 +152,8 @@ class Simulator:
                         ea = iregs[abase] + off
                     if idx is not None:
                         ea += iregs[idx]
+                    if ea >= memory_len or ea < 0:
+                        raise SimTrap(f"load out of range: word {ea}")
                     if trace_mem is not None:
                         trace_mem(ea << 2)
                     if op == "ld":
@@ -233,14 +251,14 @@ class Simulator:
                         value = ins.b_imm if ins.b_imm is not None else 0
                     if not call_stack:
                         exit_value = value
-                        return ExecutionTrace(
-                            binary=binary,
-                            block_seq=block_seq,
-                            mem_addrs=mem_addrs,
-                            branch_log=branch_log,
-                            output="".join(output),
-                            exit_value=exit_value,
-                            instructions=instructions,
+                        return ExecutionTrace.from_buffers(
+                            binary,
+                            block_seq,
+                            mem_addrs,
+                            branch_log,
+                            output,
+                            exit_value,
+                            instructions,
                         )
                     sp = fp
                     func, resume_block, iregs, fregs, fp, dst, dst_kind = call_stack.pop()
@@ -270,6 +288,8 @@ class Simulator:
                                 ea = iregs[abase] + off
                             if idx is not None:
                                 ea += iregs[idx]
+                            if ea >= memory_len or ea < 0:
+                                raise SimTrap(f"load out of range: word {ea}")
                             if trace_mem is not None:
                                 trace_mem(ea << 2)
                             b = memory[ea]

@@ -503,15 +503,138 @@ def _cache_sim(mem, config):
 
 
 _HISTORY_MASK = 0xFFF  # HybridPredictor's 12 history bits
+_HISTORY_BITS = 12
+_PREDICTOR_VECTOR_MIN = 4096  # below this the python loop wins
 
 
 def _predictor_sim(br, entries: int):
-    """Replay the branch log through the hybrid predictor in one pass.
+    """Replay the branch log through the hybrid predictor.
 
     Returns ``(correct, hits, misses)`` with ``correct`` a uint8 array
     of per-branch outcomes (1 = the chooser's pick was right) — the
-    only predictor fact the cycle interpreters need.
+    only predictor fact the cycle interpreters need.  Long logs go
+    through the vectorized segmented-scan path, short ones through the
+    reference loop; both produce byte-identical results.
     """
+    if br.size >= _PREDICTOR_VECTOR_MIN and entries <= 1 << 16:
+        return _predictor_sim_numpy(br, entries)
+    return _predictor_sim_python(br, entries)
+
+
+# Saturating 2-bit counters as 4-state automata.  A step is a monotone
+# map f: {0..3} -> {0..3}, packed into one byte (2 bits per output);
+# composition is then a single 256x256 table lookup, which turns the
+# per-entry counter history into an associative prefix scan over bytes.
+def _encode_map(outputs):
+    return outputs[0] | (outputs[1] << 2) | (outputs[2] << 4) | (outputs[3] << 6)
+
+
+_STEP_UP = _encode_map([1, 2, 3, 3])      # taken: min(3, s + 1)
+_STEP_DOWN = _encode_map([0, 0, 1, 2])    # not taken: max(0, s - 1)
+_STEP_ID = _encode_map([0, 1, 2, 3])      # chooser tie: unchanged
+_RESET = _encode_map([2, 2, 2, 2])        # constant: fresh counter at 2
+
+if HAVE_NUMPY:
+    # _COMP[a, b] = encode(f_b . f_a): apply a's map, then b's.
+    _DECODE = (np.arange(256)[:, None] >> (2 * np.arange(4))) & 3  # [code, s]
+    _COMPOSED = _DECODE[np.arange(256)[None, :, None], _DECODE[:, None, :]]
+    _COMP = np.zeros((256, 256), dtype=np.uint8)
+    for _s in range(4):
+        _COMP |= (_COMPOSED[:, :, _s] << (2 * _s)).astype(np.uint8)
+    del _s, _COMPOSED
+    _STEP_BY_DELTA = np.array([_STEP_DOWN, _STEP_ID, _STEP_UP], dtype=np.uint8)
+
+
+def _comp_scan(codes):
+    """Inclusive prefix scan of automaton bytes under composition.
+
+    Work-efficient pairwise recursion: combine adjacent pairs, scan the
+    half-length array, then fill the even positions — ~2n table gathers
+    total instead of n log n.
+    """
+    n = codes.size
+    if n < 2:
+        return codes.copy()
+    even = codes[0::2]
+    odd = codes[1::2]
+    pair_scan = _comp_scan(_COMP[even[: odd.size], odd])
+    out = np.empty(n, dtype=np.uint8)
+    out[0] = codes[0]
+    out[1::2] = pair_scan
+    if n > 2:
+        out[2::2] = _COMP[pair_scan[: even.size - 1], even[1:]]
+    return out
+
+
+def _seg_counter_states(order, same, step_codes):
+    """State of each table entry's counter *before* each access.
+
+    ``order`` groups accesses per entry (stable sort of entry indices),
+    ``same`` marks sorted positions sharing the previous position's
+    entry.  Each sorted position takes its predecessor's step map — or
+    the constant reset-to-2 map at group heads, which absorbs anything
+    composed before it, so one *unsegmented* scan handles all groups.
+    """
+    n = order.size
+    g = np.empty(n, dtype=np.uint8)
+    g[0] = _RESET
+    sorted_steps = step_codes[order]
+    g[1:] = np.where(same, sorted_steps[:-1], _RESET)
+    # Every scan prefix contains its group's reset, so the composed map
+    # is constant: its value on input 0 (the low bits) is the state.
+    states_sorted = _comp_scan(g) & 3
+    states = np.empty(n, dtype=np.uint8)
+    states[order] = states_sorted
+    return states
+
+
+def _group_order(keys):
+    # uint16 keys take numpy's 2-pass radix path — 5x faster than the
+    # int64 stable sort (the dispatcher guards entries <= 2**16).
+    keys = keys.astype(np.uint16)
+    order = np.argsort(keys, kind="stable")
+    k = keys[order]
+    return order, k[1:] == k[:-1]
+
+
+def _predictor_sim_numpy(br, entries: int):
+    """Vectorized hybrid-predictor replay, pinned to the reference loop.
+
+    Global history is a 12-bit shift register of outcomes, so each
+    branch's history is twelve shifted ORs of the taken stream; the
+    bimodal and gshare tables see outcome-only updates and reduce to
+    independent per-entry counter scans; the chooser's steps depend only
+    on those two prediction streams, giving a third scan over the
+    bimodal grouping.
+    """
+    n = br.size
+    mask = entries - 1
+    pcs = (br >> 1).astype(np.int64)
+    taken = (br & 1).astype(np.int64)
+    hist = np.zeros(n, dtype=np.int64)
+    for k in range(1, _HISTORY_BITS + 1):
+        hist[k:] |= taken[: n - k] << (k - 1)
+    bi = pcs & mask
+    gi = (pcs ^ hist) & mask
+    updown = np.where(taken == 1, _STEP_UP, _STEP_DOWN).astype(np.uint8)
+    b_order, b_same = _group_order(bi)
+    g_order, g_same = _group_order(gi)
+    b_pred = (_seg_counter_states(b_order, b_same, updown) >= 2).astype(np.int64)
+    g_pred = (_seg_counter_states(g_order, g_same, updown) >= 2).astype(np.int64)
+    b_right = b_pred == taken
+    g_right = g_pred == taken
+    meta_steps = _STEP_BY_DELTA[
+        (g_right.astype(np.int64) - b_right.astype(np.int64)) + 1
+    ]
+    chooser = _seg_counter_states(b_order, b_same, meta_steps)
+    chosen = np.where(chooser >= 2, g_pred, b_pred)
+    correct = (chosen == taken).astype(np.uint8)
+    hits = int(correct.sum())
+    return correct, hits, n - hits
+
+
+def _predictor_sim_python(br, entries: int):
+    """Reference per-branch hybrid-predictor loop (pin target)."""
     n = br.size
     correct = bytearray(n)
     if n == 0:

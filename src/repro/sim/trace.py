@@ -83,6 +83,33 @@ class ExecutionTrace:
     exit_value: int | float
     instructions: int
 
+    @classmethod
+    def from_buffers(
+        cls,
+        binary: Binary,
+        block_seq: list[int],
+        mem_addrs: list[int],
+        branch_log: list[int],
+        output_parts: list[str],
+        exit_value: int | float,
+        instructions: int,
+    ) -> "ExecutionTrace":
+        """Zero-copy finalize: adopt the engine's recording buffers.
+
+        Both execution engines append into plain lists while running and
+        hand them over here unchanged — no per-event conversion happens at
+        trace-construction time.
+        """
+        return cls(
+            binary=binary,
+            block_seq=block_seq,
+            mem_addrs=mem_addrs,
+            branch_log=branch_log,
+            output="".join(output_parts),
+            exit_value=exit_value,
+            instructions=instructions,
+        )
+
     # -- derived views ---------------------------------------------------
 
     def block_counts(self) -> Counter:

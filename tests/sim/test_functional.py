@@ -191,3 +191,47 @@ class TestTraceContents:
     def test_mix_totals_equal_instruction_count(self, fib_source):
         trace = run_source(fib_source)
         assert trace.instruction_mix().total == trace.instructions
+
+
+class TestLoadBounds:
+    """Loads trap out-of-range addresses symmetrically with stores.
+
+    Regression: a negative effective address used to read silently via
+    Python negative indexing instead of raising SimTrap like stores do.
+    Both engines must agree, message included.
+    """
+
+    READ = """
+    int t[4];
+    int peek(int i) { return t[i]; }
+    int main() { printf("%d", peek(IDX)); return 0; }
+    """
+    WRITE = """
+    int t[4];
+    void poke(int i) { t[i] = 7; }
+    int main() { poke(IDX); return 0; }
+    """
+
+    @pytest.mark.parametrize("engine", ["python", "fast"])
+    @pytest.mark.parametrize("idx", [-2000000000, 2000000000])
+    def test_out_of_range_load_traps(self, engine, idx, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_EXEC", engine)
+        with pytest.raises(SimTrap, match="load out of range"):
+            run_source(self.READ.replace("IDX", str(idx)))
+
+    @pytest.mark.parametrize("engine", ["python", "fast"])
+    @pytest.mark.parametrize("idx", [-2000000000, 2000000000])
+    def test_out_of_range_store_traps(self, engine, idx, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_EXEC", engine)
+        with pytest.raises(SimTrap, match="store out of range"):
+            run_source(self.WRITE.replace("IDX", str(idx)))
+
+    def test_trap_message_parity(self, monkeypatch):
+        source = self.READ.replace("IDX", "-2000000000")
+        messages = {}
+        for engine in ("python", "fast"):
+            monkeypatch.setenv("REPRO_SIM_EXEC", engine)
+            with pytest.raises(SimTrap) as excinfo:
+                run_source(source)
+            messages[engine] = str(excinfo.value)
+        assert messages["python"] == messages["fast"]

@@ -38,6 +38,8 @@ pytestmark = pytest.mark.skipif(
     not kernels.HAVE_NUMPY, reason="numpy not installed"
 )
 
+np = kernels.np  # None when numpy is missing; every test here is skipped
+
 # Loop-heavy, call-heavy, FP-heavy and branchy workloads; small inputs
 # keep the tier-1 run fast.  REPRO_KERNEL_EQUIV_ALL=1 widens this to
 # every pair (the CI numpy leg's job).
@@ -234,3 +236,46 @@ class TestPackCacheLifetime:
         del trace
         gc.collect()
         assert kernels.pack_cache_size() == before
+
+
+class TestPredictorVectorization:
+    """The segmented-scan predictor pass is pinned to the reference loop."""
+
+    def test_composition_table_semantics(self):
+        """_COMP[a, b] must encode f_b . f_a over all 4 counter states."""
+        decode = lambda c: [(c >> (2 * s)) & 3 for s in range(4)]
+        rng = np.random.default_rng(0)
+        for a, b in rng.integers(0, 256, (500, 2)):
+            fa, fb = decode(a), decode(b)
+            assert decode(int(kernels._COMP[a, b])) == [
+                fb[fa[s]] for s in range(4)
+            ]
+
+    @pytest.mark.parametrize("entries", [64, 1024, 4096])
+    def test_pin_on_random_streams(self, entries):
+        rng = np.random.default_rng(entries)
+        for n in (4096, 5001, 20000):
+            pcs = rng.integers(0, 150, n, dtype=np.int64)
+            taken = rng.integers(0, 2, n, dtype=np.int64)
+            br = (pcs << 1) | taken
+            ref = kernels._predictor_sim_python(br, entries)
+            vec = kernels._predictor_sim_numpy(br, entries)
+            assert np.array_equal(ref[0], vec[0])
+            assert ref[1:] == vec[1:]
+
+    def test_pin_on_workload_stream(self):
+        br = np.asarray(trace_for("crc32", "small").branch_log, dtype=np.int64)
+        ref = kernels._predictor_sim_python(br, 2048)
+        vec = kernels._predictor_sim_numpy(br, 2048)
+        assert np.array_equal(ref[0], vec[0])
+        assert ref[1:] == vec[1:]
+
+    def test_dispatcher_matches_reference_below_threshold(self):
+        rng = np.random.default_rng(7)
+        n = kernels._PREDICTOR_VECTOR_MIN // 2
+        br = (rng.integers(0, 50, n, dtype=np.int64) << 1) | rng.integers(
+            0, 2, n, dtype=np.int64)
+        ref = kernels._predictor_sim_python(br, 1024)
+        got = kernels._predictor_sim(br, 1024)
+        assert np.array_equal(ref[0], got[0])
+        assert ref[1:] == got[1:]
