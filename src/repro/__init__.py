@@ -49,7 +49,17 @@ from repro.synthesis.synthesizer import (
     synthesize,
     synthesize_consolidated,
 )
-from repro.workloads import WORKLOADS, all_pairs, workload_names
+from repro.workloads import (
+    SynthRecipe,
+    UnknownWorkloadError,
+    WORKLOADS,
+    Workload,
+    WorkloadProvider,
+    all_pairs,
+    get_workload,
+    register_provider,
+    workload_names,
+)
 
 __version__ = "1.0.0"
 
@@ -71,15 +81,21 @@ __all__ = [
     "Simulator",
     "StatisticalProfile",
     "SweepResult",
+    "SynthRecipe",
     "SyntheticBenchmark",
     "TABLE_III_SPECS",
+    "UnknownWorkloadError",
     "WORKLOADS",
+    "Workload",
+    "WorkloadProvider",
     "all_pairs",
     "compare_sources",
     "compile_program",
+    "get_workload",
     "machine_from_axes",
     "profile_trace",
     "profile_workload",
+    "register_provider",
     "run_binary",
     "run_search",
     "run_sweep",

@@ -82,6 +82,7 @@ class Engine:
         else:
             self.store = None
         self._memo: dict[str, Any] = {}
+        self._synth_noted: set[str] = set()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -130,6 +131,10 @@ class Engine:
         if self.metrics is not None:
             self.metrics.count("engine_stages_executed", tag=task.stage,
                                label="stage")
+            workload = task.payload.get("workload")
+            if workload:
+                self.metrics.count("engine_workload_stages", tag=workload,
+                                   label="workload")
             self.metrics.observe_latency("engine_dispatch_seconds", elapsed,
                                          tags={"stage": task.stage})
         if self.tracer is not None:
@@ -167,10 +172,28 @@ class Engine:
     def source(self, workload: str, input_name: str) -> str:
         key = f"source:{workload}/{input_name}"
         if key not in self._memo:
-            from repro.workloads import WORKLOADS
+            from repro.workloads import get_workload
 
-            self._memo[key] = WORKLOADS[workload].source_for(input_name)
+            self._note_synth((workload,))
+            self._memo[key] = get_workload(workload).source_for(input_name)
         return self._memo[key]
+
+    def _note_synth(self, workload_names: Iterable[str]) -> None:
+        """Persist synthetic recipes touched by this engine to the store
+        (provenance; names alone stay sufficient for regeneration)."""
+        if self.store is None:
+            return
+        for name in workload_names:
+            if not name.startswith("synth:") or name in self._synth_noted:
+                continue
+            from repro.workloads.synth import SynthRecipe, persist_recipe
+
+            try:
+                recipe = SynthRecipe.parse(name)
+            except KeyError:
+                continue  # malformed; resolution will surface the error
+            persist_recipe(self.store, recipe)
+            self._synth_noted.add(name)
 
     def original_trace(self, workload: str, input_name: str,
                        isa: str = REF_ISA, opt_level: int = REF_OPT):
@@ -266,8 +289,10 @@ class Engine:
         and side), which is how a design-space sweep becomes one batched
         engine graph.  Returns the number of graph nodes.
         """
+        pairs = tuple(pairs)
+        self._note_synth({workload for workload, _ in pairs})
         graph = build_pipeline_graph(
-            tuple(pairs), tuple(coords),
+            pairs, tuple(coords),
             target_instructions=self.target_instructions,
             sides=sides,
             machine_points=tuple(machine_points),

@@ -250,6 +250,10 @@ def _run_submitting(graph, results, store, backend, context,
                 stage = graph[task_id].stage
                 metrics.count("engine_stages_executed", tag=stage,
                               label="stage")
+                workload = graph[task_id].payload.get("workload")
+                if workload:
+                    metrics.count("engine_workload_stages", tag=workload,
+                                  label="workload")
                 metrics.observe_latency("engine_dispatch_seconds", elapsed,
                                         tags={"stage": stage})
             if tracer is not None:

@@ -74,12 +74,27 @@ def run_shard(spec: dict, stop=None) -> dict:
         registry.observe_latency("engine_dispatch_seconds", seconds,
                                  tags={"stage": stage})
 
+    # Per-workload execution counts ride the same seam: the runner is
+    # invoked exactly once per executed (cache-missed) node, matching
+    # the parent scheduler's engine_workload_stages accounting on the
+    # non-sharded backends, so merged snapshots stay backend-invariant.
+    stage_runner = spec["runner"]
+    if registry is not None:
+        base_runner = stage_runner
+
+        def stage_runner(task, deps):
+            workload = task.payload.get("workload")
+            if workload:
+                registry.count("engine_workload_stages", tag=workload,
+                               label="workload")
+            return base_runner(task, deps)
+
     results = run_graph(
         graph,
         workers=1,
         store=store,
         preloaded=preloaded,
-        runner=spec["runner"],
+        runner=stage_runner,
         keyer=spec["keyer"],
         backend="inline",
         on_timing=observe_stage if registry is not None else None,

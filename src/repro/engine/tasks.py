@@ -103,9 +103,9 @@ class Task:
 
 
 def _workload_source(payload: dict) -> str:
-    from repro.workloads import WORKLOADS
+    from repro.workloads import get_workload
 
-    return WORKLOADS[payload["workload"]].source_for(payload["input"])
+    return get_workload(payload["workload"]).source_for(payload["input"])
 
 
 @lru_cache(maxsize=None)

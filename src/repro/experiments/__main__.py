@@ -25,6 +25,7 @@ from repro.sim.fastexec import EXEC_CHOICES
 from repro.sim.kernels import KERNEL_CHOICES
 from repro.experiments.report import FIGURES, generate_report, resolve_figures
 from repro.experiments.runner import ExperimentRunner
+from repro.workloads import UnknownWorkloadError, parse_pairs
 
 
 def _parse_figures(text: str | None) -> list[str] | None:
@@ -42,6 +43,12 @@ def main(argv=None) -> int:
         "--figures", default="all",
         help="comma-separated subset to regenerate "
              f"(available: {', '.join(FIGURES)}; default: all)",
+    )
+    parser.add_argument(
+        "--pairs", default=None,
+        help="comma-separated workload[/input] override applied to "
+             "every pair-reading figure (registry names, including "
+             "synth:<fingerprint>; input defaults to small)",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -130,7 +137,14 @@ def main(argv=None) -> int:
         figures = resolve_figures(_parse_figures(args.figures))
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
-    print(generate_report(runner, figures=figures, workers=args.workers))
+    try:
+        # Same discipline for --pairs: registry resolution fails here
+        # with suggestions (exit 2), not deep in the pipeline.
+        pairs = parse_pairs(args.pairs)
+    except UnknownWorkloadError as exc:
+        parser.error(str(exc))
+    print(generate_report(runner, figures=figures, workers=args.workers,
+                          pairs=pairs))
     if args.stats:
         stats = engine.stats
         print(

@@ -74,7 +74,7 @@ def _report_db_path(runner: ExperimentRunner):
         Path(store.root) / "explore.sqlite3"
 
 
-def run_explore_sweep(runner: ExperimentRunner):
+def run_explore_sweep(runner: ExperimentRunner, pairs=None):
     """The wider default grid: the explorer's isa-opt preset (all three
     ISAs at O0..O3) over the **full** workload suite — every
     (workload, input) pair, not the quick subset; warm replay makes
@@ -87,15 +87,16 @@ def run_explore_sweep(runner: ExperimentRunner):
     replaying stale disk state.
     """
     preset = get_preset("isa-opt")
+    pairs = tuple(pairs) if pairs else FULL_PAIRS
     db_path = _report_db_path(runner)
     if db_path is None:
         with tempfile.TemporaryDirectory(prefix="repro-explore-") as tmp:
             with ResultsDB(Path(tmp) / "explore.sqlite3") as db:
                 return run_sweep(preset, engine=runner.engine, db=db,
-                                 pairs=FULL_PAIRS)
+                                 pairs=pairs)
     with ResultsDB(db_path) as db:
         return run_sweep(preset, engine=runner.engine, db=db,
-                         pairs=FULL_PAIRS)
+                         pairs=pairs)
 
 
 @dataclass(frozen=True)
@@ -216,55 +217,67 @@ def run_search_trace(runner: ExperimentRunner) -> SearchTrace:
 
 @dataclass(frozen=True)
 class FigureSpec:
-    """One report section: how to run it and what grid it reads."""
+    """One report section: how to run it and what grid it reads.
+
+    ``run`` receives the runner and the *effective* pair set — the
+    spec's default ``pairs`` unless the caller overrides it (the CLI's
+    ``--pairs``).  Sections with ``pairs=()`` are pure DB reads; they
+    receive and ignore an empty tuple regardless of any override.
+    """
 
     title: str
-    run: Callable[[ExperimentRunner], object]
+    run: Callable[[ExperimentRunner, tuple], object]
     pairs: tuple[tuple[str, str], ...]
     #: (isa, opt_level) coordinates the figure measures both sides at —
     #: what Engine.warm prefetches before the figure executes.
     coords: tuple[tuple[str, int], ...]
 
+    def effective_pairs(self, override=None) -> tuple:
+        """The pair grid this figure reads under an optional override."""
+        if override and self.pairs:
+            return tuple(override)
+        return self.pairs
+
 
 FIGURES: dict[str, FigureSpec] = {
     "fig04": FigureSpec(
         "Fig. 4 — dynamic instruction count reduction",
-        lambda r: run_fig04(r, QUICK_PAIRS),
+        lambda r, pairs: run_fig04(r, pairs),
         QUICK_PAIRS, ((_X86, 0),),
     ),
     "fig05": FigureSpec(
         "Fig. 5 — normalized instruction count across -O0..-O3",
-        lambda r: run_fig05(r, QUICK_PAIRS),
+        lambda r, pairs: run_fig05(r, pairs),
         QUICK_PAIRS, tuple((_X86, level) for level in (0, 1, 2, 3)),
     ),
     "fig06": FigureSpec(
         "Fig. 6 — instruction mix at -O0 and -O2",
-        lambda r: run_fig06(r, QUICK_PAIRS),
+        lambda r, pairs: run_fig06(r, pairs),
         QUICK_PAIRS, ((_X86, 0), (_X86, 2)),
     ),
     "fig07": FigureSpec(
         "Fig. 7 — D-cache hit rates at -O0",
-        lambda r: run_cache_figure(r, CACHE_PAIRS, opt_level=0),
+        lambda r, pairs: run_cache_figure(r, pairs, opt_level=0),
         CACHE_PAIRS, ((_X86, 0),),
     ),
     "fig08": FigureSpec(
         "Fig. 8 — D-cache hit rates at -O2",
-        lambda r: run_cache_figure(r, QUICK_PAIRS, opt_level=2),
+        lambda r, pairs: run_cache_figure(r, pairs, opt_level=2),
         QUICK_PAIRS, ((_X86, 2),),
     ),
     "fig09": FigureSpec(
         "Fig. 9 — hybrid branch predictor accuracy",
-        lambda r: run_fig09(r, QUICK_PAIRS),
+        lambda r, pairs: run_fig09(r, pairs),
         QUICK_PAIRS, ((_X86, 0), (_X86, 2)),
     ),
     "fig10": FigureSpec(
         "Fig. 10 — CPI on a 2-wide OoO core",
-        lambda r: run_fig10(r, CPI_PAIRS),
+        lambda r, pairs: run_fig10(r, pairs),
         CPI_PAIRS, ((_X86, 0),),
     ),
     "fig11": FigureSpec(
         "Fig. 11 — normalized time across machines/compilers",
-        lambda r: run_fig11(r, MACHINE_PAIRS),
+        lambda r, pairs: run_fig11(r, pairs),
         # fig11 drives its own per-machine compiles; through the runner
         # it only needs the reference profiles.
         MACHINE_PAIRS, ((_X86, 0),),
@@ -272,7 +285,7 @@ FIGURES: dict[str, FigureSpec] = {
     "explore": FigureSpec(
         "Design-space sweep — ISA × opt grid over the full suite "
         "(repro.explore, isa-opt preset)",
-        run_explore_sweep,
+        lambda r, pairs: run_explore_sweep(r, pairs),
         FULL_PAIRS,
         # Derived from the preset's space so the warmed grid can never
         # drift from what run_sweep actually measures.
@@ -281,25 +294,25 @@ FIGURES: dict[str, FigureSpec] = {
     ),
     "history": FigureSpec(
         "Sweep history — cross-run results DB (repro.explore)",
-        run_explore_history,
+        lambda r, pairs: run_explore_history(r),
         # Pure DB read: nothing to warm.
         (), (),
     ),
     "search": FigureSpec(
         "Search trace — adaptive-search rounds from the results DB "
         "(repro.explore.search)",
-        run_search_trace,
+        lambda r, pairs: run_search_trace(r),
         # Pure DB read: nothing to warm.
         (), (),
     ),
     "obfuscation": FigureSpec(
         "Obfuscation (§V-E) — Moss/JPlag similarity",
-        lambda r: run_obfuscation(r, QUICK_PAIRS),
+        lambda r, pairs: run_obfuscation(r, pairs),
         QUICK_PAIRS, ((_X86, 0),),
     ),
     "ablation": FigureSpec(
         "Ablation — SFGL vs linear-sequence baseline",
-        lambda r: run_ablation(r, QUICK_PAIRS),
+        lambda r, pairs: run_ablation(r, pairs),
         QUICK_PAIRS, ((_X86, 0),),
     ),
 }
@@ -322,19 +335,22 @@ def resolve_figures(names) -> tuple[str, ...]:
 
 
 def warm_figures(runner: ExperimentRunner, figures=None,
-                 workers: int | None = None) -> int:
+                 workers: int | None = None, pairs=None) -> int:
     """Prefetch every (pair, ISA, opt) the selected figures will read.
 
     Grouped per pairs-set so one DAG covers all coordinates that share
     the reference chain; returns the total number of graph nodes.
+    *pairs* overrides every pair-reading figure's grid (the CLI's
+    ``--pairs``); pure-DB sections are unaffected.
     """
     demands: dict[tuple, set] = {}
     for name in resolve_figures(figures):
         spec = FIGURES[name]
-        demands.setdefault(spec.pairs, set()).update(spec.coords)
+        demands.setdefault(spec.effective_pairs(pairs),
+                           set()).update(spec.coords)
     nodes = 0
-    for pairs, coords in demands.items():
-        nodes += runner.warm(pairs, sorted(coords), workers=workers)
+    for pair_set, coords in demands.items():
+        nodes += runner.warm(pair_set, sorted(coords), workers=workers)
     return nodes
 
 
@@ -342,17 +358,23 @@ def generate_report(
     runner: ExperimentRunner | None = None,
     figures=None,
     workers: int | None = None,
+    pairs=None,
 ) -> str:
-    """Run the selected figures (default: all); returns markdown text."""
+    """Run the selected figures (default: all); returns markdown text.
+
+    *pairs* — optional (workload, input) tuple override applied to
+    every pair-reading figure, e.g. to point the report at synthetic
+    ``synth:`` workloads instead of the builtin suite.
+    """
     runner = runner or ExperimentRunner()
     selection = resolve_figures(figures)
     sections: list[str] = []
 
     start = time.time()
-    warm_figures(runner, selection, workers=workers)
+    warm_figures(runner, selection, workers=workers, pairs=pairs)
     for name in selection:
         spec = FIGURES[name]
-        result = spec.run(runner)
+        result = spec.run(runner, spec.effective_pairs(pairs))
         sections.append(f"## {spec.title}\n\n```\n{result.format_table()}\n```\n")
     elapsed = time.time() - start
 

@@ -38,6 +38,7 @@ from repro.explore.space import PRESETS, format_point, get_preset
 from repro.explore.sweep import run_sweep
 from repro.sim.fastexec import EXEC_CHOICES
 from repro.sim.kernels import KERNEL_CHOICES
+from repro.workloads import UnknownWorkloadError
 from repro.tables import format_table
 
 _RANK_COLUMNS = ("org_cpi", "syn_cpi", "cpi_err", "miss_rate_err",
@@ -76,13 +77,11 @@ def _parse_where(items) -> dict:
 
 
 def _parse_pairs(text: str | None):
-    if not text:
-        return None
-    pairs = []
-    for item in text.split(","):
-        workload, _, input_name = item.strip().partition("/")
-        pairs.append((workload, input_name or "small"))
-    return tuple(pairs)
+    # Registry-validated so typos fail here with suggestions
+    # (UnknownWorkloadError), not deep in the pipeline.
+    from repro.workloads import parse_pairs
+
+    return parse_pairs(text)
 
 
 def _build_engine(args) -> Engine:
@@ -434,6 +433,12 @@ def main(argv=None) -> int:
             get_preset(args.preset)
         except KeyError as exc:
             parser.error(str(exc.args[0]) if exc.args else str(exc))
+        # Same for --pairs: unknown workload/input names are usage
+        # errors (exit 2 with suggestions), not pipeline tracebacks.
+        try:
+            _parse_pairs(args.pairs)
+        except UnknownWorkloadError as exc:
+            parser.error(str(exc))
     if args.command == "run":
         # Mirror DesignSpace.sample's uniform validation as usage errors.
         if args.seed is not None and args.sample != "random":

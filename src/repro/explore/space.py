@@ -25,9 +25,14 @@ from repro.sim.machines import (
     SPEC_BY_NAME,
     spec_from_axes,
 )
+from repro.workloads.synth import SynthRecipe
 
 #: Axes that parameterize the software side rather than the machine.
-SOFTWARE_AXES = ("opt_level", "pair")
+#: ``workload`` (plus optional ``input``) sweeps workload identity as a
+#: first-class axis — values are any registry-resolvable name, including
+#: generated ``synth:<fingerprint>`` recipes; ``pair`` pins a full
+#: workload/input pair and wins over the split axes when both appear.
+SOFTWARE_AXES = ("opt_level", "pair", "workload", "input")
 
 #: The whole-machine axis: values are Table III spec names.
 MACHINE_AXIS = "machine"
@@ -149,7 +154,10 @@ class DesignPoint:
         one; ``None`` means "score over the sweep's whole pair set"."""
         value = self.get("pair")
         if value is None:
-            return None
+            workload = self.get("workload")
+            if workload is None:
+                return None
+            return (str(workload), str(self.get("input", "small")))
         if isinstance(value, str):
             workload, _, input_name = value.partition("/")
             return (workload, input_name or "small")
@@ -282,6 +290,15 @@ class Preset:
 
 _SMOKE_PAIRS = (("adpcm", "small"), ("crc32", "small"))
 
+#: Tiny seeded recipes for the synth-mix preset: one per instruction
+#: mix, sized for a cold CI run (the names are self-describing — any
+#: worker regenerates the programs from these strings alone).
+_SYNTH_MIX_WORKLOADS = tuple(
+    SynthRecipe(seed=2026, mix=mix, footprint=256, depth=2, trip=6,
+                entropy=60, calls=2).name
+    for mix in ("int", "mem", "branchy")
+)
+
 #: Pair set shared with the report's machine figures — big enough for a
 #: meaningful suite average, small enough for a cold CI run.
 EXPLORE_PAIRS = (
@@ -342,6 +359,21 @@ PRESETS: dict[str, Preset] = {
                         "at -O2",
         ),
         _SMOKE_PAIRS,
+    ),
+    "synth-mix": Preset(
+        DesignSpace(
+            name="synth-mix",
+            axes=(
+                Axis("workload", _SYNTH_MIX_WORKLOADS),
+                Axis("opt_level", (0, 2)),
+            ),
+            base={"isa": "x86", "width": 2, "rob": 64, "l1_kb": 16,
+                  "l2_kb": 1024},
+            description="generated recipes (one per instruction mix) x "
+                        "opt-level — the workload axis over synthetic "
+                        "programs, CI-sized",
+        ),
+        tuple((name, "small") for name in _SYNTH_MIX_WORKLOADS),
     ),
 }
 

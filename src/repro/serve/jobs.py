@@ -56,8 +56,27 @@ class BadRequest(ValueError):
 # -- normalization -----------------------------------------------------------
 
 
+def _as_workload_name(value, field_name: str) -> str:
+    """Normalize a workload reference to its canonical registry name.
+
+    Accepts a name string (builtin or ``synth:<fingerprint>``) or a
+    synth recipe params object, which is folded to its canonical
+    ``synth:`` name — so a job submitted by recipe params and one
+    submitted by name coalesce onto the same job key.
+    """
+    if isinstance(value, dict):
+        from repro.workloads.synth import SynthRecipe
+
+        try:
+            return SynthRecipe.from_params(value).name
+        except (TypeError, ValueError) as exc:
+            raise BadRequest(
+                f"bad synth recipe in {field_name}: {exc}") from None
+    return str(value)
+
+
 def _as_pairs(value, field_name: str = "pairs") -> list[list[str]]:
-    from repro.workloads import WORKLOADS
+    from repro.workloads import UnknownWorkloadError, get_workload
 
     if not isinstance(value, (list, tuple)) or not value:
         raise BadRequest(f"{field_name} must be a non-empty list of "
@@ -71,11 +90,15 @@ def _as_pairs(value, field_name: str = "pairs") -> list[list[str]]:
         else:
             raise BadRequest(f"bad pair {item!r}: expected "
                              "'workload/input' or [workload, input]")
-        if workload not in WORKLOADS:
-            raise BadRequest(f"unknown workload {workload!r}")
-        if input_name not in WORKLOADS[workload].inputs:
+        workload = _as_workload_name(workload, field_name)
+        try:
+            spec = get_workload(workload)
+        except UnknownWorkloadError as exc:
+            raise BadRequest(str(exc)) from None
+        if input_name not in spec.inputs:
             raise BadRequest(
-                f"unknown input {input_name!r} for workload {workload!r}")
+                f"unknown input {input_name!r} for workload {workload!r} "
+                f"(available: {', '.join(spec.inputs)})")
         pairs.append([str(workload), str(input_name)])
     return sorted(pairs)
 

@@ -1,21 +1,23 @@
-"""MiBench-like workload suite (§IV).
+"""The workload suite: hand-ported kernels plus generated programs.
 
-Thirteen mini-C re-implementations of the MiBench kernels the paper
-profiles, each with a ``small`` and ``large`` input baked into the source
-(the paper's profiles capture workload *and* input).  Every workload
-prints a deterministic checksum; the Python reference implementations in
-each module compute the same value independently, giving the test suite
+Workload identity is an open namespace routed through the pluggable
+registry (:mod:`repro.workloads.registry`): the builtin provider wraps
+the mini-C re-implementations of the MiBench kernels the paper profiles
+(one module per kernel, enumerated in ``_MODULES`` below), and the
+synthetic provider (:mod:`repro.workloads.synth`) resolves seeded
+``synth:<recipe-fingerprint>`` names by regenerating programs over the
+:mod:`repro.lang` AST.  Every workload — ported or generated — has a
+``small`` and ``large`` input and prints a deterministic checksum that
+an independent Python reference computes too, giving the test suite
 end-to-end compiler/simulator correctness oracles.
 
 Dynamic instruction counts are scaled to interpreter speed (see
-DESIGN.md §5): ``small`` inputs run roughly 50k-200k instructions at -O0,
-``large`` inputs several times more.
+DESIGN.md §5): ``small`` inputs run roughly 50k-200k instructions at
+-O0, ``large`` inputs several times more; synthetic recipes choose
+their own scale via loop/footprint parameters.
 """
 
 from __future__ import annotations
-
-from dataclasses import dataclass
-from typing import Callable
 
 from repro.workloads import (
     adpcm,
@@ -32,25 +34,18 @@ from repro.workloads import (
     stringsearch,
     susan,
 )
-
-
-@dataclass(frozen=True)
-class Workload:
-    """One benchmark: source generator plus reference oracle."""
-
-    name: str
-    source: Callable[[str], str]
-    reference: Callable[[str], str]
-    inputs: tuple[str, ...] = ("small", "large")
-
-    def source_for(self, input_name: str) -> str:
-        if input_name not in self.inputs:
-            raise KeyError(f"{self.name}: unknown input {input_name!r}")
-        return self.source(input_name)
-
-    def expected_output(self, input_name: str) -> str:
-        return self.reference(input_name)
-
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    Workload,
+    WorkloadProvider,
+    all_pairs,
+    get_workload,
+    parse_pairs,
+    providers,
+    register_provider,
+    workload_names,
+)
+from repro.workloads.synth import SynthProvider, SynthRecipe
 
 _MODULES = (
     adpcm,
@@ -68,6 +63,8 @@ _MODULES = (
     susan,
 )
 
+#: The builtin kernels by bare name — kept as a dict for the many
+#: existing call sites; registry routing goes through the provider.
 WORKLOADS: dict[str, Workload] = {
     module.NAME: Workload(
         name=module.NAME,
@@ -78,14 +75,39 @@ WORKLOADS: dict[str, Workload] = {
 }
 
 
-def workload_names() -> list[str]:
-    return sorted(WORKLOADS)
+class BuiltinProvider(WorkloadProvider):
+    """The hand-ported kernel suite: bare (prefix-less) names."""
+
+    prefix = ""
+
+    def resolve(self, name: str) -> Workload:
+        try:
+            return WORKLOADS[name]
+        except KeyError:
+            from repro.workloads.registry import _suggestions
+
+            raise UnknownWorkloadError(name, _suggestions(name)) from None
+
+    def names(self) -> tuple[str, ...]:
+        return tuple(sorted(WORKLOADS))
 
 
-def all_pairs() -> list[tuple[str, str]]:
-    """Every (workload, input) combination, like the paper's Fig. 4 axis."""
-    pairs: list[tuple[str, str]] = []
-    for name in workload_names():
-        for input_name in WORKLOADS[name].inputs:
-            pairs.append((name, input_name))
-    return pairs
+# replace=True keeps module re-imports (importlib.reload in tests,
+# pickling round-trips) idempotent.
+register_provider(BuiltinProvider(), replace=True)
+register_provider(SynthProvider(), replace=True)
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "WorkloadProvider",
+    "UnknownWorkloadError",
+    "SynthProvider",
+    "SynthRecipe",
+    "all_pairs",
+    "get_workload",
+    "parse_pairs",
+    "providers",
+    "register_provider",
+    "workload_names",
+]

@@ -1,0 +1,148 @@
+"""``python -m repro.workloads`` — list, inspect, and mint workloads.
+
+Examples::
+
+    python -m repro.workloads list                  # suite enumeration
+    python -m repro.workloads show crc32            # mini-C source
+    python -m repro.workloads show crc32 --reference  # oracle output
+    python -m repro.workloads synth --seed 7 --mix mem   # canonical name
+    python -m repro.workloads synth --seed 7 --mix mem --source
+
+``synth`` prints the canonical ``synth:<fingerprint>`` registry name
+for a recipe — the name alone regenerates the program byte-identically
+anywhere (sweep ``--pairs``, daemon submissions, shard workers), so
+this is how CI and scripts mint workloads without touching Python.
+
+Unknown workload or input names are usage errors (exit 2) with
+did-you-mean suggestions, same as the explore/experiments CLIs.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.workloads import (
+    UnknownWorkloadError,
+    WORKLOADS,
+    get_workload,
+    providers,
+    workload_names,
+)
+from repro.workloads.synth import MIX_PRESETS, SynthRecipe
+
+
+def _cmd_list(args) -> int:
+    names = workload_names()
+    if args.pairs:
+        from repro.workloads import all_pairs
+
+        for workload, input_name in all_pairs():
+            print(f"{workload}/{input_name}")
+        return 0
+    prefixes = {p or "(builtin)": type(obj).__name__
+                for p, obj in sorted(providers().items())}
+    for name in names:
+        print(name)
+    print(f"\n{len(names)} enumerable workload(s); providers: "
+          + ", ".join(f"{p} [{cls}]" for p, cls in prefixes.items()))
+    print("generative namespace: synth:<fingerprint> "
+          "(see 'python -m repro.workloads synth --help')")
+    return 0
+
+
+def _cmd_show(args, parser) -> int:
+    try:
+        workload = get_workload(args.name)
+        if args.reference:
+            print(workload.expected_output(args.input), end="")
+        else:
+            print(workload.source_for(args.input), end="")
+    except UnknownWorkloadError as exc:
+        parser.error(str(exc))
+    return 0
+
+
+def _cmd_synth(args, parser) -> int:
+    try:
+        recipe = SynthRecipe(
+            seed=args.seed, mix=args.mix, footprint=args.footprint,
+            depth=args.depth, trip=args.trip, entropy=args.entropy,
+            calls=args.calls,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.source or args.reference:
+        from repro.workloads.synth import generate_source, reference_output
+
+        if args.source:
+            print(generate_source(recipe, args.input), end="")
+        if args.reference:
+            print(reference_output(recipe, args.input), end="")
+    else:
+        print(recipe.name)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.workloads",
+        description="List, inspect, and mint (synthetic) workloads.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser(
+        "list", help="enumerate registry workload names")
+    p_list.add_argument(
+        "--pairs", action="store_true",
+        help="print every (workload, input) pair instead, one per line")
+
+    p_show = sub.add_parser(
+        "show", help="print a workload's mini-C source (or oracle output)")
+    p_show.add_argument("name", help="registry name (builtin or synth:...)")
+    p_show.add_argument("--input", default="small",
+                        help="input name (default: small)")
+    p_show.add_argument(
+        "--reference", action="store_true",
+        help="print the Python reference oracle's output instead")
+
+    p_synth = sub.add_parser(
+        "synth",
+        help="mint a synthetic recipe: prints its canonical synth: name")
+    p_synth.add_argument("--seed", type=int, default=1,
+                         help="RNG seed (default: %(default)s)")
+    p_synth.add_argument("--mix", default="balanced",
+                         choices=sorted(MIX_PRESETS),
+                         help="statement mix preset (default: %(default)s)")
+    p_synth.add_argument("--footprint", type=int, default=256,
+                         help="data array words, power of two "
+                              "(default: %(default)s)")
+    p_synth.add_argument("--depth", type=int, default=2,
+                         help="loop-nest depth 1..3 (default: %(default)s)")
+    p_synth.add_argument("--trip", type=int, default=8,
+                         help="base trip count 2..256 (default: %(default)s)")
+    p_synth.add_argument("--entropy", type=int, default=50,
+                         help="branch entropy percent 0..100 "
+                              "(default: %(default)s)")
+    p_synth.add_argument("--calls", type=int, default=2,
+                         help="worker functions 1..8 (default: %(default)s)")
+    p_synth.add_argument("--input", default="small",
+                         choices=("small", "large"),
+                         help="input for --source/--reference "
+                              "(default: small)")
+    p_synth.add_argument("--source", action="store_true",
+                         help="print the generated mini-C source")
+    p_synth.add_argument(
+        "--reference", action="store_true",
+        help="print the reference evaluator's output (the checksum "
+             "oracle the compiled binary must reproduce)")
+
+    args = parser.parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(args)
+    if args.command == "show":
+        return _cmd_show(args, parser)
+    return _cmd_synth(args, parser)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Pluggable, prefix-routed workload registry.
+
+Workload identity used to be "key into a hard-coded dict".  This module
+makes it an open namespace: a :class:`WorkloadProvider` owns every name
+under one prefix (the part before ``:``; the empty prefix owns bare
+names), and :func:`get_workload` routes a name to its provider.  The
+builtin provider wraps the hand-ported kernel modules unchanged; the
+synthetic provider (:mod:`repro.workloads.synth`) resolves
+``synth:<recipe-fingerprint>`` names by *regenerating* the program from
+the fingerprint alone — no in-process state, so engine payloads,
+process/shard workers, and daemon job bodies keep working with zero
+protocol changes.
+
+Every resolution failure raises :class:`UnknownWorkloadError` (a
+``KeyError`` subclass, so legacy ``except KeyError`` call sites keep
+working) carrying close-match suggestions for clean CLI/daemon errors.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+
+class UnknownWorkloadError(KeyError):
+    """A workload (or input) name no provider can resolve.
+
+    Subclasses ``KeyError`` so existing ``except KeyError`` handlers and
+    tests keep working; ``str()`` is a human-readable one-liner with
+    did-you-mean suggestions, suitable for CLI usage errors and HTTP 400
+    bodies.
+    """
+
+    def __init__(self, name: str, suggestions: Iterable[str] = (),
+                 detail: str = ""):
+        self.name = name
+        self.suggestions = tuple(suggestions)
+        self.detail = detail
+        super().__init__(name)
+
+    def __str__(self) -> str:
+        msg = f"unknown workload {self.name!r}"
+        if self.detail:
+            msg += f": {self.detail}"
+        if self.suggestions:
+            msg += f" (did you mean: {', '.join(self.suggestions)}?)"
+        return msg
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark: source generator plus reference oracle."""
+
+    name: str
+    source: Callable[[str], str]
+    reference: Callable[[str], str]
+    inputs: tuple[str, ...] = ("small", "large")
+
+    def source_for(self, input_name: str) -> str:
+        if input_name not in self.inputs:
+            raise UnknownWorkloadError(
+                f"{self.name}/{input_name}",
+                suggestions=tuple(f"{self.name}/{i}" for i in self.inputs),
+                detail=f"workload {self.name!r} has no input {input_name!r}",
+            )
+        return self.source(input_name)
+
+    def expected_output(self, input_name: str) -> str:
+        return self.reference(input_name)
+
+
+class WorkloadProvider:
+    """Resolves every workload name under one prefix.
+
+    ``prefix`` is the namespace before ``:`` (empty string for bare
+    names).  ``resolve`` must be a pure function of the name — shard and
+    process workers re-resolve from the name alone in fresh interpreters,
+    so anything a provider needs must be encoded in the name itself.
+    ``names`` enumerates the provider's *finite* name set (suite
+    enumeration); generative providers with unbounded namespaces return
+    an empty tuple.
+    """
+
+    prefix: str = ""
+
+    def resolve(self, name: str) -> Workload:
+        raise NotImplementedError
+
+    def names(self) -> tuple[str, ...]:
+        return ()
+
+
+_PROVIDERS: dict[str, WorkloadProvider] = {}
+
+
+def register_provider(provider: WorkloadProvider,
+                      replace: bool = False) -> None:
+    """Register *provider* for its prefix (``replace=False`` guards
+    against accidental shadowing)."""
+    prefix = provider.prefix
+    if not replace and prefix in _PROVIDERS:
+        raise ValueError(f"workload provider prefix {prefix!r} already "
+                         f"registered ({type(_PROVIDERS[prefix]).__name__})")
+    _PROVIDERS[prefix] = provider
+
+
+def providers() -> dict[str, WorkloadProvider]:
+    """Registered providers by prefix (a copy)."""
+    return dict(_PROVIDERS)
+
+
+def _suggestions(name: str) -> tuple[str, ...]:
+    known = workload_names()
+    return tuple(difflib.get_close_matches(name, known, n=3, cutoff=0.5))
+
+
+def get_workload(name: str) -> Workload:
+    """Route *name* to its provider; raises :class:`UnknownWorkloadError`."""
+    prefix = name.split(":", 1)[0] if ":" in name else ""
+    provider = _PROVIDERS.get(prefix)
+    if provider is None:
+        detail = (f"no provider registered for prefix {prefix!r}"
+                  if prefix else "")
+        raise UnknownWorkloadError(name, _suggestions(name), detail)
+    return provider.resolve(name)
+
+
+def workload_names() -> list[str]:
+    """Every enumerable workload name, across all providers, sorted."""
+    names: list[str] = []
+    for provider in _PROVIDERS.values():
+        names.extend(provider.names())
+    return sorted(names)
+
+
+def parse_pairs(text: str | None):
+    """Parse CLI ``workload/input,...`` text into validated pairs.
+
+    The shared ``--pairs`` grammar of the explore and experiments CLIs:
+    comma-separated ``workload`` or ``workload/input`` items (input
+    defaults to ``small``).  Every workload resolves through the
+    registry, so typos and malformed ``synth:`` fingerprints fail here
+    with suggestions (:class:`UnknownWorkloadError` → usage error)
+    instead of deep in the pipeline.  Returns ``None`` for empty input
+    so callers fall back to their default pair set.
+    """
+    if not text:
+        return None
+    pairs = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        workload, _, input_name = item.partition("/")
+        input_name = input_name or "small"
+        spec = get_workload(workload)
+        if input_name not in spec.inputs:
+            raise UnknownWorkloadError(
+                f"{workload}/{input_name}",
+                suggestions=tuple(f"{workload}/{i}" for i in spec.inputs),
+                detail=f"workload {workload!r} has no input {input_name!r}",
+            )
+        pairs.append((workload, input_name))
+    return tuple(pairs) or None
+
+
+def all_pairs() -> list[tuple[str, str]]:
+    """Every enumerable (workload, input) combination, like the paper's
+    Fig. 4 axis — derived from the registry so provider additions can
+    never desync the suite enumeration."""
+    pairs: list[tuple[str, str]] = []
+    for name in workload_names():
+        workload = get_workload(name)
+        for input_name in workload.inputs:
+            pairs.append((name, input_name))
+    return pairs

@@ -1,0 +1,939 @@
+"""Seeded synthetic workload generation over the ``repro.lang`` AST.
+
+The paper's point is *generating* benchmarks; this module turns our own
+workload suite into an open, parameterized family.  A
+:class:`SynthRecipe` — seed, instruction-mix weights, memory footprint,
+loop depth/trip counts, branch entropy, call-graph size — deterministically
+expands into a mini-C program built directly as :mod:`repro.lang.ast_nodes`
+and rendered through :mod:`repro.lang.printer`, so every generated
+program round-trips through the front end by construction.
+
+Generated workloads are **self-describing**: the canonical name
+``synth:<fingerprint>`` encodes the full recipe (see
+:meth:`SynthRecipe.fingerprint` / :meth:`SynthRecipe.parse`), so a name
+alone is enough for a process/shard worker or the serve daemon to
+regenerate byte-identical source in a fresh interpreter — exactly like
+a content address, but invertible.  Recipes are additionally persisted
+to the artifact store (:func:`persist_recipe`) for provenance.
+
+Every generated program has a checksum oracle, like the hand-ported
+kernels: :func:`reference_output` runs a pure-Python tree-walking
+evaluator over the same AST, sharing the operator semantics tables
+(:mod:`repro.ir.ops_eval`) and opcode-selection rules with the
+IR builder, so compiler/simulator and oracle can never disagree about
+C arithmetic.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass
+from functools import lru_cache
+from random import Random
+
+from repro.ir import ops_eval
+from repro.ir.builder import _FLOAT_OPS, _int_opcode
+from repro.lang import ast_nodes as ast
+from repro.lang.printer import format_program
+from repro.lang.semantics import MATH_BUILTINS, analyze
+from repro.lang.types import FLOAT, INT, UNSIGNED, Type
+from repro.workloads.registry import (
+    UnknownWorkloadError,
+    Workload,
+    WorkloadProvider,
+)
+
+#: Name-prefix the registry routes to the synthetic provider.
+PREFIX = "synth"
+
+#: Provenance stage name for recipes persisted to the artifact store.
+RECIPE_STAGE = "synth-recipe"
+
+#: Named instruction-mix weight tables: relative draw weights for the
+#: statement kinds the generator emits inside loop bodies.
+MIX_PRESETS: dict[str, dict[str, int]] = {
+    "balanced": {"int": 4, "float": 2, "mem": 3, "branch": 2, "call": 1},
+    "int": {"int": 8, "float": 0, "mem": 2, "branch": 2, "call": 1},
+    "float": {"int": 2, "float": 6, "mem": 2, "branch": 1, "call": 1},
+    "mem": {"int": 2, "float": 0, "mem": 7, "branch": 2, "call": 1},
+    "branchy": {"int": 3, "float": 0, "mem": 2, "branch": 6, "call": 1},
+}
+
+#: ``large`` scales each worker's outermost trip count.
+INPUT_SCALES = {"small": 1, "large": 4}
+
+_FINGERPRINT_RE = re.compile(
+    r"^s(\d+)-([a-z]+)-f(\d+)-d(\d+)-t(\d+)-e(\d+)-c(\d+)$"
+)
+
+_GRAMMAR = ("synth names look like synth:s<seed>-<mix>-f<footprint>-"
+            "d<depth>-t<trip>-e<entropy>-c<calls>, e.g. "
+            "synth:s7-balanced-f256-d2-t8-e60-c2; mixes: "
+            + ", ".join(MIX_PRESETS))
+
+
+@dataclass(frozen=True)
+class SynthRecipe:
+    """The complete, canonical parameterization of one generated program.
+
+    The fingerprint is *invertible* — not a hash — because shard/process
+    workers resolve workloads from the name alone against private, empty
+    stores; every field must therefore be recoverable from the name.
+    """
+
+    seed: int = 1
+    mix: str = "balanced"
+    footprint: int = 256  # words in the global data array (power of two)
+    depth: int = 2        # loop-nest depth per worker function
+    trip: int = 8         # base trip count per loop level
+    entropy: int = 50     # branch-taken entropy, percent (0 = predictable)
+    calls: int = 2        # worker functions in the call graph
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.seed <= 10**9:
+            raise ValueError(f"seed must be in 0..1e9, got {self.seed}")
+        if self.mix not in MIX_PRESETS:
+            raise ValueError(f"unknown mix {self.mix!r} "
+                             f"(available: {', '.join(MIX_PRESETS)})")
+        if not (16 <= self.footprint <= 65536
+                and self.footprint & (self.footprint - 1) == 0):
+            raise ValueError("footprint must be a power of two in "
+                             f"16..65536, got {self.footprint}")
+        if not 1 <= self.depth <= 3:
+            raise ValueError(f"depth must be in 1..3, got {self.depth}")
+        if not 2 <= self.trip <= 256:
+            raise ValueError(f"trip must be in 2..256, got {self.trip}")
+        if not 0 <= self.entropy <= 100:
+            raise ValueError(f"entropy must be in 0..100, got {self.entropy}")
+        if not 1 <= self.calls <= 8:
+            raise ValueError(f"calls must be in 1..8, got {self.calls}")
+
+    def fingerprint(self) -> str:
+        """Compact canonical encoding — the registry name minus prefix."""
+        return (f"s{self.seed}-{self.mix}-f{self.footprint}-d{self.depth}"
+                f"-t{self.trip}-e{self.entropy}-c{self.calls}")
+
+    @property
+    def name(self) -> str:
+        """The canonical registry name, ``synth:<fingerprint>``."""
+        return f"{PREFIX}:{self.fingerprint()}"
+
+    def params(self) -> dict:
+        return {
+            "seed": self.seed, "mix": self.mix,
+            "footprint": self.footprint, "depth": self.depth,
+            "trip": self.trip, "entropy": self.entropy, "calls": self.calls,
+        }
+
+    @classmethod
+    def from_params(cls, params: dict) -> "SynthRecipe":
+        """Build from an untrusted params mapping (JSON-shaped values);
+        raises ``ValueError`` on anything off-recipe."""
+        if not isinstance(params, dict):
+            raise ValueError("synth recipe must be a params object")
+        fields = dict(cls().params())
+        for key, value in params.items():
+            if key not in fields:
+                raise ValueError(f"unknown recipe field {key!r} "
+                                 f"(available: {', '.join(fields)})")
+            fields[key] = str(value) if key == "mix" else int(value)
+        return cls(**fields)
+
+    @classmethod
+    def parse(cls, name: str) -> "SynthRecipe":
+        """Invert a ``synth:<fingerprint>`` name (or bare fingerprint);
+        raises :class:`UnknownWorkloadError` on malformed names."""
+        text = name
+        if text.startswith(f"{PREFIX}:"):
+            text = text[len(PREFIX) + 1:]
+        match = _FINGERPRINT_RE.match(text)
+        if match is None:
+            raise UnknownWorkloadError(name, detail=_GRAMMAR)
+        seed, mix, footprint, depth, trip, entropy, calls = match.groups()
+        try:
+            return cls(seed=int(seed), mix=mix, footprint=int(footprint),
+                       depth=int(depth), trip=int(trip), entropy=int(entropy),
+                       calls=int(calls))
+        except ValueError as exc:
+            raise UnknownWorkloadError(name, detail=str(exc)) from None
+
+
+# -- program generation ------------------------------------------------------
+
+
+def _u(value: int) -> ast.IntLit:
+    return ast.IntLit(value=value & 0xFFFFFFFF, unsigned=True)
+
+
+def _i(value: int) -> ast.IntLit:
+    return ast.IntLit(value=value)
+
+
+def _ident(name: str) -> ast.Ident:
+    return ast.Ident(name=name)
+
+
+def _bin(op: str, left: ast.Expr, right: ast.Expr) -> ast.BinOp:
+    return ast.BinOp(op=op, left=left, right=right)
+
+
+def _assign(target: ast.Expr, value: ast.Expr, op: str = "=") -> ast.ExprStmt:
+    return ast.ExprStmt(expr=ast.Assign(op=op, target=target, value=value))
+
+
+class _Generator:
+    """Expands one (recipe, input) into an :class:`ast.Program`.
+
+    All randomness flows from one :class:`random.Random` seeded by the
+    recipe fingerprint (not just the seed field, so recipes differing in
+    any axis also differ in their drawn structure), making generation
+    byte-identical across processes and platforms.
+    """
+
+    def __init__(self, recipe: SynthRecipe, input_name: str):
+        if input_name not in INPUT_SCALES:
+            raise UnknownWorkloadError(
+                f"{recipe.name}/{input_name}",
+                suggestions=tuple(f"{recipe.name}/{i}" for i in INPUT_SCALES),
+            )
+        self.recipe = recipe
+        self.scale = INPUT_SCALES[input_name]
+        digest = hashlib.sha256(recipe.fingerprint().encode()).digest()
+        self.rng = Random(int.from_bytes(digest[:8], "big"))
+        self.mask = recipe.footprint - 1
+        self.weights = MIX_PRESETS[recipe.mix]
+        self.uvars = ("acc", "v0", "v1", "v2")
+        self.use_floats = self.weights["float"] > 0
+
+    # -- expression material ---------------------------------------------
+
+    def _uvar(self) -> ast.Ident:
+        return _ident(self.rng.choice(self.uvars))
+
+    def _uatom(self, counters: tuple[str, ...]) -> ast.Expr:
+        roll = self.rng.randrange(10)
+        if roll < 5:
+            return self._uvar()
+        if roll < 8 and counters:
+            return _ident(self.rng.choice(counters))
+        return _u(self.rng.randrange(1, 0xFFFF) | 1)
+
+    def _uexpr(self, counters: tuple[str, ...], depth: int = 2) -> ast.Expr:
+        """A random unsigned-arithmetic expression (wrap-safe by type)."""
+        if depth <= 0:
+            return self._uatom(counters)
+        op = self.rng.choice(("+", "-", "*", "^", "|", "&", "<<", ">>",
+                              "+", "^", "*"))
+        left = self._uexpr(counters, depth - 1)
+        if op in ("<<", ">>"):
+            right: ast.Expr = _u(self.rng.randrange(1, 16))
+        elif op == "*":
+            right = _u(self.rng.randrange(3, 0x7FFF) | 1)
+        else:
+            right = self._uexpr(counters, depth - 1)
+        return _bin(op, left, right)
+
+    def _index(self, counters: tuple[str, ...]) -> ast.Expr:
+        """An in-bounds data index: ``(expr) & (footprint-1)u``."""
+        return _bin("&", self._uexpr(counters, depth=1), _u(self.mask))
+
+    def _data_ref(self, counters: tuple[str, ...]) -> ast.ArrayRef:
+        return ast.ArrayRef(base="data", index=self._index(counters))
+
+    # -- statement kinds -------------------------------------------------
+
+    def _int_stmt(self, counters: tuple[str, ...]) -> ast.Stmt:
+        target = self._uvar()
+        roll = self.rng.randrange(10)
+        if roll < 2:
+            divisor = _u(self.rng.randrange(3, 1021))
+            op = self.rng.choice(("/", "%"))
+            return _assign(target,
+                           _bin("+", _bin(op, self._uexpr(counters, 1),
+                                          divisor),
+                                self._uexpr(counters, 1)))
+        assign_op = self.rng.choice(("=", "^=", "+=", "-="))
+        return _assign(target, self._uexpr(counters), op=assign_op)
+
+    def _mem_stmt(self, counters: tuple[str, ...]) -> ast.Stmt:
+        if self.rng.randrange(2):
+            return _assign(self._uvar(), self._data_ref(counters),
+                           op=self.rng.choice(("^=", "+=")))
+        return _assign(self._data_ref(counters), self._uexpr(counters, 1))
+
+    def _float_stmt(self, counters: tuple[str, ...]) -> ast.Stmt:
+        target = _ident(self.rng.choice(("f0", "f1")))
+        other = _ident("f1" if target.name == "f0" else "f0")
+        roll = self.rng.randrange(4)
+        if roll == 0:
+            # Decaying affine update keeps magnitudes bounded.
+            value: ast.Expr = _bin(
+                "+",
+                _bin("*", ast.Ident(name=target.name),
+                     ast.FloatLit(value=round(self.rng.uniform(0.3, 0.9), 3))),
+                _bin("*",
+                     ast.Cast(target=FLOAT,
+                              operand=_bin("&", self._uvar(), _u(1023))),
+                     ast.FloatLit(value=round(self.rng.uniform(0.001, 0.01),
+                                              4))),
+            )
+        elif roll == 1:
+            value = ast.Call(name="sqrt", args=[
+                _bin("+", ast.Call(name="fabs", args=[other]),
+                     ast.FloatLit(value=1.0))])
+        elif roll == 2:
+            fn = self.rng.choice(("sin", "cos"))
+            value = _bin("+", ast.Call(name=fn, args=[other]),
+                         ast.Call(name="floor", args=[target]))
+        else:
+            value = ast.Call(name="log", args=[
+                _bin("+", ast.Call(name="fabs", args=[target]),
+                     ast.FloatLit(value=1.5))])
+        return _assign(target, value)
+
+    def _float_fold(self) -> ast.Stmt:
+        """Fold float state back into the unsigned checksum path."""
+        if self.rng.randrange(2):
+            cond = _bin(self.rng.choice((">", "<=")), _ident("f0"),
+                        _ident("f1"))
+            return ast.If(cond=cond,
+                          then=_assign(self._uvar(),
+                                       _u(self.rng.randrange(3, 255)),
+                                       op="^="),
+                          other=_assign(self._uvar(), _u(1), op="+="))
+        scaled = _bin("*", ast.Call(name="fabs", args=[_ident("f0")]),
+                      ast.FloatLit(value=255.0))
+        return _assign(self._uvar(),
+                       _bin("&", ast.Cast(target=UNSIGNED, operand=scaled),
+                            _u(1023)),
+                       op="^=")
+
+    def _branch_stmt(self, counters: tuple[str, ...],
+                     in_for: bool) -> ast.Stmt:
+        # Taken-probability tracks the entropy axis: threshold/256 of
+        # a uniformly mixed byte, from ~never (entropy 0) to coin-flip.
+        threshold = max(1, (128 * self.recipe.entropy) // 100)
+        cond = _bin("<",
+                    _bin("&", self._uexpr(counters, 1), _u(255)),
+                    _u(threshold))
+        if in_for and self.rng.randrange(8) == 0:
+            escape = ast.Break() if self.rng.randrange(2) else ast.Continue()
+            rare = _bin("==", _bin("&", self._uexpr(counters, 1), _u(2047)),
+                        _u(self.rng.randrange(2048)))
+            return ast.If(cond=rare, then=ast.Block(stmts=[escape]))
+        if self.rng.randrange(4) == 0:
+            value = ast.Ternary(cond=cond, then=self._uexpr(counters, 1),
+                                other=self._uexpr(counters, 1))
+            return _assign(self._uvar(), value)
+        then = ast.Block(stmts=[self._simple_stmt(counters)])
+        other = (ast.Block(stmts=[self._simple_stmt(counters)])
+                 if self.rng.randrange(2) else None)
+        return ast.If(cond=cond, then=then, other=other)
+
+    def _call_stmt(self, counters: tuple[str, ...]) -> ast.Stmt:
+        return _assign(self._uvar(),
+                       ast.Call(name="mixbits",
+                                args=[self._uvar(), self._uexpr(counters, 1)]))
+
+    def _simple_stmt(self, counters: tuple[str, ...]) -> ast.Stmt:
+        if self.rng.randrange(3) == 0:
+            return self._mem_stmt(counters)
+        return self._int_stmt(counters)
+
+    def _body_stmt(self, counters: tuple[str, ...], in_for: bool) -> ast.Stmt:
+        kinds, weights = zip(*[(k, w) for k, w in self.weights.items()
+                               if w > 0])
+        kind = self.rng.choices(kinds, weights=weights)[0]
+        if kind == "int":
+            return self._int_stmt(counters)
+        if kind == "float":
+            if self.rng.randrange(3) == 0:
+                return self._float_fold()
+            return self._float_stmt(counters)
+        if kind == "mem":
+            return self._mem_stmt(counters)
+        if kind == "branch":
+            return self._branch_stmt(counters, in_for)
+        return self._call_stmt(counters)
+
+    # -- functions -------------------------------------------------------
+
+    def _helper(self) -> ast.FuncDecl:
+        rot = self.rng.randrange(1, 15)
+        mult = _u(self.rng.randrange(0x10001, 0xFFFFFFFF) | 1)
+        body = _bin("+",
+                    _bin("*", _bin("^", _ident("a"),
+                                   _bin(">>", _ident("b"), _u(rot))),
+                         mult),
+                    _bin("^", _bin("<<", _ident("b"), _u(7)), _ident("a")))
+        return ast.FuncDecl(
+            name="mixbits", return_type=UNSIGNED,
+            params=[ast.Param(name="a", base_type=UNSIGNED),
+                    ast.Param(name="b", base_type=UNSIGNED)],
+            body=ast.Block(stmts=[ast.Return(value=body)]),
+        )
+
+    def _loop_nest(self, level: int, counters: tuple[str, ...]) -> ast.Stmt:
+        recipe = self.recipe
+        counter = f"i{level}"
+        counters = counters + (counter,)
+        if level == 0:
+            trip = max(2, recipe.trip) * self.scale
+        else:
+            trip = max(2, self.rng.randint(max(2, recipe.trip // 2),
+                                           recipe.trip) >> level)
+        if level + 1 < recipe.depth:
+            inner: list[ast.Stmt] = [
+                self._body_stmt(counters, in_for=True)
+                for _ in range(self.rng.randint(0, 1))
+            ]
+            inner.append(self._loop_nest(level + 1, counters))
+            inner.append(self._simple_stmt(counters))
+        else:
+            inner = [self._body_stmt(counters, in_for=True)
+                     for _ in range(self.rng.randint(4, 7))]
+        loop_kind = self.rng.randrange(4)
+        if loop_kind == 3 and level > 0:
+            # Occasional while-form for front-end coverage; the counter
+            # still advances every iteration so termination is manifest.
+            decl = ast.Decl(name=counter, base_type=INT, init=_i(0))
+            cond = _bin("<", _ident(counter), _i(trip))
+            bump = ast.ExprStmt(expr=ast.IncDec(
+                op="++", target=_ident(counter), prefix=False))
+            return ast.Block(stmts=[
+                decl,
+                ast.While(cond=cond, body=ast.Block(stmts=inner + [bump])),
+            ])
+        init = ast.Decl(name=counter, base_type=INT, init=_i(0))
+        cond = _bin("<", _ident(counter), _i(trip))
+        step = ast.IncDec(op="++", target=_ident(counter), prefix=False)
+        return ast.For(init=init, cond=cond, step=step,
+                       body=ast.Block(stmts=inner))
+
+    def _worker(self, index: int) -> ast.FuncDecl:
+        stmts: list[ast.Stmt] = [
+            ast.Decl(name="acc", base_type=UNSIGNED, init=_ident("seed0")),
+            ast.Decl(name="v0", base_type=UNSIGNED,
+                     init=_u(self.rng.randrange(1, 0xFFFFFFFF))),
+            ast.Decl(name="v1", base_type=UNSIGNED,
+                     init=_u(self.rng.randrange(1, 0xFFFFFFFF))),
+            ast.Decl(name="v2", base_type=UNSIGNED,
+                     init=_u(self.rng.randrange(1, 0xFFFFFFFF))),
+        ]
+        if self.use_floats:
+            stmts.append(ast.Decl(
+                name="f0", base_type=FLOAT,
+                init=ast.FloatLit(value=round(self.rng.uniform(0.5, 2.0), 3))))
+            stmts.append(ast.Decl(
+                name="f1", base_type=FLOAT,
+                init=ast.FloatLit(value=round(self.rng.uniform(0.5, 2.0), 3))))
+        stmts.append(self._loop_nest(0, ()))
+        if self.use_floats:
+            stmts.append(self._float_fold())
+        ret = _bin("+", ast.Call(name="mixbits",
+                                 args=[_ident("acc"),
+                                       _bin("^", _ident("v0"), _ident("v1"))]),
+                   _bin("<<", _ident("v2"), _u(1)))
+        stmts.append(ast.Return(value=ret))
+        return ast.FuncDecl(
+            name=f"work{index}", return_type=UNSIGNED,
+            params=[ast.Param(name="seed0", base_type=UNSIGNED)],
+            body=ast.Block(stmts=stmts),
+        )
+
+    def _main(self) -> ast.FuncDecl:
+        recipe = self.recipe
+        f = recipe.footprint
+        stmts: list[ast.Stmt] = [
+            ast.Decl(name="x", base_type=UNSIGNED,
+                     init=_u(self.rng.randrange(1, 0x7FFFFFFF))),
+        ]
+        fill = ast.For(
+            init=ast.Decl(name="i", base_type=INT, init=_i(0)),
+            cond=_bin("<", _ident("i"), _i(f)),
+            step=ast.IncDec(op="++", target=_ident("i"), prefix=False),
+            body=ast.Block(stmts=[
+                _assign(_ident("x"),
+                        _bin("+", _bin("*", _ident("x"), _u(1103515245)),
+                             _u(12345))),
+                _assign(ast.ArrayRef(base="data", index=_ident("i")),
+                        _ident("x")),
+            ]),
+        )
+        stmts.append(fill)
+        stmts.append(ast.Decl(name="acc", base_type=UNSIGNED,
+                              init=_u(self.rng.randrange(1, 0xFFFFFFFF))))
+        for index in range(recipe.calls):
+            seed_arg = (_bin("^", _ident("acc"),
+                             _u(self.rng.randrange(1, 0xFFFFFFFF)))
+                        if index else _u(self.rng.randrange(1, 0xFFFFFFFF)))
+            stmts.append(_assign(
+                _ident("acc"),
+                ast.Call(name="mixbits",
+                         args=[_ident("acc"),
+                               ast.Call(name=f"work{index}",
+                                        args=[seed_arg])])))
+        stride = max(1, f // 64)
+        stmts.append(ast.Decl(name="check", base_type=UNSIGNED, init=_u(0)))
+        stmts.append(ast.For(
+            init=ast.Decl(name="j", base_type=INT, init=_i(0)),
+            cond=_bin("<", _ident("j"), _i(f)),
+            step=ast.Assign(op="+=", target=_ident("j"), value=_i(stride)),
+            body=ast.Block(stmts=[
+                _assign(_ident("check"),
+                        _bin("^", _bin("<<", _ident("check"), _u(1)),
+                             ast.ArrayRef(base="data", index=_ident("j"))),
+                        ),
+            ]),
+        ))
+        stmts.append(ast.ExprStmt(expr=ast.Call(
+            name="printf",
+            args=[ast.StringLit(value="synth %u %u\n"),
+                  _ident("acc"), _ident("check")])))
+        stmts.append(ast.Return(value=_i(0)))
+        return ast.FuncDecl(name="main", return_type=INT, params=[],
+                            body=ast.Block(stmts=stmts))
+
+    def generate(self) -> ast.Program:
+        functions = [self._helper()]
+        functions.extend(self._worker(index)
+                         for index in range(self.recipe.calls))
+        functions.append(self._main())
+        globals_ = [ast.Decl(name="data", base_type=UNSIGNED,
+                             array_length=self.recipe.footprint)]
+        return ast.Program(globals=globals_, functions=functions)
+
+
+def generate_program(recipe: SynthRecipe, input_name: str) -> ast.Program:
+    """The (recipe, input) program as a fresh AST."""
+    return _Generator(recipe, input_name).generate()
+
+
+@lru_cache(maxsize=64)
+def _source_cached(fingerprint: str, input_name: str) -> str:
+    recipe = SynthRecipe.parse(fingerprint)
+    return format_program(generate_program(recipe, input_name))
+
+
+def generate_source(recipe: SynthRecipe, input_name: str) -> str:
+    """Deterministic C source text for (recipe, input)."""
+    return _source_cached(recipe.fingerprint(), input_name)
+
+
+# -- reference evaluator -----------------------------------------------------
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _Evaluator:
+    """Tree-walking interpreter over the generated AST subset.
+
+    Mirrors the IR builder's lowering rules exactly — opcode selection
+    via the builder's own tables, arithmetic via
+    :mod:`repro.ir.ops_eval` — so its output is an oracle for the whole
+    compile → simulate pipeline, independent of it.  Integer values are
+    canonical unsigned 32-bit ints, floats are Python floats, matching
+    the simulator's value domain.
+    """
+
+    def __init__(self, program: ast.Program, step_budget: int = 50_000_000):
+        self.analyzer = analyze(program)
+        self.functions = {func.name: func for func in program.functions}
+        self.globals: dict[str, object] = {}
+        for decl in program.globals:
+            kind_zero = 0.0 if decl.base_type.is_float() else 0
+            if decl.is_array:
+                self.globals[decl.name] = [kind_zero] * decl.array_length
+            else:
+                self.globals[decl.name] = (
+                    self._const(decl.init) if decl.init is not None
+                    else kind_zero)
+        self.output: list[str] = []
+        self.steps = 0
+        self.step_budget = step_budget
+
+    def _const(self, expr: ast.Expr):
+        value = self.eval_expr(expr, [{}])
+        return value
+
+    def run(self) -> str:
+        self.call_function("main", [])
+        return "".join(self.output)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_budget:
+            raise RuntimeError("synthetic evaluator exceeded its step budget")
+
+    @staticmethod
+    def _coerce(value, src: Type, dst_kind: str, unsigned: bool):
+        """Mirror ``_FunctionLowering.coerce``: kind conversion only."""
+        src_kind = "f" if src.is_float() else "i"
+        if src_kind == dst_kind:
+            return value
+        if dst_kind == "f":
+            op = "utof" if unsigned else "itof"
+            return ops_eval.UNOPS[op](value)
+        return ops_eval.c_ftoi(value)
+
+    @staticmethod
+    def _truthy(value, ctype: Type) -> bool:
+        if ctype.is_float():
+            return value != 0.0
+        return (value & 0xFFFFFFFF) != 0
+
+    def _lookup(self, name: str, env: list[dict]):
+        for scope in reversed(env):
+            if name in scope:
+                return scope
+        if name in self.globals:
+            return self.globals
+        raise KeyError(name)
+
+    # -- expressions -----------------------------------------------------
+
+    def eval_expr(self, expr: ast.Expr, env: list[dict]):
+        self._tick()
+        if isinstance(expr, ast.IntLit):
+            return ops_eval.to_unsigned(expr.value)
+        if isinstance(expr, ast.CharLit):
+            return ops_eval.to_unsigned(expr.value)
+        if isinstance(expr, ast.FloatLit):
+            return float(expr.value)
+        if isinstance(expr, ast.Ident):
+            return self._lookup(expr.name, env)[expr.name]
+        if isinstance(expr, ast.ArrayRef):
+            array = self._lookup(expr.base, env)[expr.base]
+            index = self.eval_expr(expr.index, env)
+            return array[index]
+        if isinstance(expr, ast.BinOp):
+            return self._eval_binop(expr, env)
+        if isinstance(expr, ast.UnaryOp):
+            return self._eval_unop(expr, env)
+        if isinstance(expr, ast.Cast):
+            value = self.eval_expr(expr.operand, env)
+            src = expr.operand.ctype
+            if expr.target.is_float():
+                return self._coerce(value, src, "f", src.is_unsigned())
+            if src.is_float():
+                return ops_eval.c_ftoi(value)
+            return value
+        if isinstance(expr, ast.Call):
+            return self._eval_call(expr, env)
+        if isinstance(expr, ast.Assign):
+            return self._eval_assign(expr, env)
+        if isinstance(expr, ast.IncDec):
+            current = self.eval_expr(expr.target, env)
+            fn = ops_eval.BINOPS["add" if expr.op == "++" else "sub"]
+            updated = fn(current, 1)
+            self._write(expr.target, updated, env)
+            return updated if expr.prefix else current
+        if isinstance(expr, ast.Ternary):
+            kind = "f" if expr.ctype.is_float() else "i"
+            if self._truthy(self.eval_expr(expr.cond, env), expr.cond.ctype):
+                chosen = expr.then
+            else:
+                chosen = expr.other
+            value = self.eval_expr(chosen, env)
+            return self._coerce(value, chosen.ctype, kind,
+                                chosen.ctype.is_unsigned())
+        raise TypeError(f"cannot evaluate expression {expr!r}")
+
+    def _eval_binop(self, expr: ast.BinOp, env: list[dict]):
+        op = expr.op
+        if op in ("&&", "||"):
+            left = self._truthy(self.eval_expr(expr.left, env),
+                                expr.left.ctype)
+            if op == "&&" and not left:
+                return 0
+            if op == "||" and left:
+                return 1
+            right = self._truthy(self.eval_expr(expr.right, env),
+                                 expr.right.ctype)
+            return 1 if right else 0
+        left_type, right_type = expr.left.ctype, expr.right.ctype
+        lhs = self.eval_expr(expr.left, env)
+        rhs = self.eval_expr(expr.right, env)
+        if left_type.is_float() or right_type.is_float():
+            lhs = self._coerce(lhs, left_type, "f", left_type.is_unsigned())
+            rhs = self._coerce(rhs, right_type, "f", right_type.is_unsigned())
+            return ops_eval.BINOPS[_FLOAT_OPS[op]](lhs, rhs)
+        opcode = _int_opcode(
+            op,
+            left_type.is_unsigned() or right_type.is_unsigned(),
+            left_type.is_unsigned(),
+        )
+        return ops_eval.BINOPS[opcode](lhs, rhs)
+
+    def _eval_unop(self, expr: ast.UnaryOp, env: list[dict]):
+        value = self.eval_expr(expr.operand, env)
+        is_float = expr.operand.ctype.is_float()
+        if expr.op == "-":
+            return ops_eval.UNOPS["fneg" if is_float else "neg"](value)
+        if expr.op == "~":
+            return ops_eval.UNOPS["not"](value)
+        if expr.op == "!":
+            if is_float:
+                return 1 if value == 0.0 else 0
+            return ops_eval.UNOPS["lognot"](value)
+        if expr.op == "+":
+            return value
+        raise TypeError(f"unknown unary {expr.op!r}")
+
+    def _eval_call(self, expr: ast.Call, env: list[dict]):
+        if expr.name == "printf":
+            from repro.sim.functional import _format_output
+
+            values = [self.eval_expr(arg, env) for arg in expr.args[1:]]
+            self.output.append(_format_output(expr.args[0].value, values))
+            return 0
+        if expr.name in MATH_BUILTINS:
+            arg = expr.args[0]
+            value = self._coerce(self.eval_expr(arg, env), arg.ctype, "f",
+                                 arg.ctype.is_unsigned())
+            return ops_eval.UNOPS[expr.name](value)
+        if expr.name == "abs":
+            return ops_eval.UNOPS["absi"](self.eval_expr(expr.args[0], env))
+        sig = self.analyzer.functions[expr.name]
+        args = []
+        for arg_ast, param_type in zip(expr.args, sig.param_types):
+            value = self.eval_expr(arg_ast, env)
+            if not param_type.is_array():
+                kind = "f" if param_type.is_float() else "i"
+                value = self._coerce(value, arg_ast.ctype, kind,
+                                     arg_ast.ctype.is_unsigned())
+            args.append(value)
+        return self.call_function(expr.name, args)
+
+    def _eval_assign(self, expr: ast.Assign, env: list[dict]):
+        target = expr.target
+        target_type = target.ctype
+        target_kind = "f" if target_type.is_float() else "i"
+        if expr.op == "=":
+            value = self._coerce(self.eval_expr(expr.value, env),
+                                 expr.value.ctype, target_kind,
+                                 expr.value.ctype.is_unsigned())
+        else:
+            current = self.eval_expr(target, env)
+            rhs = self.eval_expr(expr.value, env)
+            base_op = expr.op[:-1]
+            if target_type.is_float() or expr.value.ctype.is_float():
+                current = self._coerce(current, target_type, "f",
+                                       target_type.is_unsigned())
+                rhs = self._coerce(rhs, expr.value.ctype, "f",
+                                   expr.value.ctype.is_unsigned())
+                value = ops_eval.BINOPS[_FLOAT_OPS[base_op]](current, rhs)
+                if target_kind == "i":
+                    value = ops_eval.c_ftoi(value)
+            else:
+                opcode = _int_opcode(
+                    base_op,
+                    target_type.is_unsigned()
+                    or expr.value.ctype.is_unsigned(),
+                    target_type.is_unsigned(),
+                )
+                value = ops_eval.BINOPS[opcode](current, rhs)
+        self._write(target, value, env)
+        return value
+
+    def _write(self, target: ast.Expr, value, env: list[dict]) -> None:
+        if isinstance(target, ast.Ident):
+            self._lookup(target.name, env)[target.name] = value
+            return
+        if isinstance(target, ast.ArrayRef):
+            array = self._lookup(target.base, env)[target.base]
+            index = self.eval_expr(target.index, env)
+            array[index] = value
+            return
+        raise TypeError("invalid assignment target")
+
+    # -- statements ------------------------------------------------------
+
+    def exec_stmt(self, stmt: ast.Stmt, env: list[dict]) -> None:
+        self._tick()
+        if isinstance(stmt, ast.Decl):
+            kind_zero = 0.0 if stmt.base_type.is_float() else 0
+            kind = "f" if stmt.base_type.is_float() else "i"
+            if stmt.is_array:
+                values = [kind_zero] * stmt.array_length
+                if isinstance(stmt.init, list):
+                    for i, item in enumerate(stmt.init):
+                        values[i] = self._coerce(
+                            self.eval_expr(item, env), item.ctype, kind,
+                            item.ctype.is_unsigned())
+                env[-1][stmt.name] = values
+                return
+            if stmt.init is not None:
+                value = self._coerce(self.eval_expr(stmt.init, env),
+                                     stmt.init.ctype, kind,
+                                     stmt.init.ctype.is_unsigned())
+            else:
+                value = kind_zero
+            env[-1][stmt.name] = value
+            return
+        if isinstance(stmt, ast.ExprStmt):
+            self.eval_expr(stmt.expr, env)
+            return
+        if isinstance(stmt, ast.Block):
+            env.append({})
+            try:
+                for inner in stmt.stmts:
+                    self.exec_stmt(inner, env)
+            finally:
+                env.pop()
+            return
+        if isinstance(stmt, ast.If):
+            if self._truthy(self.eval_expr(stmt.cond, env), stmt.cond.ctype):
+                self.exec_stmt(stmt.then, env)
+            elif stmt.other is not None:
+                self.exec_stmt(stmt.other, env)
+            return
+        if isinstance(stmt, ast.While):
+            while self._truthy(self.eval_expr(stmt.cond, env),
+                               stmt.cond.ctype):
+                try:
+                    self.exec_stmt(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    continue
+            return
+        if isinstance(stmt, ast.DoWhile):
+            while True:
+                try:
+                    self.exec_stmt(stmt.body, env)
+                except _BreakSignal:
+                    break
+                except _ContinueSignal:
+                    pass
+                if not self._truthy(self.eval_expr(stmt.cond, env),
+                                    stmt.cond.ctype):
+                    break
+            return
+        if isinstance(stmt, ast.For):
+            env.append({})
+            try:
+                if stmt.init is not None:
+                    self.exec_stmt(stmt.init, env)
+                while stmt.cond is None or self._truthy(
+                        self.eval_expr(stmt.cond, env), stmt.cond.ctype):
+                    try:
+                        self.exec_stmt(stmt.body, env)
+                    except _BreakSignal:
+                        break
+                    except _ContinueSignal:
+                        pass
+                    if stmt.step is not None:
+                        self.eval_expr(stmt.step, env)
+            finally:
+                env.pop()
+            return
+        if isinstance(stmt, ast.Break):
+            raise _BreakSignal()
+        if isinstance(stmt, ast.Continue):
+            raise _ContinueSignal()
+        if isinstance(stmt, ast.Return):
+            func_kind = self._current_return_kind
+            if stmt.value is None:
+                raise _ReturnSignal(None)
+            value = self.eval_expr(stmt.value, env)
+            if func_kind != "v":
+                value = self._coerce(value, stmt.value.ctype, func_kind,
+                                     unsigned=False)
+            raise _ReturnSignal(value)
+        raise TypeError(f"cannot execute statement {stmt!r}")
+
+    def call_function(self, name: str, args: list):
+        func = self.functions[name]
+        return_kind = ("v" if func.return_type.is_void()
+                       else "f" if func.return_type.is_float() else "i")
+        scope = {param.name: value
+                 for param, value in zip(func.params, args)}
+        env = [scope]
+        outer_kind = getattr(self, "_current_return_kind", None)
+        self._current_return_kind = return_kind
+        try:
+            for stmt in func.body.stmts:
+                self.exec_stmt(stmt, env)
+        except _ReturnSignal as signal:
+            return signal.value
+        finally:
+            self._current_return_kind = outer_kind
+        if return_kind == "v":
+            return None
+        return 0.0 if return_kind == "f" else 0
+
+
+@lru_cache(maxsize=32)
+def _reference_cached(fingerprint: str, input_name: str) -> str:
+    recipe = SynthRecipe.parse(fingerprint)
+    program = generate_program(recipe, input_name)
+    return _Evaluator(program).run()
+
+
+def reference_output(recipe: SynthRecipe, input_name: str) -> str:
+    """The checksum oracle: evaluate the generated program in pure
+    Python, independent of the compile → simulate pipeline."""
+    return _reference_cached(recipe.fingerprint(), input_name)
+
+
+# -- registry integration ----------------------------------------------------
+
+
+def synth_workload(recipe: SynthRecipe) -> Workload:
+    """Wrap *recipe* in the uniform :class:`Workload` interface."""
+    return Workload(
+        name=recipe.name,
+        source=lambda input_name: generate_source(recipe, input_name),
+        reference=lambda input_name: reference_output(recipe, input_name),
+        inputs=tuple(INPUT_SCALES),
+    )
+
+
+class SynthProvider(WorkloadProvider):
+    """Resolves ``synth:<fingerprint>`` names by regenerating from the
+    fingerprint — stateless, so any worker process can do it."""
+
+    prefix = PREFIX
+
+    def resolve(self, name: str) -> Workload:
+        return synth_workload(SynthRecipe.parse(name))
+
+    def names(self) -> tuple[str, ...]:
+        return ()
+
+
+# -- artifact-store provenance ----------------------------------------------
+
+
+def persist_recipe(store, recipe: SynthRecipe) -> str:
+    """Record *recipe* in the artifact store keyed by its fingerprint.
+
+    Belt-and-braces provenance: names are regenerable from params alone,
+    but a persisted recipe documents what a store's synth artifacts
+    were generated from.  Returns the store key."""
+    key = store.key_for(RECIPE_STAGE, fingerprint=recipe.fingerprint())
+    if store.get(key, None) is None:
+        store.put(key, recipe.params(), stage=RECIPE_STAGE)
+    return key
+
+
+def stored_recipe(store, fingerprint: str) -> SynthRecipe | None:
+    """Load a persisted recipe back, if present."""
+    key = store.key_for(RECIPE_STAGE, fingerprint=fingerprint)
+    params = store.get(key, None)
+    return None if params is None else SynthRecipe.from_params(params)

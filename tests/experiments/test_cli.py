@@ -185,3 +185,38 @@ class TestMainCli:
         with pytest.raises(SystemExit):
             main(["--figures", "nope"])
         assert "unknown figures" in capsys.readouterr().err
+
+
+class TestPairsOverride:
+    SYNTH = "synth:s5-int-f64-d1-t3-e20-c1"
+
+    def test_generate_report_with_pairs_override(self):
+        report = generate_report(
+            ExperimentRunner(), figures=["fig04"],
+            pairs=((self.SYNTH, "small"),))
+        assert self.SYNTH in report
+        assert "crc32" not in report
+
+    def test_pure_db_sections_ignore_the_override(self):
+        # history reads the results DB; an override must not break it.
+        report = generate_report(
+            ExperimentRunner(), figures=["history"],
+            pairs=((self.SYNTH, "small"),))
+        assert "Sweep history" in report
+
+    def test_cli_pairs_flag(self, capsys):
+        assert main(["--figures", "fig04",
+                     "--pairs", f"{self.SYNTH}/small"]) == 0
+        assert self.SYNTH in capsys.readouterr().out
+
+    def test_cli_rejects_unknown_pairs_as_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--figures", "fig04", "--pairs", "crc33/small"])
+        assert exc_info.value.code == 2
+        assert "did you mean" in capsys.readouterr().err
+
+    def test_cli_rejects_malformed_synth_fingerprint(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--figures", "fig04", "--pairs", "synth:bogus"])
+        assert exc_info.value.code == 2
+        assert "synth names look like" in capsys.readouterr().err

@@ -199,3 +199,40 @@ class TestPresets:
     def test_unknown_preset_rejected(self):
         with pytest.raises(KeyError, match="nope"):
             get_preset("nope")
+
+
+class TestWorkloadAxis:
+    def test_workload_axis_lowers_to_a_pair(self):
+        point = DesignPoint.from_dicts({"workload": "crc32"})
+        assert point.pair == ("crc32", "small")
+        point = DesignPoint.from_dicts({"workload": "fft", "input": "large"})
+        assert point.pair == ("fft", "large")
+
+    def test_explicit_pair_axis_wins_over_workload(self):
+        point = DesignPoint.from_dicts({"pair": "sha/small",
+                                        "workload": "crc32"})
+        assert point.pair == ("sha", "small")
+
+    def test_workload_axis_excluded_from_machine_spec(self):
+        point = DesignPoint.from_dicts({
+            "workload": "synth:s1-int-f64-d1-t4-e20-c1",
+            "input": "small", "opt_level": 2, "width": 4,
+        })
+        assert point.machine_spec().width == 4
+
+    def test_synth_mix_preset_sweeps_generated_workloads(self):
+        preset = get_preset("synth-mix")
+        assert preset.space.size == 6  # 3 mixes x 2 opt levels
+        from repro.workloads import get_workload
+
+        for point in preset.space.points():
+            workload, input_name = point.pair
+            assert workload.startswith("synth:")
+            # Every swept name resolves through the registry (what a
+            # shard worker with a private store would do).
+            assert get_workload(workload).inputs[0] == input_name == "small"
+
+    def test_synth_mix_pairs_match_the_swept_axis(self):
+        preset = get_preset("synth-mix")
+        swept = {point.pair for point in preset.space.points()}
+        assert swept == set(preset.pairs)

@@ -247,3 +247,39 @@ class TestPairAxis:
         instructions = {r.point["pair"]: r.metrics["org_instructions"]
                         for r in result.records}
         assert instructions["crc32/small"] != instructions["adpcm/small"]
+
+
+SYNTH_NAME = "synth:s5-int-f64-d1-t3-e20-c1"
+
+SYNTH_TINY = Preset(
+    DesignSpace(
+        name="synth-tiny",
+        axes=(Axis("workload", (SYNTH_NAME,)),
+              Axis("opt_level", (0, 2))),
+        base={"isa": "x86", "width": 2, "l1_kb": 8},
+    ),
+    ((SYNTH_NAME, "small"),),
+)
+
+
+class TestWorkloadAxisSweep:
+    """A generated workload swept as a first-class axis: run_sweep needs
+    zero changes because DesignPoint.pair lowers the workload axis."""
+
+    def test_sweep_scores_synth_points(self, db, tmp_path):
+        engine = Engine(store=ArtifactStore(root=tmp_path / "store"))
+        result = run_sweep(SYNTH_TINY, engine=engine, db=db)
+        assert result.computed == SYNTH_TINY.space.size
+        for record in result.records:
+            assert record.point["workload"] == SYNTH_NAME
+            assert record.metrics["org_cpi"] > 0
+            assert 0 <= record.score < 1
+
+    def test_warm_synth_resweep_does_zero_work(self, db, tmp_path):
+        first = Engine(store=ArtifactStore(root=tmp_path / "store"))
+        run_sweep(SYNTH_TINY, engine=first, db=db)
+
+        rerun = Engine(store=ArtifactStore(root=tmp_path / "store"))
+        result = run_sweep(SYNTH_TINY, engine=rerun, db=db, force=True)
+        assert result.computed == SYNTH_TINY.space.size
+        assert rerun.stats.misses == 0 and rerun.stats.puts == 0

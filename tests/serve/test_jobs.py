@@ -191,3 +191,50 @@ class TestJobLifecycle:
         b = registry.create("warm", {}, "c", "a" * 64)
         assert a.id != b.id
         assert a.key[:8] in a.id
+
+
+class TestSynthNormalization:
+    """Synthetic workloads through the daemon: names and recipe-params
+    objects normalize to the same canonical form, so both coalesce."""
+
+    NAME = "synth:s7-int-f256-d2-t8-e50-c2"
+    PARAMS = {"seed": 7, "mix": "int"}
+
+    def test_recipe_params_fold_to_canonical_name(self):
+        by_name = normalize_request({
+            "kind": "replay", "workload": self.NAME, "input": "small"})
+        by_params = normalize_request({
+            "kind": "replay", "workload": self.PARAMS, "input": "small"})
+        assert by_name == by_params
+        kind, params, _ = by_params
+        assert params["workload"] == self.NAME
+        assert job_key(kind, params) == job_key(*by_name[:2])
+
+    def test_recipe_params_in_warm_pairs(self):
+        kind, params, _ = normalize_request({
+            "kind": "warm", "pairs": [[self.PARAMS, "small"]],
+            "coords": [["x86", 0]]})
+        assert params["pairs"] == [[self.NAME, "small"]]
+
+    def test_bad_recipe_params_are_400(self):
+        with pytest.raises(BadRequest, match="bad synth recipe"):
+            normalize_request({
+                "kind": "replay", "workload": {"mix": "nope"},
+                "input": "small"})
+
+    def test_malformed_synth_name_is_400_with_grammar(self):
+        with pytest.raises(BadRequest, match="synth names look like"):
+            normalize_request({
+                "kind": "replay", "workload": "synth:bogus",
+                "input": "small"})
+
+    def test_unknown_builtin_gets_suggestions(self):
+        with pytest.raises(BadRequest, match="did you mean"):
+            normalize_request({
+                "kind": "replay", "workload": "dijkstr", "input": "small"})
+
+    def test_estimate_prices_synth_like_builtin(self):
+        kind, params, _ = normalize_request({
+            "kind": "replay", "workload": self.NAME, "input": "small"})
+        stages = estimate_stages(kind, params)
+        assert stages  # the full org-side chain is priced

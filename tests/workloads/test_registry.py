@@ -1,0 +1,123 @@
+"""Registry behavior: prefix routing, suggestions, suite enumeration."""
+
+import pytest
+
+from repro.workloads import (
+    WORKLOADS,
+    UnknownWorkloadError,
+    Workload,
+    WorkloadProvider,
+    all_pairs,
+    get_workload,
+    parse_pairs,
+    providers,
+    register_provider,
+    workload_names,
+)
+from repro.workloads import registry as registry_module
+
+
+class TestRouting:
+    def test_bare_names_route_to_builtin_provider(self):
+        assert get_workload("crc32") is WORKLOADS["crc32"]
+
+    def test_synth_prefix_routes_to_synth_provider(self):
+        name = "synth:s1-balanced-f256-d2-t8-e50-c2"
+        workload = get_workload(name)
+        assert workload.name == name
+        assert workload.inputs == ("small", "large")
+
+    def test_unknown_bare_name_suggests_close_matches(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            get_workload("dijkstr")
+        assert excinfo.value.name == "dijkstr"
+        assert "dijkstra" in excinfo.value.suggestions
+        assert "did you mean" in str(excinfo.value)
+
+    def test_unknown_prefix_names_the_missing_provider(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            get_workload("nope:whatever")
+        assert "no provider registered for prefix 'nope'" in str(excinfo.value)
+
+    def test_error_is_a_keyerror(self):
+        # Legacy call sites catch KeyError; the refactor must not
+        # change what they observe.
+        with pytest.raises(KeyError):
+            get_workload("missing")
+
+    def test_bad_input_name_suggests_available_inputs(self):
+        with pytest.raises(UnknownWorkloadError) as excinfo:
+            get_workload("crc32").source_for("huge")
+        assert "crc32/small" in excinfo.value.suggestions
+
+
+class TestEnumeration:
+    def test_thirteen_builtin_names(self):
+        assert len(workload_names()) == 13
+        assert workload_names() == sorted(WORKLOADS)
+
+    def test_all_pairs_derived_from_registry(self):
+        pairs = all_pairs()
+        assert len(pairs) == 26  # 13 workloads x (small, large)
+        assert ("crc32", "small") in pairs
+        assert ("susan", "large") in pairs
+
+    def test_generative_provider_contributes_no_enumerable_names(self):
+        assert "synth" in providers()
+        assert providers()["synth"].names() == ()
+
+
+class TestRegisterProvider:
+    def test_duplicate_prefix_rejected_without_replace(self):
+        class Dummy(WorkloadProvider):
+            prefix = "synth"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_provider(Dummy())
+
+    def test_third_party_prefix_roundtrips(self):
+        stub = Workload(name="zz:one", source=lambda i: "int main(){}",
+                        reference=lambda i: "", inputs=("small",))
+
+        class ZZ(WorkloadProvider):
+            prefix = "zz"
+
+            def resolve(self, name):
+                if name != "zz:one":
+                    raise UnknownWorkloadError(name)
+                return stub
+
+            def names(self):
+                return ("zz:one",)
+
+        saved = dict(registry_module._PROVIDERS)
+        try:
+            register_provider(ZZ())
+            assert get_workload("zz:one") is stub
+            assert "zz:one" in workload_names()
+            assert ("zz:one", "small") in all_pairs()
+        finally:
+            registry_module._PROVIDERS.clear()
+            registry_module._PROVIDERS.update(saved)
+
+
+class TestParsePairs:
+    def test_empty_text_means_no_override(self):
+        assert parse_pairs(None) is None
+        assert parse_pairs("") is None
+
+    def test_input_defaults_to_small(self):
+        assert parse_pairs("crc32,sha/large") == \
+            (("crc32", "small"), ("sha", "large"))
+
+    def test_synth_names_resolve(self):
+        name = "synth:s9-mem-f64-d1-t4-e10-c1"
+        assert parse_pairs(f"{name}/large") == ((name, "large"),)
+
+    def test_unknown_workload_raises_with_suggestions(self):
+        with pytest.raises(UnknownWorkloadError, match="did you mean"):
+            parse_pairs("qsortt/small")
+
+    def test_unknown_input_raises(self):
+        with pytest.raises(UnknownWorkloadError, match="no input 'huge'"):
+            parse_pairs("crc32/huge")

@@ -1,0 +1,185 @@
+"""Synthetic workload generator: determinism, round-trips, oracles.
+
+The three load-bearing properties of ``repro.workloads.synth``:
+
+1. **Invertible names** — ``synth:<fingerprint>`` alone reconstructs
+   the recipe (shard/process workers resolve against empty stores).
+2. **Byte-determinism** — the same recipe generates byte-identical
+   source (and hence ``pair_fingerprint``) in any process.
+3. **Oracle equivalence** — the pure-Python reference evaluator and
+   the compiled-then-simulated binary print the same checksum on every
+   ISA and optimization level.
+"""
+
+import hashlib
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cc.driver import compile_program
+from repro.engine.store import ArtifactStore
+from repro.lang.parser import parse_program
+from repro.lang.printer import format_program
+from repro.sim.functional import run_binary
+from repro.workloads import UnknownWorkloadError, get_workload
+from repro.workloads.synth import (
+    MIX_PRESETS,
+    SynthRecipe,
+    generate_source,
+    persist_recipe,
+    reference_output,
+    stored_recipe,
+)
+
+SRC_DIR = Path(__file__).resolve().parents[2] / "src"
+
+recipes = st.builds(
+    SynthRecipe,
+    seed=st.integers(min_value=0, max_value=10**9),
+    mix=st.sampled_from(sorted(MIX_PRESETS)),
+    footprint=st.sampled_from([16, 64, 256, 4096, 65536]),
+    depth=st.integers(min_value=1, max_value=3),
+    trip=st.integers(min_value=2, max_value=256),
+    entropy=st.integers(min_value=0, max_value=100),
+    calls=st.integers(min_value=1, max_value=8),
+)
+
+
+class TestRecipe:
+    def test_name_parse_roundtrip(self):
+        recipe = SynthRecipe(seed=42, mix="mem", footprint=1024, depth=3,
+                             trip=17, entropy=85, calls=5)
+        assert recipe.name == "synth:s42-mem-f1024-d3-t17-e85-c5"
+        assert SynthRecipe.parse(recipe.name) == recipe
+        assert SynthRecipe.parse(recipe.fingerprint()) == recipe
+
+    @given(recipes)
+    @settings(max_examples=50, deadline=None)
+    def test_every_valid_recipe_name_is_invertible(self, recipe):
+        assert SynthRecipe.parse(recipe.name) == recipe
+        assert SynthRecipe.from_params(recipe.params()) == recipe
+
+    @pytest.mark.parametrize("name", [
+        "synth:",
+        "synth:s1",
+        "synth:s1-balanced",
+        "synth:s1-balanced-f256-d2-t8-e50",      # missing calls
+        "synth:s1-nope-f256-d2-t8-e50-c2",       # unknown mix
+        "synth:s1-balanced-f100-d2-t8-e50-c2",   # non-power-of-two
+        "synth:s1-balanced-f256-d9-t8-e50-c2",   # depth out of range
+    ])
+    def test_malformed_names_raise_unknown_workload(self, name):
+        with pytest.raises(UnknownWorkloadError):
+            get_workload(name).source_for("small")
+
+    def test_from_params_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown recipe field"):
+            SynthRecipe.from_params({"seed": 1, "bogus": 2})
+
+    @pytest.mark.parametrize("field,value", [
+        ("seed", -1), ("mix", "nope"), ("footprint", 7), ("depth", 0),
+        ("trip", 1), ("entropy", 101), ("calls", 9),
+    ])
+    def test_validation_rejects_out_of_range(self, field, value):
+        params = SynthRecipe().params()
+        params[field] = value
+        with pytest.raises(ValueError):
+            SynthRecipe(**params)
+
+
+class TestDeterminism:
+    def test_same_recipe_same_source(self):
+        recipe = SynthRecipe(seed=7, mix="int")
+        assert generate_source(recipe, "small") == \
+            generate_source(recipe, "small")
+
+    def test_different_seeds_differ(self):
+        a = generate_source(SynthRecipe(seed=1), "small")
+        b = generate_source(SynthRecipe(seed=2), "small")
+        assert a != b
+
+    def test_inputs_scale_but_share_structure(self):
+        recipe = SynthRecipe(seed=3, trip=4)
+        small = generate_source(recipe, "small")
+        large = generate_source(recipe, "large")
+        assert small != large  # outer trip count scales
+
+    def test_byte_identical_across_processes(self):
+        """A fresh interpreter regenerates the same bytes and the same
+        pair_fingerprint from the name alone — the property shard
+        workers with private stores rely on."""
+        recipe = SynthRecipe(seed=11, mix="branchy", trip=4)
+        source = generate_source(recipe, "small")
+        local_digest = hashlib.sha256(source.encode()).hexdigest()
+
+        script = (
+            "import hashlib\n"
+            "from repro.workloads import get_workload\n"
+            "from repro.engine.tasks import pair_fingerprint\n"
+            f"src = get_workload({recipe.name!r}).source_for('small')\n"
+            "print(hashlib.sha256(src.encode()).hexdigest())\n"
+            f"print(pair_fingerprint({recipe.name!r}, 'small'))\n"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True, text=True,
+            check=True, env={"PYTHONPATH": str(SRC_DIR)},
+        ).stdout.split()
+        from repro.engine.tasks import pair_fingerprint
+
+        assert out[0] == local_digest
+        assert out[1] == pair_fingerprint(recipe.name, "small")
+
+
+class TestRoundTrip:
+    @given(recipes)
+    @settings(max_examples=15, deadline=None)
+    def test_printer_parser_fixed_point(self, recipe):
+        source = generate_source(recipe, "small")
+        assert format_program(parse_program(source)) == source
+
+
+# Deliberately diverse: every mix, both float and pure-int paths,
+# depth/trip/entropy extremes — small enough to simulate quickly.
+ORACLE_RECIPES = [
+    SynthRecipe(seed=1),
+    SynthRecipe(seed=2, mix="int", depth=1, trip=3, entropy=0),
+    SynthRecipe(seed=3, mix="float", footprint=16, calls=1),
+    SynthRecipe(seed=4, mix="mem", footprint=4096, depth=3, trip=2),
+    SynthRecipe(seed=5, mix="branchy", entropy=100, calls=4),
+]
+
+
+@pytest.mark.parametrize("recipe", ORACLE_RECIPES,
+                         ids=lambda r: r.fingerprint())
+class TestOracle:
+    def test_compiled_output_matches_evaluator_o0_x86(self, recipe):
+        source = generate_source(recipe, "small")
+        expected = reference_output(recipe, "small")
+        trace = run_binary(compile_program(source, "x86", 0).binary)
+        assert trace.output == expected
+
+    def test_compiled_output_matches_evaluator_o2_x86_64(self, recipe):
+        source = generate_source(recipe, "small")
+        expected = reference_output(recipe, "small")
+        trace = run_binary(compile_program(source, "x86_64", 2).binary)
+        assert trace.output == expected
+
+
+class TestWorkloadInterface:
+    def test_registry_resolution_matches_direct_generation(self):
+        recipe = SynthRecipe(seed=6, mix="mem")
+        workload = get_workload(recipe.name)
+        assert workload.source_for("small") == \
+            generate_source(recipe, "small")
+        assert workload.expected_output("small") == \
+            reference_output(recipe, "small")
+
+    def test_recipe_persistence_roundtrip(self, tmp_path):
+        store = ArtifactStore(root=tmp_path)
+        recipe = SynthRecipe(seed=8, mix="float")
+        persist_recipe(store, recipe)
+        assert stored_recipe(store, recipe.fingerprint()) == recipe
+        assert stored_recipe(store, "s1-int-f16-d1-t2-e0-c1") is None
